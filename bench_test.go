@@ -1,0 +1,367 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (Section 6) plus
+// micro-benchmarks of the building blocks. Figure benchmarks run a reduced-
+// scale simulation per iteration and print the regenerated table once; use
+// cmd/procsim -full for paper-scale runs.
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/bpt"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *sim.Environment
+)
+
+func benchEnvironment() *sim.Environment {
+	benchEnvOnce.Do(func() {
+		sc := benchScale()
+		benchEnv = sim.NewNEEnvironment(sc)
+	})
+	return benchEnv
+}
+
+func benchScale() sim.Scale {
+	sc := sim.BenchScale()
+	if testing.Short() {
+		sc = sim.TestScale()
+	}
+	return sc
+}
+
+var printOnce sync.Map
+
+func printFirst(key string, print func()) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		print()
+	}
+}
+
+// BenchmarkTable61 prints the parameter table; the measured op is building
+// the simulation environment configuration.
+func BenchmarkTable61(b *testing.B) {
+	env := benchEnvironment()
+	for i := 0; i < b.N; i++ {
+		cfg := sim.DefaultConfig(env)
+		_ = cfg
+	}
+	printFirst("table61", func() {
+		st := env.Tree.Stats()
+		b.Logf("Table 6.1 environment: %d objects, %d nodes, height %d, fill %.0f%%",
+			env.DS.Len(), st.Nodes, st.Height, st.AvgFill*100)
+	})
+}
+
+// BenchmarkFigure6 regenerates the overall PAG/SEM/APRO comparison.
+func BenchmarkFigure6(b *testing.B) {
+	env := benchEnvironment()
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Figure6(env, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig6", func() { sim.FprintFigure6(os.Stdout, rows) })
+	}
+}
+
+// BenchmarkFigure7 regenerates the mobility-model comparison.
+func BenchmarkFigure7(b *testing.B) {
+	env := benchEnvironment()
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Figure7(env, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig7", func() { sim.FprintFigure7(os.Stdout, rows) })
+	}
+}
+
+// BenchmarkFigure8and9 regenerates the cache-size sweep (response time and
+// client CPU figures share the runs).
+func BenchmarkFigure8and9(b *testing.B) {
+	env := benchEnvironment()
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Figure8and9(env, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig89", func() { sim.FprintFigure8and9(os.Stdout, rows) })
+	}
+}
+
+// BenchmarkFigure10 regenerates the replacement-scheme comparison.
+func BenchmarkFigure10(b *testing.B) {
+	env := benchEnvironment()
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.Figure10(env, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig10", func() { sim.FprintFigure10(os.Stdout, rows) })
+	}
+}
+
+// BenchmarkFigure11 regenerates the adaptive-vs-static index form series.
+func BenchmarkFigure11(b *testing.B) {
+	env := benchEnvironment()
+	for i := 0; i < b.N; i++ {
+		series, err := sim.Figure11(env, benchScale(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("fig11", func() { sim.FprintFigure11(os.Stdout, series) })
+	}
+}
+
+// BenchmarkAblationStaticD sweeps pinned refinement levels.
+func BenchmarkAblationStaticD(b *testing.B) {
+	env := benchEnvironment()
+	sc := benchScale()
+	sc.Queries /= 2
+	for i := 0; i < b.N; i++ {
+		rows, adaptive, err := sim.AblationStaticD(env, sc, []int{0, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("abl-d", func() {
+			for _, r := range rows {
+				b.Logf("d=%d resp=%.3f fmr=%.3f hitc=%.3f", r.D, r.Resp, r.FMR, r.HitC)
+			}
+			b.Logf("adaptive resp=%.3f fmr=%.3f hitc=%.3f", adaptive.Resp, adaptive.FMR, adaptive.HitC)
+		})
+	}
+}
+
+// BenchmarkAblationGRD2vsGRD3 compares the reference and efficient
+// replacement algorithms end to end.
+func BenchmarkAblationGRD2vsGRD3(b *testing.B) {
+	env := benchEnvironment()
+	sc := benchScale()
+	sc.Queries /= 2
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.AblationGRD2vsGRD3(env, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("abl-grd", func() {
+			for _, r := range rows {
+				b.Logf("%s resp=%.3f hitc=%.3f cpu=%.3fms", r.Policy, r.Resp, r.HitC, r.CacheOps)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitionCost measures the Section 4.2 server-side cost
+// of partition-tree navigation.
+func BenchmarkAblationPartitionCost(b *testing.B) {
+	env := benchEnvironment()
+	sc := benchScale()
+	sc.Queries /= 2
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.AblationPartitionCost(env, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("abl-part", func() {
+			for _, r := range rows {
+				b.Logf("%s server engine ops=%d", r.Model, r.ServerEngineOps)
+			}
+		})
+	}
+}
+
+// BenchmarkExtensionUpdates measures the update/invalidation extension
+// (server churn, epoch-based invalidation, stale retries).
+func BenchmarkExtensionUpdates(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.UpdateSweep(sc.Objects/2, sc.Queries/2, sc.Seed, []float64{0, 0.5, 2.0}, 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("ext-upd", func() { sim.FprintUpdateSweep(os.Stdout, rows) })
+	}
+}
+
+// BenchmarkExtensionCoop measures the cooperative caching extension
+// (neighborhood cache sharing over a cheap local link).
+func BenchmarkExtensionCoop(b *testing.B) {
+	env := benchEnvironment()
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := sim.CoopSweep(env, sc.Queries/3, sc.Seed, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFirst("ext-coop", func() { sim.FprintCoopSweep(os.Stdout, rows) })
+	}
+}
+
+// --------------------------------------------------------------------------
+// Micro-benchmarks of the substrates.
+
+func benchItems(n int) []rtree.Item {
+	r := rand.New(rand.NewSource(1))
+	items := make([]rtree.Item, n)
+	for i := range items {
+		c := geom.Pt(r.Float64(), r.Float64())
+		items[i] = rtree.Item{Obj: rtree.ObjectID(i + 1), MBR: geom.RectFromCenter(c, 5e-4, 5e-4)}
+	}
+	return items
+}
+
+func BenchmarkRTreeInsert(b *testing.B) {
+	items := benchItems(b.N)
+	tr := rtree.New(rtree.DefaultParams())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(items[i].Obj, items[i].MBR)
+	}
+}
+
+func BenchmarkRTreeBulkLoad100k(b *testing.B) {
+	items := benchItems(100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rtree.BulkLoad(rtree.DefaultParams(), items, 0.7)
+	}
+}
+
+func BenchmarkRTreeRangeQuery(b *testing.B) {
+	tr := rtree.BulkLoad(rtree.DefaultParams(), benchItems(100_000), 0.7)
+	r := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01)
+		tr.RangeQuery(w)
+	}
+}
+
+func BenchmarkRTreeKNN(b *testing.B) {
+	tr := rtree.BulkLoad(rtree.DefaultParams(), benchItems(100_000), 0.7)
+	r := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.KNN(geom.Pt(r.Float64(), r.Float64()), 5)
+	}
+}
+
+func BenchmarkBPTBuild(b *testing.B) {
+	entries := make([]rtree.Entry, 204)
+	r := rand.New(rand.NewSource(4))
+	for i := range entries {
+		entries[i] = rtree.Entry{
+			MBR: geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01),
+			Obj: rtree.ObjectID(i + 1),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bpt.Build(1, entries)
+	}
+}
+
+func BenchmarkMergeCuts(b *testing.B) {
+	entries := make([]rtree.Entry, 128)
+	r := rand.New(rand.NewSource(5))
+	for i := range entries {
+		entries[i] = rtree.Entry{
+			MBR: geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01),
+			Obj: rtree.ObjectID(i + 1),
+		}
+	}
+	pt := bpt.Build(1, entries)
+	a := pt.ExpandCut(pt.RootCut(), 3)
+	c := pt.ExpandCut(pt.RootCut(), 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bpt.MergeCuts(a, c)
+	}
+}
+
+func BenchmarkServerColdKNN(b *testing.B) {
+	env := benchEnvironment()
+	srv := server.New(env.Tree, env.DS.SizeOf, server.Config{})
+	r := rand.New(rand.NewSource(6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := &wire.Request{Q: query.NewKNN(geom.Pt(r.Float64(), r.Float64()), 5)}
+		srv.Execute(req)
+	}
+}
+
+func BenchmarkClientWarmKNN(b *testing.B) {
+	env := benchEnvironment()
+	srv := server.New(env.Tree, env.DS.SizeOf, server.Config{})
+	sizes := wire.DefaultSizeModel()
+	cache := core.NewCache(64<<20, core.GRD3, sizes)
+	cl := core.NewClient(core.ClientConfig{ID: 1, Root: srv.RootRef(), Sizes: sizes},
+		cache, wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+			resp, _ := srv.Execute(req)
+			return resp, nil
+		}))
+	// Warm the area.
+	center := geom.Pt(0.5, 0.5)
+	if _, err := cl.Query(query.NewRange(geom.RectFromCenter(center, 0.05, 0.05))); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cl.Query(query.NewKNN(center, 5)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Query(query.NewKNN(center, 5)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGRD3Eviction(b *testing.B) {
+	sizes := wire.DefaultSizeModel()
+	srvEnv := benchEnvironment()
+	srv := server.New(srvEnv.Tree, srvEnv.DS.SizeOf, server.Config{})
+	transport := wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+		resp, _ := srv.Execute(req)
+		return resp, nil
+	})
+	r := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cache := core.NewCache(1<<30, core.GRD3, sizes)
+		cl := core.NewClient(core.ClientConfig{ID: 1, Root: srv.RootRef(), Sizes: sizes}, cache, transport)
+		for j := 0; j < 20; j++ {
+			p := geom.Pt(r.Float64(), r.Float64())
+			if _, err := cl.Query(query.NewKNN(p, 5)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		cache.ShrinkTo(cache.Used() / 4)
+	}
+}
+
+func BenchmarkEngineJoin(b *testing.B) {
+	env := benchEnvironment()
+	srv := server.New(env.Tree, env.DS.SizeOf, server.Config{})
+	r := rand.New(rand.NewSource(8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.004, 0.004)
+		req := &wire.Request{Q: query.NewJoin(w, 5e-5)}
+		srv.Execute(req)
+	}
+}

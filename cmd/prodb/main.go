@@ -1,0 +1,77 @@
+// Command prodb serves a spatial dataset to proactive-caching clients over
+// TCP using the gob wire protocol. Clients connect with repro.Dial (see
+// examples/netclient).
+//
+// Usage:
+//
+//	prodb -addr :7001 -n 50000            # synthetic NE data
+//	prodb -addr :7001 -load ne.gob        # dataset from datagen
+//	prodb -form compact                   # CPRO-style index shipping
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", ":7001", "listen address")
+		n    = flag.Int("n", 50_000, "synthetic NE objects when -load is not given")
+		seed = flag.Int64("seed", 1, "synthetic data seed")
+		load = flag.String("load", "", "load a datagen .gob file instead of generating")
+		form = flag.String("form", "adaptive", "index shipping form: full, compact, adaptive")
+	)
+	flag.Parse()
+
+	var objects []repro.Object
+	switch {
+	case *load != "":
+		ds, err := dataset.Load(*load)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prodb: %v\n", err)
+			os.Exit(1)
+		}
+		objects = ds.Objects
+		fmt.Printf("loaded %d objects from %s\n", len(objects), *load)
+	default:
+		objects = repro.GenerateNE(*n, *seed)
+		fmt.Printf("generated %d synthetic NE objects (seed %d)\n", len(objects), *seed)
+	}
+
+	var indexForm repro.IndexForm
+	switch *form {
+	case "full":
+		indexForm = repro.FullForm
+	case "compact":
+		indexForm = repro.CompactForm
+	case "adaptive":
+		indexForm = repro.AdaptiveForm
+	default:
+		fmt.Fprintf(os.Stderr, "prodb: unknown form %q\n", *form)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	srv := repro.NewServer(objects, repro.ServerConfig{Form: indexForm})
+	st := srv.IndexStats()
+	fmt.Printf("index: %d nodes, height %d, %.0f%% fill, built in %v\n",
+		st.Nodes, st.Height, st.AvgFill*100, time.Since(start).Round(time.Millisecond))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prodb: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serving proactive spatial queries on %s (form=%s)\n", ln.Addr(), *form)
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintf(os.Stderr, "prodb: %v\n", err)
+		os.Exit(1)
+	}
+}

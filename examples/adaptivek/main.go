@@ -1,0 +1,81 @@
+// Adaptivek: the Section 4.3 feedback loop in action. A client issues only
+// kNN queries while the typical k drifts from large to small; small k needs
+// more precise index around each cached object, so the false-miss rate
+// rises and the server reacts by raising the client's refinement level d —
+// shipping finer compact forms — then lowers it again when k grows back.
+//
+//	go run ./examples/adaptivek
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/mobility"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+func main() {
+	ds := dataset.GenerateNE(dataset.Params{N: 30_000, Seed: 5})
+	tree := ds.BuildTree(rtree.DefaultParams(), 0.7)
+	srv := server.New(tree, ds.SizeOf, server.Config{Form: server.AdaptiveForm})
+
+	sizes := wire.DefaultSizeModel()
+	cache := core.NewCache(int(ds.TotalBytes/1000), core.GRD3, sizes) // 0.1%: tiny
+	cl := core.NewClient(core.ClientConfig{
+		ID:        1,
+		Root:      srv.RootRef(),
+		Sizes:     sizes,
+		FMRPeriod: 40,
+	}, cache, wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+		resp, _ := srv.Execute(req)
+		return resp, nil
+	}))
+
+	rng := rand.New(rand.NewSource(11))
+	mob := mobility.NewRandomWaypoint(mobility.Config{Speed: 1e-4, PauseMean: 50}, rng)
+
+	const queries = 1200
+	fmt.Printf("%8s %6s %6s %8s %8s\n", "queries", "avg-k", "d", "fmr", "i/c")
+	var fm, cached int
+	for i := 1; i <= queries; i++ {
+		pos := mob.Advance(rng.ExpFloat64() * 50)
+		cl.SetPosition(pos)
+
+		// k drifts 10 -> 1 -> 10 over the run.
+		half := float64(queries) / 2
+		avg := 10 - 9*float64(i)/half
+		if float64(i) > half {
+			avg = 1 + 9*(float64(i)-half)/half
+		}
+		k := int(avg + rng.Float64()*2 - 1)
+		if k < 1 {
+			k = 1
+		}
+		rep, err := cl.Query(query.NewKNN(pos, k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fm += rep.FalseMissBytes
+		cached += rep.SavedBytes + rep.FalseMissBytes
+
+		if i%120 == 0 {
+			fmr := 0.0
+			if cached > 0 {
+				fmr = float64(fm) / float64(cached)
+			}
+			ic := 0.0
+			if cache.Used() > 0 {
+				ic = float64(cache.IndexBytes()) / float64(cache.Used())
+			}
+			fmt.Printf("%8d %6.1f %6d %8.3f %8.3f\n", i, avg, srv.ClientD(1), fmr, ic)
+			fm, cached = 0, 0
+		}
+	}
+}

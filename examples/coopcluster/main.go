@@ -1,0 +1,71 @@
+// Coopcluster: the paper's future-work MANET scenario — a group of clients
+// walking together shares cached index and objects over a cheap local link.
+// The second member's queries about the area the first member just explored
+// never touch the expensive wireless WAN.
+//
+//	go run ./examples/coopcluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/coop"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+func main() {
+	ds := dataset.GenerateNE(dataset.Params{N: 25_000, Seed: 13})
+	tree := ds.BuildTree(rtree.DefaultParams(), 0.7)
+	srv := server.New(tree, ds.SizeOf, server.Config{})
+	transport := wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+		resp, _ := srv.Execute(req)
+		return resp, nil
+	})
+
+	// Three friends exploring the same neighborhood.
+	alice := coop.NewClient(coop.Config{ID: 1, Root: srv.RootRef()}, 2<<20, transport)
+	bob := coop.NewClient(coop.Config{ID: 2, Root: srv.RootRef()}, 2<<20, transport)
+	carol := coop.NewClient(coop.Config{ID: 3, Root: srv.RootRef()}, 2<<20, transport)
+	coop.NewGroup(alice, bob, carol)
+
+	spot := geom.Pt(0.55, 0.45)
+
+	// Alice looks around: pays the WAN price once.
+	repA, err := alice.Query(query.NewRange(geom.RectFromCenter(spot, 0.02, 0.02)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("alice range", repA)
+
+	// Bob asks for the nearest cafes at the same spot: Alice's cache answers
+	// over the LAN — across clients AND across query types.
+	repB, err := bob.Query(query.NewKNN(spot, 5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("bob 5-NN", repB)
+
+	// Carol checks close pairs: still no WAN needed if coverage suffices.
+	repC, err := carol.Query(query.NewJoin(geom.RectFromCenter(spot, 0.01, 0.01), 1e-3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("carol join", repC)
+
+	fmt.Println("\nwithout the group, bob and carol would each have paid the WAN round trip")
+}
+
+func show(tag string, rep coop.Report) {
+	src := "server"
+	if !rep.ServerContact {
+		src = "neighborhood"
+	}
+	fmt.Printf("%-12s via %-12s results=%-3d pairs=%-2d WAN=%5dB LAN=%5dB peers=%d resp=%.3fs\n",
+		tag, src, len(rep.Results), len(rep.Pairs), rep.WANDownlink, rep.LANBytes, rep.PeersUsed, rep.RespTime)
+}

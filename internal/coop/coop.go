@@ -1,0 +1,291 @@
+// Package coop implements the paper's second future-work item: sharing the
+// proactive cache "not only among various types of queries on the same
+// client, but also among various clients in the neighborhood", the mobile
+// ad-hoc scenario where local links are much cheaper than the wireless WAN.
+//
+// A Group is a neighborhood of clients. A member processes a query against
+// the union of its own cache and its peers' caches (own cache first):
+// whatever the neighborhood can confirm never touches the server, paying
+// only cheap LAN transfer for peer-supplied objects and node representations.
+// Only the residual execution state goes up the expensive WAN link.
+package coop
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+// Config parameterizes a cooperative client.
+type Config struct {
+	ID     wire.ClientID
+	Root   query.Ref
+	Sizes  wire.SizeModel
+	WAN    wire.Channel // to the server (the paper's 384 Kbps link)
+	LAN    wire.Channel // to neighborhood peers (fast, near-free)
+	Policy core.Policy
+}
+
+func (c Config) normalized() Config {
+	if c.Sizes == (wire.SizeModel{}) {
+		c.Sizes = wire.DefaultSizeModel()
+	}
+	if c.WAN == (wire.Channel{}) {
+		c.WAN = wire.DefaultChannel()
+	}
+	if c.LAN == (wire.Channel{}) {
+		// 11 Mbps local link with 5 ms latency.
+		c.LAN = wire.Channel{BytesPerSec: 11_000_000 / 8, Latency: 0.005}
+	}
+	if c.Policy == 0 {
+		c.Policy = core.GRD3
+	}
+	return c
+}
+
+// Client is a proactive-caching client that consults its neighborhood
+// before the server.
+type Client struct {
+	cfg       Config
+	cache     *core.Cache
+	transport wire.Transport
+	group     *Group
+}
+
+// NewClient builds a cooperative client with its own cache.
+func NewClient(cfg Config, cacheBytes int, transport wire.Transport) *Client {
+	cfg = cfg.normalized()
+	return &Client{
+		cfg:       cfg,
+		cache:     core.NewCache(cacheBytes, cfg.Policy, cfg.Sizes),
+		transport: transport,
+	}
+}
+
+// Cache exposes the member's own cache.
+func (c *Client) Cache() *core.Cache { return c.cache }
+
+// SetPosition updates the client position (FAR policy).
+func (c *Client) SetPosition(p geom.Point) { c.cache.SetPosition(p) }
+
+// Group is a neighborhood of cooperating clients.
+type Group struct {
+	members []*Client
+}
+
+// NewGroup forms a neighborhood from clients (they are joined in order;
+// peers are consulted in join order).
+func NewGroup(members ...*Client) *Group {
+	g := &Group{}
+	for _, m := range members {
+		g.Join(m)
+	}
+	return g
+}
+
+// Join adds a member to the group.
+func (g *Group) Join(c *Client) {
+	g.members = append(g.members, c)
+	c.group = g
+}
+
+// Members returns the current membership.
+func (g *Group) Members() []*Client { return g.members }
+
+// Report summarizes one cooperative query.
+type Report struct {
+	Results []rtree.ObjectID
+	Pairs   [][2]rtree.ObjectID
+
+	// ResultBytes partitions into own-cache, peer-supplied and
+	// server-supplied bytes.
+	ResultBytes int
+	OwnBytes    int
+	PeerBytes   int
+	ServerBytes int
+
+	// WANUplink/WANDownlink are the expensive-link bytes; LANBytes is the
+	// neighborhood traffic (peer objects and node representations).
+	WANUplink   int
+	WANDownlink int
+	LANBytes    int
+
+	// ServerContact reports whether the WAN was used at all.
+	ServerContact bool
+	// PeersUsed counts peers that contributed cache content.
+	PeersUsed int
+
+	RespTime  float64
+	TotalTime float64
+}
+
+// HitRate is the neighborhood cache hit rate: (own + peer) / all bytes.
+func (r Report) HitRate() float64 {
+	if r.ResultBytes == 0 {
+		return 0
+	}
+	return float64(r.OwnBytes+r.PeerBytes) / float64(r.ResultBytes)
+}
+
+// Query processes q against the member's own cache, then the neighborhood,
+// then the server.
+func (c *Client) Query(q query.Query) (Report, error) {
+	c.cache.BeginQuery()
+	var rep Report
+
+	prov := newUnionProvider(c)
+	out := query.Run(q, prov, query.SeedRoot(q, c.cfg.Root))
+
+	// Attribute confirmed objects to their source.
+	seen := make(map[rtree.ObjectID]bool)
+	account := func(id rtree.ObjectID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		rep.Results = append(rep.Results, id)
+		if size, fromPeer := prov.peerObjects[id]; fromPeer {
+			rep.PeerBytes += size
+			rep.LANBytes += size + c.cfg.Sizes.ObjHeader
+		} else if it, ok := c.cache.Object(id); ok {
+			rep.OwnBytes += it.Size
+		}
+	}
+	for _, r := range out.Results {
+		account(r.Obj)
+	}
+	for _, p := range out.Pairs {
+		rep.Pairs = append(rep.Pairs, [2]rtree.ObjectID{p[0].Obj, p[1].Obj})
+		account(p[0].Obj)
+		account(p[1].Obj)
+	}
+	rep.LANBytes += prov.peerExpandBytes
+	rep.PeersUsed = prov.peersUsed()
+
+	// Neighborhood delivery time: peer bytes stream over the LAN.
+	lanTime := 0.0
+	if rep.LANBytes > 0 {
+		lanTime = c.cfg.LAN.TransferTime(rep.LANBytes)
+	}
+
+	if out.Complete {
+		rep.ResultBytes = rep.OwnBytes + rep.PeerBytes
+		if rep.ResultBytes > 0 {
+			rep.RespTime = lanTime * float64(rep.PeerBytes) / float64(rep.ResultBytes)
+		}
+		rep.TotalTime = lanTime
+		return rep, nil
+	}
+
+	// Residual execution state up the WAN.
+	reqQ := q
+	if q.Kind == query.KNN {
+		reqQ.K = q.K - len(out.Results)
+	}
+	req := &wire.Request{Client: c.cfg.ID, Q: reqQ, H: out.Remainder}
+	rep.WANUplink = c.cfg.Sizes.RequestBytes(req)
+	rep.ServerContact = true
+
+	resp, err := c.transport.RoundTrip(req)
+	if err != nil {
+		return rep, fmt.Errorf("coop: %w", err)
+	}
+	rep.WANDownlink = c.cfg.Sizes.ResponseBytes(resp)
+
+	for _, o := range resp.Objects {
+		if !seen[o.ID] {
+			seen[o.ID] = true
+			rep.Results = append(rep.Results, o.ID)
+			rep.ServerBytes += o.Size
+		}
+	}
+	rep.Pairs = append(rep.Pairs, resp.Pairs...)
+	rep.ResultBytes = rep.OwnBytes + rep.PeerBytes + rep.ServerBytes
+
+	objDone, total := c.cfg.Sizes.ResponseTimeline(c.cfg.WAN, rep.WANUplink, resp)
+	rep.TotalTime = lanTime + total
+	if rep.ResultBytes > 0 {
+		weighted := lanTime * float64(rep.PeerBytes)
+		for i, o := range resp.Objects {
+			weighted += float64(o.Size) * (lanTime + objDone[i])
+		}
+		rep.RespTime = weighted / float64(rep.ResultBytes)
+	} else {
+		rep.RespTime = rep.TotalTime
+	}
+
+	c.cache.InsertResponse(resp)
+	return rep, nil
+}
+
+// unionProvider chains the member's own cache with its peers'.
+type unionProvider struct {
+	owner *Client
+	own   query.Provider
+	peers []*Client
+
+	peerExpandBytes int
+	peerObjects     map[rtree.ObjectID]int
+	contributed     map[*Client]bool
+}
+
+func newUnionProvider(c *Client) *unionProvider {
+	u := &unionProvider{
+		owner:       c,
+		own:         c.cache.Provider(),
+		peerObjects: make(map[rtree.ObjectID]int),
+		contributed: make(map[*Client]bool),
+	}
+	if c.group != nil {
+		for _, m := range c.group.members {
+			if m != c {
+				u.peers = append(u.peers, m)
+			}
+		}
+	}
+	return u
+}
+
+func (u *unionProvider) peersUsed() int { return len(u.contributed) }
+
+// Expand implements query.Provider: own cache first, then peers; a peer hit
+// costs the representation's size on the LAN.
+func (u *unionProvider) Expand(ref query.Ref) ([]query.Ref, bool) {
+	if refs, ok := u.own.Expand(ref); ok {
+		return refs, true
+	}
+	if ref.Kind != query.RefNode {
+		return nil, false
+	}
+	for _, p := range u.peers {
+		if refs, ok := p.cache.Provider().Expand(ref); ok {
+			if it, found := p.cache.Node(ref.Node); found {
+				u.peerExpandBytes += it.Size
+			}
+			u.contributed[p] = true
+			return refs, true
+		}
+	}
+	return nil, false
+}
+
+// HaveObject implements query.Provider, attributing peer payloads.
+func (u *unionProvider) HaveObject(id rtree.ObjectID) bool {
+	if u.own.HaveObject(id) {
+		return true
+	}
+	for _, p := range u.peers {
+		if it, ok := p.cache.Object(id); ok {
+			if _, counted := u.peerObjects[id]; !counted {
+				u.peerObjects[id] = it.Size
+			}
+			u.contributed[p] = true
+			return true
+		}
+	}
+	return false
+}

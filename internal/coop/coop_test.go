@@ -1,0 +1,195 @@
+package coop
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+type world struct {
+	items []rtree.Item
+	srv   *server.Server
+}
+
+func newWorld(seed int64, n int) *world {
+	r := rand.New(rand.NewSource(seed))
+	w := &world{}
+	for i := 0; i < n; i++ {
+		c := geom.Pt(r.Float64(), r.Float64())
+		w.items = append(w.items, rtree.Item{
+			Obj: rtree.ObjectID(i + 1),
+			MBR: geom.RectFromCenter(c, 0.01, 0.01),
+		})
+	}
+	tree := rtree.BulkLoad(rtree.Params{MaxEntries: 16}, w.items, 0.7)
+	w.srv = server.New(tree, func(rtree.ObjectID) int { return 1000 }, server.Config{})
+	return w
+}
+
+func (w *world) transport() wire.Transport {
+	return wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+		resp, _ := w.srv.Execute(req)
+		return resp, nil
+	})
+}
+
+func (w *world) member(id wire.ClientID, capacity int) *Client {
+	return NewClient(Config{ID: id, Root: w.srv.RootRef()}, capacity, w.transport())
+}
+
+func (w *world) bruteRange(win geom.Rect) map[rtree.ObjectID]bool {
+	out := map[rtree.ObjectID]bool{}
+	for _, it := range w.items {
+		if it.MBR.Intersects(win) {
+			out[it.Obj] = true
+		}
+	}
+	return out
+}
+
+func TestPeerCacheServesNeighbor(t *testing.T) {
+	w := newWorld(61, 1000)
+	a := w.member(1, 1<<22)
+	b := w.member(2, 1<<22)
+	NewGroup(a, b)
+
+	win := geom.RectFromCenter(geom.Pt(0.5, 0.5), 0.1, 0.1)
+	q := query.NewRange(win)
+
+	// A warms the area over the WAN.
+	repA, err := a.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repA.ServerContact {
+		t.Fatal("cold query must contact the server")
+	}
+
+	// B's identical query should be answered by A's cache over the LAN.
+	repB, err := b.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repB.ServerContact {
+		t.Error("neighborhood should have answered without the server")
+	}
+	if repB.PeerBytes == 0 || repB.PeersUsed != 1 {
+		t.Errorf("peer contribution missing: %+v", repB)
+	}
+	if repB.WANUplink != 0 || repB.WANDownlink != 0 {
+		t.Error("WAN bytes spent despite peer answer")
+	}
+	if repB.LANBytes == 0 {
+		t.Error("no LAN traffic accounted")
+	}
+	if len(repB.Results) != len(repA.Results) {
+		t.Errorf("peer-served results differ: %d vs %d", len(repB.Results), len(repA.Results))
+	}
+	// Peer answers are far faster than WAN answers.
+	if repB.RespTime >= repA.RespTime {
+		t.Errorf("LAN answer (%.4fs) not faster than WAN (%.4fs)", repB.RespTime, repA.RespTime)
+	}
+}
+
+func TestCoopCorrectnessMixedWorkload(t *testing.T) {
+	w := newWorld(62, 800)
+	a := w.member(1, 200_000)
+	b := w.member(2, 200_000)
+	c := w.member(3, 200_000)
+	NewGroup(a, b, c)
+	members := []*Client{a, b, c}
+
+	r := rand.New(rand.NewSource(63))
+	for i := 0; i < 90; i++ {
+		m := members[i%3]
+		p := geom.Pt(0.4+r.Float64()*0.2, 0.4+r.Float64()*0.2) // shared neighborhood
+		win := geom.RectFromCenter(p, 0.06, 0.06)
+		rep, err := m.Query(query.NewRange(win))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := w.bruteRange(win)
+		got := map[rtree.ObjectID]bool{}
+		for _, id := range rep.Results {
+			got[id] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d, want %d", i, len(got), len(want))
+		}
+		for id := range got {
+			if !want[id] {
+				t.Fatalf("query %d: ghost %d", i, id)
+			}
+		}
+	}
+}
+
+func TestCoopKNNCorrect(t *testing.T) {
+	w := newWorld(64, 900)
+	a := w.member(1, 1<<21)
+	b := w.member(2, 1<<21)
+	NewGroup(a, b)
+
+	center := geom.Pt(0.3, 0.7)
+	if _, err := a.Query(query.NewRange(geom.RectFromCenter(center, 0.1, 0.1))); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := b.Query(query.NewKNN(center, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify distances against brute force.
+	var all []float64
+	for _, it := range w.items {
+		all = append(all, geom.MinDist(center, it.MBR))
+	}
+	sort.Float64s(all)
+	if len(rep.Results) != 5 {
+		t.Fatalf("got %d results", len(rep.Results))
+	}
+	var gotD []float64
+	for _, id := range rep.Results {
+		gotD = append(gotD, geom.MinDist(center, w.items[int(id)-1].MBR))
+	}
+	sort.Float64s(gotD)
+	for i := 0; i < 5; i++ {
+		if gotD[i] != all[i] {
+			t.Fatalf("dist[%d] = %v, want %v", i, gotD[i], all[i])
+		}
+	}
+	if rep.PeerBytes == 0 {
+		t.Error("kNN should have reused the peer's range results (cross-client, cross-type)")
+	}
+}
+
+func TestSoloClientNoGroup(t *testing.T) {
+	w := newWorld(65, 500)
+	solo := w.member(9, 1<<20)
+	rep, err := solo.Query(query.NewRange(geom.RectFromCenter(geom.Pt(0.5, 0.5), 0.1, 0.1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeerBytes != 0 || rep.LANBytes != 0 || rep.PeersUsed != 0 {
+		t.Error("groupless client recorded peer traffic")
+	}
+	if !rep.ServerContact {
+		t.Error("cold solo query must reach the server")
+	}
+}
+
+func TestGroupMembership(t *testing.T) {
+	w := newWorld(66, 100)
+	a := w.member(1, 1<<20)
+	b := w.member(2, 1<<20)
+	g := NewGroup(a)
+	g.Join(b)
+	if len(g.Members()) != 2 {
+		t.Errorf("members = %d", len(g.Members()))
+	}
+}

@@ -1,0 +1,448 @@
+// Package core implements the paper's primary contribution: the proactive
+// cache (Section 3.2), the client-side query processor of Algorithm 1, the
+// false-miss accounting behind the adaptive scheme (Section 4), and the
+// GRD3-family cache replacement algorithms (Section 5).
+//
+// The cache holds two kinds of items — index nodes (as partition-tree cuts)
+// and data objects — linked into a forest by parent pointers. The definition
+// of proactive caching imposes the constrained-knapsack eviction rule: an
+// item can only be dropped together with all its cached descendants, because
+// a node that is unreachable from above can never support a query again.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bpt"
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+// ItemKey identifies a cached item: exactly one of Node or Obj is set.
+type ItemKey struct {
+	Node rtree.NodeID
+	Obj  rtree.ObjectID
+}
+
+// NodeKey returns the key of an index-node item.
+func NodeKey(id rtree.NodeID) ItemKey { return ItemKey{Node: id} }
+
+// ObjKey returns the key of an object item.
+func ObjKey(id rtree.ObjectID) ItemKey { return ItemKey{Obj: id} }
+
+// IsNode reports whether the key names an index node.
+func (k ItemKey) IsNode() bool { return k.Node != rtree.InvalidNode }
+
+// String implements fmt.Stringer.
+func (k ItemKey) String() string {
+	if k.IsNode() {
+		return fmt.Sprintf("node:%d", k.Node)
+	}
+	return fmt.Sprintf("obj:%d", k.Obj)
+}
+
+// Item is one cached unit together with the metadata GRD3 needs
+// (Section 5.2: address, size, insertion time, hit count, parent, cached
+// children).
+type Item struct {
+	Key    ItemKey
+	Parent ItemKey // zero for parentless items (the index root)
+
+	Size       int
+	InsertedAt uint64 // query sequence id at insertion
+	Hits       int    // number of distinct queries that used the item
+	LastUsed   uint64 // query sequence id of the last use (LRU/MRU)
+
+	CachedChildren int
+
+	// Node items: the cached representation (a partition-tree cut) and the
+	// wire elements backing each cut position.
+	Level int
+	Cut   bpt.Cut
+	Elems map[bpt.Code]wire.CutElem
+
+	// Region is the MBR of the item's contents (FAR policy distance).
+	Region geom.Rect
+
+	lastHitQuery uint64
+}
+
+// Prob estimates the item's access probability: hits over the number of
+// queries it has lived through (Section 5.2).
+func (it *Item) Prob(now uint64) float64 {
+	age := now - it.InsertedAt
+	if age < 1 {
+		age = 1
+	}
+	return float64(it.Hits) / float64(age)
+}
+
+// Cache is the proactive cache.
+type Cache struct {
+	capacity int
+	used     int
+	items    map[ItemKey]*Item
+	policy   Policy
+	sizes    wire.SizeModel
+
+	// Static structural knowledge accumulated from shipped representations:
+	// it maps children to the nodes whose entries reference them. Entries
+	// persist across evictions (the index is immutable during a run).
+	nodeParent map[rtree.NodeID]rtree.NodeID
+	objParent  map[rtree.ObjectID]rtree.NodeID
+
+	querySeq uint64
+	position geom.Point // client location, consulted by the FAR policy
+
+	// Ops counts cache operations (lookups, insertions, eviction steps) for
+	// the client CPU cost model of Figure 9.
+	Ops int
+}
+
+// NewCache builds a cache with the given byte capacity and policy.
+func NewCache(capacity int, policy Policy, sizes wire.SizeModel) *Cache {
+	return &Cache{
+		capacity:   capacity,
+		items:      make(map[ItemKey]*Item),
+		policy:     policy,
+		sizes:      sizes,
+		nodeParent: make(map[rtree.NodeID]rtree.NodeID),
+		objParent:  make(map[rtree.ObjectID]rtree.NodeID),
+	}
+}
+
+// Capacity returns the configured byte capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// ShrinkTo lowers the capacity and immediately evicts down to it
+// (administrative resizing; also exercised by the eviction benchmarks).
+func (c *Cache) ShrinkTo(n int) {
+	if n < 0 {
+		n = 0
+	}
+	c.capacity = n
+	c.evictToCapacity()
+}
+
+// Used returns the occupied bytes.
+func (c *Cache) Used() int { return c.used }
+
+// Len returns the number of cached items.
+func (c *Cache) Len() int { return len(c.items) }
+
+// IndexBytes returns the bytes occupied by index-node items (the i/c metric
+// of Figure 11 is IndexBytes over Used).
+func (c *Cache) IndexBytes() int {
+	n := 0
+	for _, it := range c.items {
+		if it.Key.IsNode() {
+			n += it.Size
+		}
+	}
+	return n
+}
+
+// BeginQuery advances the query clock and returns the new sequence id.
+func (c *Cache) BeginQuery() uint64 {
+	c.querySeq++
+	return c.querySeq
+}
+
+// Now returns the current query sequence id.
+func (c *Cache) Now() uint64 { return c.querySeq }
+
+// SetPosition records the client's current location for the FAR policy.
+func (c *Cache) SetPosition(p geom.Point) { c.position = p }
+
+// Node returns a cached node item.
+func (c *Cache) Node(id rtree.NodeID) (*Item, bool) {
+	c.Ops++
+	it, ok := c.items[NodeKey(id)]
+	return it, ok
+}
+
+// Object returns a cached object item.
+func (c *Cache) Object(id rtree.ObjectID) (*Item, bool) {
+	c.Ops++
+	it, ok := c.items[ObjKey(id)]
+	return it, ok
+}
+
+// HasObject reports whether an object payload is cached, without counting a
+// hit.
+func (c *Cache) HasObject(id rtree.ObjectID) bool {
+	_, ok := c.items[ObjKey(id)]
+	return ok
+}
+
+// touch records a use of the item by the current query. Hit counts increase
+// at most once per query (metadata 4 counts hit queries, not accesses).
+func (c *Cache) touch(it *Item) {
+	it.LastUsed = c.querySeq
+	if it.lastHitQuery != c.querySeq {
+		it.lastHitQuery = c.querySeq
+		it.Hits++
+	}
+}
+
+func (c *Cache) nodeItemSize(cut bpt.Cut) int {
+	return c.sizes.NodeHeader + len(cut)*c.sizes.Entry
+}
+
+// InsertResponse integrates a server response: index representations first
+// (parents before children, as shipped), then result objects, then eviction
+// back to capacity. The response must be accounted (false-miss checks)
+// before calling this, because insertion changes cache membership.
+func (c *Cache) InsertResponse(resp *wire.Response) {
+	for i := range resp.Index {
+		c.insertNodeRep(&resp.Index[i])
+	}
+	for _, o := range resp.Objects {
+		if o.Payload {
+			c.insertObject(o)
+		}
+	}
+	c.evictToCapacity()
+}
+
+// insertNodeRep merges a shipped node representation into the cache.
+func (c *Cache) insertNodeRep(rep *wire.NodeRep) {
+	c.Ops++
+	if len(rep.Elems) == 0 {
+		return
+	}
+	key := NodeKey(rep.ID)
+	incoming := make(bpt.Cut, 0, len(rep.Elems))
+	for _, e := range rep.Elems {
+		incoming = append(incoming, e.Code)
+	}
+
+	it, exists := c.items[key]
+	if !exists {
+		it = &Item{
+			Key:          key,
+			InsertedAt:   c.querySeq,
+			LastUsed:     c.querySeq,
+			Hits:         1,
+			Level:        rep.Level,
+			Elems:        make(map[bpt.Code]wire.CutElem, len(rep.Elems)),
+			lastHitQuery: c.querySeq,
+		}
+		c.linkParent(it)
+		c.items[key] = it
+	}
+
+	// Merge to the finest common refinement and rebuild the element map.
+	merged := bpt.MergeCuts(it.Cut, incoming)
+	newElems := make(map[bpt.Code]wire.CutElem, len(merged))
+	for _, e := range rep.Elems {
+		newElems[e.Code] = e
+	}
+	for _, code := range merged {
+		if _, ok := newElems[code]; !ok {
+			if old, ok := it.Elems[code]; ok {
+				newElems[code] = old
+			}
+		}
+	}
+	// Drop positions not in the merged cut (replaced by finer elements).
+	for code := range newElems {
+		if !merged.Contains(code) {
+			delete(newElems, code)
+		}
+	}
+
+	oldSize := it.Size
+	it.Cut = merged
+	it.Elems = newElems
+	it.Size = c.nodeItemSize(merged)
+	it.Region = regionOf(newElems)
+	c.used += it.Size - oldSize
+
+	// Record structural knowledge exposed by real entries.
+	for _, e := range newElems {
+		if e.Super {
+			continue
+		}
+		if e.Child != rtree.InvalidNode {
+			c.nodeParent[e.Child] = rep.ID
+		} else {
+			c.objParent[e.Obj] = rep.ID
+		}
+	}
+	c.Ops += len(rep.Elems)
+}
+
+func regionOf(elems map[bpt.Code]wire.CutElem) geom.Rect {
+	first := true
+	var r geom.Rect
+	for _, e := range elems {
+		if first {
+			r, first = e.MBR, false
+			continue
+		}
+		r = r.Union(e.MBR)
+	}
+	return r
+}
+
+// insertObject caches a result object's payload.
+func (c *Cache) insertObject(o wire.ObjectRep) {
+	c.Ops++
+	key := ObjKey(o.ID)
+	if _, exists := c.items[key]; exists {
+		return
+	}
+	it := &Item{
+		Key:          key,
+		Size:         o.Size,
+		InsertedAt:   c.querySeq,
+		LastUsed:     c.querySeq,
+		Hits:         1,
+		Region:       o.MBR,
+		lastHitQuery: c.querySeq,
+	}
+	c.linkParent(it)
+	c.items[key] = it
+	c.used += it.Size
+}
+
+// linkParent attaches it beneath its structural parent when that parent is
+// cached and its current cut actually exposes a real entry for it (the
+// exposure check guards against structural knowledge that predates index
+// updates).
+func (c *Cache) linkParent(it *Item) {
+	pk, ok := c.parentKeyOf(it.Key)
+	if !ok {
+		return
+	}
+	parent, cached := c.items[pk]
+	if !cached || !parentExposes(parent, it.Key) {
+		return
+	}
+	it.Parent = pk
+	parent.CachedChildren++
+}
+
+// parentExposes reports whether parent's cut holds a real entry for key.
+func parentExposes(parent *Item, key ItemKey) bool {
+	for _, e := range parent.Elems {
+		if e.Super {
+			continue
+		}
+		if key.IsNode() && e.Child == key.Node {
+			return true
+		}
+		if !key.IsNode() && e.Child == rtree.InvalidNode && e.Obj == key.Obj {
+			return true
+		}
+	}
+	return false
+}
+
+// remove deletes an item and, per the constrained-knapsack rule, all of its
+// cached descendants. It returns the number of items removed.
+func (c *Cache) remove(key ItemKey) int {
+	it, ok := c.items[key]
+	if !ok {
+		return 0
+	}
+	removed := 0
+	// Remove descendants first.
+	if it.Key.IsNode() && it.CachedChildren > 0 {
+		for _, e := range it.Elems {
+			if e.Super {
+				continue
+			}
+			if e.Child != rtree.InvalidNode {
+				removed += c.remove(NodeKey(e.Child))
+			} else {
+				removed += c.remove(ObjKey(e.Obj))
+			}
+			if it.CachedChildren == 0 {
+				break
+			}
+		}
+	}
+	delete(c.items, key)
+	c.used -= it.Size
+	removed++
+	c.Ops++
+	if it.Parent != (ItemKey{}) {
+		if parent, ok := c.items[it.Parent]; ok {
+			parent.CachedChildren--
+		}
+	}
+	return removed
+}
+
+// Items iterates over cached items in unspecified order.
+func (c *Cache) Items(fn func(*Item) bool) {
+	for _, it := range c.items {
+		if !fn(it) {
+			return
+		}
+	}
+}
+
+// Validate checks the cache's structural invariants (tests only).
+func (c *Cache) Validate() error {
+	var used int
+	children := make(map[ItemKey]int)
+	for key, it := range c.items {
+		if key != it.Key {
+			return fmt.Errorf("core: item %v keyed as %v", it.Key, key)
+		}
+		used += it.Size
+		if it.Parent != (ItemKey{}) {
+			parent, ok := c.items[it.Parent]
+			if !ok {
+				return fmt.Errorf("core: item %v has evicted parent %v", key, it.Parent)
+			}
+			if !parent.Key.IsNode() {
+				return fmt.Errorf("core: item %v parented by object %v", key, it.Parent)
+			}
+			// The parent's cut must expose a real entry for this item.
+			found := false
+			for _, e := range parent.Elems {
+				if e.Super {
+					continue
+				}
+				if (key.IsNode() && e.Child == key.Node) || (!key.IsNode() && e.Obj == key.Obj) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("core: parent %v does not expose %v", it.Parent, key)
+			}
+			children[it.Parent]++
+		}
+		if key.IsNode() {
+			if want := c.nodeItemSize(it.Cut); it.Size != want {
+				return fmt.Errorf("core: node %v size %d, want %d", key, it.Size, want)
+			}
+			if len(it.Cut) != len(it.Elems) {
+				return fmt.Errorf("core: node %v cut/elems mismatch", key)
+			}
+		}
+	}
+	for key, n := range children {
+		if c.items[key].CachedChildren != n {
+			return fmt.Errorf("core: %v CachedChildren %d, want %d", key, c.items[key].CachedChildren, n)
+		}
+	}
+	for key, it := range c.items {
+		if _, counted := children[key]; !counted && it.CachedChildren != 0 {
+			return fmt.Errorf("core: %v CachedChildren %d, want 0", key, it.CachedChildren)
+		}
+	}
+	if used != c.used {
+		return fmt.Errorf("core: used %d, items sum to %d", c.used, used)
+	}
+	if c.used > c.capacity {
+		return fmt.Errorf("core: used %d exceeds capacity %d", c.used, c.capacity)
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/pq"
+)
+
+// Policy selects the cache replacement scheme (Section 5 and Figure 10).
+type Policy uint8
+
+const (
+	// GRD3 is the paper's efficient 2-approximation for the constrained
+	// knapsack problem: evict leaf items with the lowest access probability.
+	GRD3 Policy = iota + 1
+	// GRD2 is the reference EBRS-based greedy GRD3 is proved equivalent to;
+	// it is kept for the equivalence tests and ablations.
+	GRD2
+	// LRU evicts the least recently used item (with its descendants).
+	LRU
+	// MRU evicts the most recently used item (always the worst; Figure 10).
+	MRU
+	// FAR evicts the item whose region is farthest from the client's
+	// current position (Ren & Dunham's location-dependent policy).
+	FAR
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case GRD3:
+		return "GRD3"
+	case GRD2:
+		return "GRD2"
+	case LRU:
+		return "LRU"
+	case MRU:
+		return "MRU"
+	case FAR:
+		return "FAR"
+	default:
+		return "Policy(?)"
+	}
+}
+
+// evictToCapacity brings the cache back under its byte capacity using the
+// configured policy. Every policy honors the constrained-knapsack rule:
+// evicting an item evicts its cached descendants.
+func (c *Cache) evictToCapacity() {
+	if c.used <= c.capacity {
+		return
+	}
+	switch c.policy {
+	case GRD2:
+		c.evictGRD2()
+	case LRU:
+		c.evictScan(func(it *Item) float64 { return float64(it.LastUsed) }, false)
+	case MRU:
+		c.evictScan(func(it *Item) float64 { return float64(it.LastUsed) }, true)
+	case FAR:
+		c.evictScan(func(it *Item) float64 {
+			return geom.MinDist(c.position, it.Region)
+		}, true)
+	default:
+		c.evictGRD3()
+	}
+}
+
+// evictGRD3 implements Definition 5.1. Leaf items (no cached children) sit
+// in a priority queue keyed by access probability; removing a parent's last
+// child promotes the parent into the queue. The final step is the standard
+// knapsack greedy correction.
+func (c *Cache) evictGRD3() {
+	now := c.querySeq
+
+	// Step 1: discard items that can never fit.
+	var oversized []ItemKey
+	for key, it := range c.items {
+		if it.Size > c.capacity {
+			oversized = append(oversized, key)
+		}
+	}
+	for _, key := range oversized {
+		c.remove(key)
+	}
+
+	// Step 2: queue the leaf items by prob (deterministic order: prob, key).
+	var leaves []ItemKey
+	for key, it := range c.items {
+		if it.CachedChildren == 0 {
+			leaves = append(leaves, key)
+		}
+	}
+	sort.Slice(leaves, func(i, j int) bool {
+		pi, pj := c.items[leaves[i]].Prob(now), c.items[leaves[j]].Prob(now)
+		if pi != pj {
+			return pi < pj
+		}
+		return keyLess(leaves[i], leaves[j])
+	})
+	var g pq.Queue[ItemKey]
+	for _, key := range leaves {
+		g.Push(c.items[key].Prob(now), key)
+	}
+
+	// Steps 3-5: pop, remove, promote parents.
+	var last *Item
+	for c.used > c.capacity && g.Len() > 0 {
+		_, key := g.Pop()
+		it, ok := c.items[key]
+		if !ok || it.CachedChildren != 0 {
+			continue
+		}
+		parentKey := it.Parent
+		snapshot := *it
+		last = &snapshot
+		c.remove(key)
+		if parentKey != (ItemKey{}) {
+			if parent, ok := c.items[parentKey]; ok && parent.CachedChildren == 0 {
+				g.Push(parent.Prob(now), parentKey)
+			}
+		}
+	}
+
+	// Step 6: the greedy correction — if the last victim alone is worth
+	// more than everything kept, keep it instead (it must fit on its own,
+	// since everything else is dropped).
+	if last == nil || last.Size > c.capacity {
+		return
+	}
+	var keptBenefit float64
+	for _, it := range c.items {
+		keptBenefit += it.Prob(now) * float64(it.Size)
+	}
+	if last.Prob(now)*float64(last.Size) > keptBenefit {
+		var all []ItemKey
+		for key := range c.items {
+			all = append(all, key)
+		}
+		for _, key := range all {
+			c.remove(key)
+		}
+		c.reinsertSnapshot(last)
+	}
+}
+
+// reinsertSnapshot restores a previously removed item (GRD3 step 6).
+func (c *Cache) reinsertSnapshot(snap *Item) {
+	it := *snap
+	it.CachedChildren = 0
+	it.Parent = ItemKey{}
+	c.linkParent(&it)
+	c.items[it.Key] = &it
+	c.used += it.Size
+}
+
+func (c *Cache) parentKeyOf(key ItemKey) (ItemKey, bool) {
+	if key.IsNode() {
+		if p, ok := c.nodeParent[key.Node]; ok {
+			return NodeKey(p), true
+		}
+		return ItemKey{}, false
+	}
+	if p, ok := c.objParent[key.Obj]; ok {
+		return NodeKey(p), true
+	}
+	return ItemKey{}, false
+}
+
+// evictGRD2 is the EBRS-based reference algorithm: repeatedly remove the
+// item with the lowest expected bitwise response-time saving, descendants
+// included. Quadratic; used in tests and ablations only.
+func (c *Cache) evictGRD2() {
+	now := c.querySeq
+	for c.used > c.capacity && len(c.items) > 0 {
+		// children lists for subtree aggregation
+		children := make(map[ItemKey][]ItemKey, len(c.items))
+		for key, it := range c.items {
+			if it.Parent != (ItemKey{}) {
+				children[it.Parent] = append(children[it.Parent], key)
+			}
+		}
+		type agg struct{ benefit, size float64 }
+		memo := make(map[ItemKey]agg, len(c.items))
+		var subtree func(key ItemKey) agg
+		subtree = func(key ItemKey) agg {
+			if a, ok := memo[key]; ok {
+				return a
+			}
+			it := c.items[key]
+			a := agg{
+				benefit: it.Prob(now) * float64(it.Size),
+				size:    float64(it.Size),
+			}
+			for _, ck := range children[key] {
+				ca := subtree(ck)
+				a.benefit += ca.benefit
+				a.size += ca.size
+			}
+			memo[key] = a
+			return a
+		}
+		var victim ItemKey
+		haveVictim := false
+		best := math.Inf(1)
+		for key := range c.items {
+			a := subtree(key)
+			ebrs := a.benefit / a.size
+			if !haveVictim || ebrs < best || (ebrs == best && keyLess(key, victim)) {
+				best, victim, haveVictim = ebrs, key, true
+			}
+		}
+		c.remove(victim)
+	}
+}
+
+// keyLess deterministically orders item keys for tie-breaking.
+func keyLess(a, b ItemKey) bool {
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Obj < b.Obj
+}
+
+// evictScan repeatedly removes the extreme item under score (max when
+// highest, else min), cascading to descendants, until the cache fits.
+func (c *Cache) evictScan(score func(*Item) float64, highest bool) {
+	for c.used > c.capacity && len(c.items) > 0 {
+		var victim ItemKey
+		haveVictim := false
+		best := math.Inf(1)
+		if highest {
+			best = math.Inf(-1)
+		}
+		for key, it := range c.items {
+			s := score(it)
+			better := (highest && s > best) || (!highest && s < best)
+			if !haveVictim || better || (s == best && keyLess(key, victim)) {
+				best, victim, haveVictim = s, key, true
+			}
+		}
+		c.remove(victim)
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bpt"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+// buildCache assembles a cache directly from item specs (same-package test
+// constructor bypassing the wire path).
+type itemSpec struct {
+	key    ItemKey
+	parent ItemKey
+	size   int
+	hits   int
+	age    uint64 // queries lived
+	last   uint64
+}
+
+func buildCache(capacity int, policy Policy, now uint64, specs []itemSpec) *Cache {
+	c := NewCache(capacity, policy, wire.DefaultSizeModel())
+	c.querySeq = now
+	for _, s := range specs {
+		it := &Item{
+			Key:        s.key,
+			Parent:     s.parent,
+			Size:       s.size,
+			InsertedAt: now - s.age,
+			Hits:       s.hits,
+			LastUsed:   s.last,
+		}
+		if s.key.IsNode() {
+			it.Elems = make(map[bpt.Code]wire.CutElem)
+		}
+		c.items[s.key] = it
+		c.used += s.size
+		if s.parent != (ItemKey{}) {
+			parent := c.items[s.parent]
+			parent.CachedChildren++
+			// Expose a real entry so cascade removal can find the child.
+			code := bpt.Code(fmt.Sprintf("%0*d", parent.CachedChildren, 0))
+			elem := wire.CutElem{Code: code}
+			if s.key.IsNode() {
+				elem.Child = s.key.Node
+			} else {
+				elem.Obj = s.key.Obj
+			}
+			parent.Elems[code] = elem
+			parent.Cut = append(parent.Cut, code)
+		}
+	}
+	return c
+}
+
+// TestGRD3LeafOrderByProb: victims leave in ascending access probability,
+// parents only after their last child.
+func TestGRD3LeafOrderByProb(t *testing.T) {
+	// Parent P with children A (prob 0.1) and B (prob 0.9); loner L (0.5).
+	c := buildCache(0, GRD3, 100, []itemSpec{
+		{key: NodeKey(1), size: 100, hits: 80, age: 100},                    // P: prob 0.8
+		{key: ObjKey(1), parent: NodeKey(1), size: 100, hits: 10, age: 100}, // A: 0.1
+		{key: ObjKey(2), parent: NodeKey(1), size: 100, hits: 90, age: 100}, // B: 0.9
+		{key: ObjKey(3), size: 100, hits: 50, age: 100},                     // L: 0.5
+	})
+
+	c.ShrinkTo(300) // evict exactly one: lowest-prob leaf A
+	if _, ok := c.items[ObjKey(1)]; ok {
+		t.Error("lowest-prob leaf A should have gone first")
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+
+	c.ShrinkTo(200) // next: loner L (0.5) — B (0.9) survives
+	if _, ok := c.items[ObjKey(3)]; ok {
+		t.Error("L should have gone before B")
+	}
+	if _, ok := c.items[ObjKey(2)]; !ok {
+		t.Error("B evicted too early")
+	}
+
+	c.ShrinkTo(100)
+	// B (prob 0.9) is the only leaf and gets popped, but Definition 5.1's
+	// step 6 notices that B alone is worth more than the kept P (0.8) and
+	// swaps them back.
+	if _, ok := c.items[ObjKey(2)]; !ok {
+		t.Error("step 6 should have kept high-benefit B")
+	}
+	if _, ok := c.items[NodeKey(1)]; ok {
+		t.Error("step 6 should have dropped P")
+	}
+}
+
+// TestGRD3NeverPicksNonLeaf: a parent with a cached child is not a victim
+// candidate even at the lowest probability.
+func TestGRD3NeverPicksNonLeaf(t *testing.T) {
+	c := buildCache(0, GRD3, 100, []itemSpec{
+		{key: NodeKey(1), size: 100, hits: 1, age: 100},                     // P: prob 0.01 (lowest!)
+		{key: ObjKey(1), parent: NodeKey(1), size: 100, hits: 99, age: 100}, // child: 0.99
+		{key: ObjKey(2), size: 100, hits: 50, age: 100},                     // loner: 0.5
+	})
+	c.ShrinkTo(250)
+	if _, ok := c.items[NodeKey(1)]; !ok {
+		t.Error("GRD3 evicted a non-leaf item")
+	}
+	if _, ok := c.items[ObjKey(2)]; ok {
+		t.Error("expected the loner leaf to be the victim")
+	}
+}
+
+// TestGRD3CorrectionStep: Definition 5.1 step 6 — when the last victim alone
+// is worth more than everything kept, keep it instead.
+func TestGRD3CorrectionStep(t *testing.T) {
+	c := buildCache(0, GRD3, 100, []itemSpec{
+		{key: NodeKey(1), size: 500, hits: 1, age: 100},                   // A: prob 0.01, benefit 5
+		{key: ObjKey(7), parent: NodeKey(1), size: 900, hits: 99, age: 1}, // B: prob 99, benefit huge
+	})
+	// Capacity 1000: B (the only leaf) is popped; A alone fits, but B's
+	// benefit dwarfs A's, so the correction swaps them.
+	c.ShrinkTo(1000)
+	if _, ok := c.items[ObjKey(7)]; !ok {
+		t.Fatal("correction step should have kept B")
+	}
+	if _, ok := c.items[NodeKey(1)]; ok {
+		t.Fatal("correction step should have dropped A")
+	}
+	if c.Used() != 900 {
+		t.Errorf("used = %d", c.Used())
+	}
+}
+
+// TestLRUCascades: evicting a node under LRU removes its cached subtree.
+func TestLRUCascades(t *testing.T) {
+	c := buildCache(0, LRU, 100, []itemSpec{
+		{key: NodeKey(1), size: 100, hits: 1, age: 10, last: 5}, // stale parent
+		{key: ObjKey(1), parent: NodeKey(1), size: 100, hits: 1, age: 10, last: 99},
+		{key: ObjKey(2), size: 100, hits: 1, age: 10, last: 98},
+	})
+	c.ShrinkTo(150)
+	// The LRU victim is the parent (last=5); its child must cascade even
+	// though the child was recently used.
+	if _, ok := c.items[NodeKey(1)]; ok {
+		t.Error("LRU victim not evicted")
+	}
+	if _, ok := c.items[ObjKey(1)]; ok {
+		t.Error("descendant survived its ancestor's eviction")
+	}
+	if _, ok := c.items[ObjKey(2)]; !ok {
+		t.Error("unrelated item evicted")
+	}
+}
+
+// TestMRUPicksNewest: MRU removes the most recently used first.
+func TestMRUPicksNewest(t *testing.T) {
+	c := buildCache(0, MRU, 100, []itemSpec{
+		{key: ObjKey(1), size: 100, hits: 1, age: 10, last: 1},
+		{key: ObjKey(2), size: 100, hits: 1, age: 10, last: 50},
+		{key: ObjKey(3), size: 100, hits: 1, age: 10, last: 99},
+	})
+	c.ShrinkTo(200)
+	if _, ok := c.items[ObjKey(3)]; ok {
+		t.Error("MRU kept the most recent item")
+	}
+	if _, ok := c.items[ObjKey(1)]; !ok {
+		t.Error("MRU evicted the oldest item")
+	}
+}
+
+// TestOversizedItemDiscarded: GRD3 step 1 drops items that can never fit.
+func TestOversizedItemDiscarded(t *testing.T) {
+	c := buildCache(0, GRD3, 100, []itemSpec{
+		{key: ObjKey(1), size: 5000, hits: 100, age: 1}, // hot but huge
+		{key: ObjKey(2), size: 100, hits: 1, age: 100},  // cold but small
+	})
+	c.ShrinkTo(1000)
+	if _, ok := c.items[ObjKey(1)]; ok {
+		t.Error("oversized item must be discarded regardless of probability")
+	}
+	if _, ok := c.items[ObjKey(2)]; !ok {
+		t.Error("fitting item should survive")
+	}
+}
+
+// TestProbEstimator: prob = hits / queries lived, floored at one query.
+func TestProbEstimator(t *testing.T) {
+	it := &Item{Hits: 10, InsertedAt: 90}
+	if got := it.Prob(100); got != 1.0 {
+		t.Errorf("prob = %v, want 1.0", got)
+	}
+	if got := it.Prob(90); got != 10.0 {
+		t.Errorf("zero-age prob = %v, want hits/1", got)
+	}
+}
+
+// TestItemKeyString covers the diagnostic formatting.
+func TestItemKeyString(t *testing.T) {
+	if NodeKey(5).String() != "node:5" || ObjKey(7).String() != "obj:7" {
+		t.Error("ItemKey.String broken")
+	}
+	if NodeKey(5) == ObjKey(5) {
+		t.Error("node and object keys must differ")
+	}
+	_ = rtree.InvalidNode
+}

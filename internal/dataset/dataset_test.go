@@ -1,0 +1,163 @@
+package dataset
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+func TestGenerateNEShape(t *testing.T) {
+	d := GenerateNE(Params{N: 20_000, Seed: 1})
+	if d.Len() != 20_000 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	unit := geom.R(0, 0, 1, 1)
+	for i, o := range d.Objects {
+		if o.ID != rtree.ObjectID(i+1) {
+			t.Fatalf("object %d has id %d", i, o.ID)
+		}
+		if !unit.Contains(o.MBR) {
+			t.Fatalf("object %d MBR %v outside unit square", i, o.MBR)
+		}
+		if o.Size < 256 {
+			t.Fatalf("object %d size %d below floor", i, o.Size)
+		}
+	}
+	mean := float64(d.TotalBytes) / float64(d.Len())
+	if mean < 7_000 || mean > 14_000 {
+		t.Errorf("mean object size %.0f, want ~10KB", mean)
+	}
+}
+
+func TestGenerateNEClustered(t *testing.T) {
+	d := GenerateNE(Params{N: 30_000, Seed: 2})
+	// Clustered data: occupancy over a 20x20 grid should be very uneven
+	// (coefficient of variation well above a uniform scatter's).
+	var grid [400]int
+	for _, o := range d.Objects {
+		c := o.MBR.Center()
+		gx := int(c.X * 20)
+		gy := int(c.Y * 20)
+		if gx > 19 {
+			gx = 19
+		}
+		if gy > 19 {
+			gy = 19
+		}
+		grid[gy*20+gx]++
+	}
+	mean := float64(d.Len()) / 400
+	var varSum float64
+	for _, n := range grid {
+		dev := float64(n) - mean
+		varSum += dev * dev
+	}
+	cv := math.Sqrt(varSum/400) / mean
+	if cv < 1.0 {
+		t.Errorf("grid occupancy CV = %.2f; clustered data should exceed 1", cv)
+	}
+}
+
+func TestGenerateRDShape(t *testing.T) {
+	d := GenerateRD(Params{N: 25_000, Seed: 3})
+	if d.Len() != 25_000 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	unit := geom.R(0, 0, 1, 1)
+	elongated := 0
+	for _, o := range d.Objects {
+		if !unit.Contains(o.MBR) {
+			t.Fatalf("MBR %v outside unit square", o.MBR)
+		}
+		w, h := o.MBR.Width(), o.MBR.Height()
+		if w > 2.5*h || h > 2.5*w {
+			elongated++
+		}
+	}
+	if frac := float64(elongated) / float64(d.Len()); frac < 0.3 {
+		t.Errorf("only %.0f%% elongated segments; road data should skew long", frac*100)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	d := GenerateNE(Params{N: 50_000, Seed: 4})
+	// Median far below mean is the signature of the skewed size mix.
+	sizes := make([]int, d.Len())
+	for i, o := range d.Objects {
+		sizes[i] = o.Size
+	}
+	mean := float64(d.TotalBytes) / float64(d.Len())
+	below := 0
+	for _, s := range sizes {
+		if float64(s) < mean {
+			below++
+		}
+	}
+	if frac := float64(below) / float64(len(sizes)); frac < 0.6 {
+		t.Errorf("only %.0f%% below mean; Zipf sizes should be majority-small", frac*100)
+	}
+}
+
+func TestBuildTree(t *testing.T) {
+	d := GenerateNE(Params{N: 10_000, Seed: 5})
+	tr := d.BuildTree(rtree.DefaultParams(), 0.7)
+	if tr.Len() != d.Len() {
+		t.Fatalf("tree holds %d, want %d", tr.Len(), d.Len())
+	}
+	if err := tr.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := GenerateNE(Params{N: 1000, Seed: 6})
+	path := filepath.Join(t.TempDir(), "ne.gob")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != d.Len() || back.TotalBytes != d.TotalBytes || back.Name != d.Name {
+		t.Error("round trip changed dataset summary")
+	}
+	for i := range d.Objects {
+		if d.Objects[i] != back.Objects[i] {
+			t.Fatalf("object %d changed in round trip", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := GenerateNE(Params{N: 5000, Seed: 7})
+	b := GenerateNE(Params{N: 5000, Seed: 7})
+	for i := range a.Objects {
+		if a.Objects[i] != b.Objects[i] {
+			t.Fatalf("object %d differs across same-seed generations", i)
+		}
+	}
+	c := GenerateNE(Params{N: 5000, Seed: 8})
+	same := 0
+	for i := range a.Objects {
+		if a.Objects[i].MBR == c.Objects[i].MBR {
+			same++
+		}
+	}
+	if same == len(a.Objects) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestSizeOfBounds(t *testing.T) {
+	d := GenerateNE(Params{N: 100, Seed: 9})
+	if d.SizeOf(0) != 0 || d.SizeOf(101) != 0 {
+		t.Error("out-of-range ids must return 0")
+	}
+	if d.SizeOf(1) != d.Objects[0].Size {
+		t.Error("SizeOf(1) mismatch")
+	}
+}

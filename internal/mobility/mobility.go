@@ -1,0 +1,182 @@
+// Package mobility implements the client movement models of Section 6.1:
+// random waypoint (RAN) and directed movement (DIR). Both move a client
+// through the unit square at the paper's spd parameter; DIR roughly
+// preserves its heading between legs, which models on-purpose movement and
+// exhibits less locality than RAN's back-and-forth wandering.
+package mobility
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Model advances a client position through simulated time.
+type Model interface {
+	// Advance moves the client dt seconds forward and returns the new
+	// position.
+	Advance(dt float64) geom.Point
+	// Position returns the current position without moving.
+	Position() geom.Point
+}
+
+// Config parameterizes the movement models.
+type Config struct {
+	// Speed is the paper's spd parameter in units per second (Table 6.1
+	// uses 0.0001 in the unit square). Individual legs draw speeds
+	// uniformly from [Speed*(1-SpeedJitter), Speed*(1+SpeedJitter)].
+	Speed       float64
+	SpeedJitter float64
+	// PauseMean is the mean of the exponential pause at each waypoint.
+	PauseMean float64
+	// Bounds is the movement area; default unit square.
+	Bounds geom.Rect
+	// MaxTurn bounds the heading change between consecutive DIR legs
+	// (radians, default pi/6).
+	MaxTurn float64
+	// LegMin/LegMax bound DIR leg lengths (default 0.05..0.25).
+	LegMin, LegMax float64
+}
+
+func (c Config) normalized() Config {
+	if c.Speed <= 0 {
+		c.Speed = 1e-4
+	}
+	if c.SpeedJitter <= 0 || c.SpeedJitter >= 1 {
+		c.SpeedJitter = 0.5
+	}
+	if c.PauseMean < 0 {
+		c.PauseMean = 0
+	}
+	if !c.Bounds.Valid() || c.Bounds.Area() == 0 {
+		c.Bounds = geom.R(0, 0, 1, 1)
+	}
+	if c.MaxTurn <= 0 {
+		c.MaxTurn = math.Pi / 6
+	}
+	if c.LegMin <= 0 {
+		c.LegMin = 0.05
+	}
+	if c.LegMax <= c.LegMin {
+		c.LegMax = c.LegMin + 0.2
+	}
+	return c
+}
+
+// waypointWalker is the shared leg/pause engine; the next-destination rule
+// is what distinguishes RAN from DIR.
+type waypointWalker struct {
+	cfg  Config
+	rng  *rand.Rand
+	pos  geom.Point
+	dest geom.Point
+	// speed of the current leg; 0 while paused
+	speed     float64
+	pauseLeft float64
+	nextDest  func() geom.Point
+}
+
+// Position implements Model.
+func (w *waypointWalker) Position() geom.Point { return w.pos }
+
+// Advance simulates dt seconds of movement, possibly spanning several legs
+// and pauses.
+func (w *waypointWalker) Advance(dt float64) geom.Point {
+	for dt > 0 {
+		if w.pauseLeft > 0 {
+			if w.pauseLeft >= dt {
+				w.pauseLeft -= dt
+				return w.pos
+			}
+			dt -= w.pauseLeft
+			w.pauseLeft = 0
+			w.startLeg()
+			continue
+		}
+		dist := geom.Dist(w.pos, w.dest)
+		if dist == 0 {
+			w.arrive()
+			continue
+		}
+		travel := w.speed * dt
+		if travel < dist {
+			frac := travel / dist
+			w.pos = geom.Pt(w.pos.X+(w.dest.X-w.pos.X)*frac, w.pos.Y+(w.dest.Y-w.pos.Y)*frac)
+			return w.pos
+		}
+		// Reach the waypoint and spend the remaining time after it.
+		dt -= dist / w.speed
+		w.pos = w.dest
+		w.arrive()
+	}
+	return w.pos
+}
+
+func (w *waypointWalker) arrive() {
+	if w.cfg.PauseMean > 0 {
+		w.pauseLeft = w.rng.ExpFloat64() * w.cfg.PauseMean
+	}
+	if w.pauseLeft == 0 {
+		w.startLeg()
+	}
+}
+
+func (w *waypointWalker) startLeg() {
+	w.dest = w.nextDest()
+	j := w.cfg.SpeedJitter
+	w.speed = w.cfg.Speed * (1 - j + 2*j*w.rng.Float64())
+}
+
+// NewRandomWaypoint builds the RAN model: every leg targets an independent
+// uniform destination.
+func NewRandomWaypoint(cfg Config, rng *rand.Rand) Model {
+	cfg = cfg.normalized()
+	w := &waypointWalker{cfg: cfg, rng: rng}
+	w.pos = randomIn(cfg.Bounds, rng)
+	w.nextDest = func() geom.Point { return randomIn(cfg.Bounds, rng) }
+	w.startLeg()
+	return w
+}
+
+// directed implements DIR: the next leg's heading deviates from the current
+// one by at most MaxTurn, bouncing off the area boundary.
+type directed struct {
+	*waypointWalker
+	heading float64
+}
+
+// NewDirected builds the DIR model.
+func NewDirected(cfg Config, rng *rand.Rand) Model {
+	cfg = cfg.normalized()
+	d := &directed{waypointWalker: &waypointWalker{cfg: cfg, rng: rng}}
+	d.pos = randomIn(cfg.Bounds, rng)
+	d.heading = rng.Float64() * 2 * math.Pi
+	d.nextDest = d.next
+	d.startLeg()
+	return d
+}
+
+func (d *directed) next() geom.Point {
+	cfg := d.cfg
+	for attempt := 0; attempt < 32; attempt++ {
+		turn := (d.rng.Float64()*2 - 1) * cfg.MaxTurn
+		heading := d.heading + turn
+		leg := cfg.LegMin + d.rng.Float64()*(cfg.LegMax-cfg.LegMin)
+		dest := geom.Pt(d.pos.X+leg*math.Cos(heading), d.pos.Y+leg*math.Sin(heading))
+		if cfg.Bounds.ContainsPoint(dest) {
+			d.heading = heading
+			return dest
+		}
+		// Bounce: turn away from the wall and retry.
+		d.heading += math.Pi / 2 * (d.rng.Float64() + 0.5)
+	}
+	// Fallback: a uniform destination (cornered client).
+	dest := randomIn(cfg.Bounds, d.rng)
+	d.heading = math.Atan2(dest.Y-d.pos.Y, dest.X-d.pos.X)
+	return dest
+}
+
+func randomIn(b geom.Rect, rng *rand.Rand) geom.Point {
+	return geom.Pt(b.MinX+rng.Float64()*b.Width(), b.MinY+rng.Float64()*b.Height())
+}

@@ -1,0 +1,119 @@
+package mobility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRandomWaypointStaysInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m := NewRandomWaypoint(Config{Speed: 0.01, PauseMean: 5}, rng)
+	bounds := geom.R(0, 0, 1, 1)
+	for i := 0; i < 5000; i++ {
+		p := m.Advance(7)
+		if !bounds.ContainsPoint(p) {
+			t.Fatalf("step %d: position %v out of bounds", i, p)
+		}
+	}
+}
+
+func TestDirectedStaysInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := NewDirected(Config{Speed: 0.01, PauseMean: 1}, rng)
+	bounds := geom.R(0, 0, 1, 1)
+	for i := 0; i < 5000; i++ {
+		p := m.Advance(11)
+		if !bounds.ContainsPoint(p) {
+			t.Fatalf("step %d: position %v out of bounds", i, p)
+		}
+	}
+}
+
+func TestSpeedBoundsDisplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := NewRandomWaypoint(Config{Speed: 1e-3, PauseMean: 0, SpeedJitter: 0.5}, rng)
+	for i := 0; i < 2000; i++ {
+		before := m.Position()
+		after := m.Advance(10)
+		// Max displacement in 10s at top speed 1.5e-3 units/s.
+		if d := geom.Dist(before, after); d > 1.5e-2+1e-9 {
+			t.Fatalf("step %d: moved %v in 10s, exceeds max speed", i, d)
+		}
+	}
+}
+
+func TestPauseHoldsStill(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	m := NewRandomWaypoint(Config{Speed: 1e-6, PauseMean: 1e9}, rng)
+	// Burn in until the walker reaches a waypoint... with tiny speed it will
+	// not reach one, so instead verify that zero-dt does not move.
+	p1 := m.Position()
+	p2 := m.Advance(0)
+	if p1 != p2 {
+		t.Error("Advance(0) moved the client")
+	}
+}
+
+// DIR should cover more net distance than RAN over the same time: headings
+// persist instead of cancelling out.
+func TestDirectedTravelsFartherNet(t *testing.T) {
+	netDisplacement := func(m Model, steps int) float64 {
+		start := m.Position()
+		total := 0.0
+		for i := 0; i < steps; i++ {
+			p := m.Advance(50)
+			total += geom.Dist(start, p)
+			start = p
+		}
+		_ = total
+		return geom.Dist(start, m.Position()) // zero; use accumulated path chord below
+	}
+	_ = netDisplacement
+
+	ranChords, dirChords := 0.0, 0.0
+	for trial := 0; trial < 20; trial++ {
+		rng1 := rand.New(rand.NewSource(int64(100 + trial)))
+		rng2 := rand.New(rand.NewSource(int64(100 + trial)))
+		ran := NewRandomWaypoint(Config{Speed: 1e-3, PauseMean: 0}, rng1)
+		dir := NewDirected(Config{Speed: 1e-3, PauseMean: 0}, rng2)
+		rs, ds := ran.Position(), dir.Position()
+		for i := 0; i < 40; i++ {
+			ran.Advance(25)
+			dir.Advance(25)
+		}
+		ranChords += geom.Dist(rs, ran.Position())
+		dirChords += geom.Dist(ds, dir.Position())
+	}
+	if dirChords <= ranChords {
+		t.Errorf("directed net displacement %.4f not larger than random waypoint %.4f", dirChords, ranChords)
+	}
+}
+
+func TestAdvanceContinuity(t *testing.T) {
+	// Advancing 100x1s must land near advancing 1x100s with the same rng
+	// only if no random events intervene; we instead check the path has no
+	// teleports: per-second displacement bounded by max speed.
+	rng := rand.New(rand.NewSource(45))
+	m := NewDirected(Config{Speed: 2e-3, PauseMean: 2}, rng)
+	prev := m.Position()
+	for i := 0; i < 3000; i++ {
+		cur := m.Advance(1)
+		if geom.Dist(prev, cur) > 2e-3*1.5+1e-9 {
+			t.Fatalf("step %d: teleport from %v to %v", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Speed != 1e-4 || c.MaxTurn <= 0 || !c.Bounds.Valid() {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+	if math.Abs(c.SpeedJitter-0.5) > 1e-12 {
+		t.Errorf("jitter default = %v", c.SpeedJitter)
+	}
+}

@@ -1,0 +1,151 @@
+// Package pagecache implements the page/object caching baseline (PAG in the
+// experiments): the client caches result objects by identifier only, with no
+// supporting knowledge. Every query goes to the server accompanied by the
+// full list of cached identifiers (the paper's "submit the identifiers of
+// all cached objects"), so the cache saves downlink bytes but never answers
+// anything locally — its cache hit rate is zero by construction.
+package pagecache
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+type entry struct {
+	size     int
+	lastUsed uint64
+}
+
+// Client is a page-caching mobile client with LRU replacement.
+type Client struct {
+	id        wire.ClientID
+	capacity  int
+	used      int
+	objects   map[rtree.ObjectID]*entry
+	clock     uint64
+	transport wire.Transport
+	sizes     wire.SizeModel
+	channel   wire.Channel
+
+	// Ops models CPU cost: the flat cache is scanned sequentially per query
+	// to assemble the identifier list and during replacement.
+	Ops int
+}
+
+// New builds a page-caching client.
+func New(id wire.ClientID, capacity int, transport wire.Transport, sizes wire.SizeModel, ch wire.Channel) *Client {
+	if sizes == (wire.SizeModel{}) {
+		sizes = wire.DefaultSizeModel()
+	}
+	if ch == (wire.Channel{}) {
+		ch = wire.DefaultChannel()
+	}
+	return &Client{
+		id:        id,
+		capacity:  capacity,
+		objects:   make(map[rtree.ObjectID]*entry),
+		transport: transport,
+		sizes:     sizes,
+		channel:   ch,
+	}
+}
+
+// Used returns occupied cache bytes.
+func (c *Client) Used() int { return c.used }
+
+// Len returns the number of cached objects.
+func (c *Client) Len() int { return len(c.objects) }
+
+// SetPosition is a no-op: page caching is location-oblivious.
+func (c *Client) SetPosition(geom.Point) {}
+
+// Query ships the query plus all cached identifiers, downloads only the
+// missing result objects, and LRU-caches what arrives.
+func (c *Client) Query(q query.Query) (core.Report, error) {
+	c.clock++
+	opsStart := c.Ops
+	var rep core.Report
+
+	// Sequential scan to assemble the identifier list (deterministic order).
+	ids := make([]rtree.ObjectID, 0, len(c.objects))
+	for id := range c.objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	c.Ops += len(ids)
+
+	req := &wire.Request{Client: c.id, Q: q, CachedIDs: ids, NoIndex: true}
+	rep.UplinkBytes = c.sizes.RequestBytes(req)
+	resp, err := c.transport.RoundTrip(req)
+	if err != nil {
+		return rep, fmt.Errorf("pagecache: %w", err)
+	}
+	rep.DownlinkBytes = c.sizes.ResponseBytes(resp)
+
+	// Nothing is ever confirmed locally: hitc = 0. Cached results count
+	// toward the byte hit rate (they skip retransmission).
+	for _, o := range resp.Objects {
+		rep.ResultBytes += o.Size
+		if !o.Payload {
+			rep.FalseMissBytes += o.Size
+		}
+		rep.Results = append(rep.Results, o.ID)
+	}
+	rep.Pairs = append(rep.Pairs, resp.Pairs...)
+
+	objDone, total := c.sizes.ResponseTimeline(c.channel, rep.UplinkBytes, resp)
+	rep.TotalTime = total
+	if rep.ResultBytes > 0 {
+		weighted := 0.0
+		for i, o := range resp.Objects {
+			weighted += float64(o.Size) * objDone[i]
+		}
+		rep.RespTime = weighted / float64(rep.ResultBytes)
+	} else {
+		rep.RespTime = total
+	}
+
+	for _, o := range resp.Objects {
+		c.insert(o)
+	}
+	c.evict()
+	rep.CacheOps = c.Ops - opsStart
+	return rep, nil
+}
+
+func (c *Client) insert(o wire.ObjectRep) {
+	if e, ok := c.objects[o.ID]; ok {
+		e.lastUsed = c.clock
+		return
+	}
+	if !o.Payload {
+		// The server skipped the payload because we reported the id as
+		// cached; mark the use.
+		return
+	}
+	c.objects[o.ID] = &entry{size: o.Size, lastUsed: c.clock}
+	c.used += o.Size
+}
+
+// evict applies LRU until the cache fits, scanning the flat cache.
+func (c *Client) evict() {
+	for c.used > c.capacity && len(c.objects) > 0 {
+		var victim rtree.ObjectID
+		first := true
+		var oldest uint64
+		for id, e := range c.objects {
+			if first || e.lastUsed < oldest || (e.lastUsed == oldest && id < victim) {
+				victim, oldest, first = id, e.lastUsed, false
+			}
+		}
+		c.used -= c.objects[victim].size
+		delete(c.objects, victim)
+		c.Ops += len(c.objects) + 1
+	}
+}

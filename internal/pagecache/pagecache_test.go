@@ -1,0 +1,146 @@
+package pagecache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+type world struct {
+	items []rtree.Item
+	sizes map[rtree.ObjectID]int
+	srv   *server.Server
+}
+
+func newWorld(seed int64, n int) *world {
+	r := rand.New(rand.NewSource(seed))
+	w := &world{sizes: make(map[rtree.ObjectID]int)}
+	for i := 0; i < n; i++ {
+		id := rtree.ObjectID(i + 1)
+		c := geom.Pt(r.Float64(), r.Float64())
+		w.items = append(w.items, rtree.Item{Obj: id, MBR: geom.RectFromCenter(c, 0.005, 0.005)})
+		w.sizes[id] = 1000
+	}
+	tree := rtree.BulkLoad(rtree.Params{MaxEntries: 16}, w.items, 0.7)
+	w.srv = server.New(tree, func(id rtree.ObjectID) int { return w.sizes[id] }, server.Config{})
+	return w
+}
+
+func (w *world) client(capacity int) *Client {
+	return New(3, capacity, wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+		resp, _ := w.srv.Execute(req)
+		return resp, nil
+	}), wire.SizeModel{}, wire.Channel{})
+}
+
+func (w *world) bruteRange(win geom.Rect) map[rtree.ObjectID]bool {
+	out := make(map[rtree.ObjectID]bool)
+	for _, it := range w.items {
+		if it.MBR.Intersects(win) {
+			out[it.Obj] = true
+		}
+	}
+	return out
+}
+
+func TestCorrectness(t *testing.T) {
+	w := newWorld(31, 600)
+	cl := w.client(1 << 20)
+	r := rand.New(rand.NewSource(32))
+	for i := 0; i < 60; i++ {
+		win := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.08, 0.08)
+		rep, err := cl.Query(query.NewRange(win))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := w.bruteRange(win)
+		if len(rep.Results) != len(want) {
+			t.Fatalf("query %d: got %d, want %d", i, len(rep.Results), len(want))
+		}
+		for _, id := range rep.Results {
+			if !want[id] {
+				t.Fatalf("query %d: unexpected %d", i, id)
+			}
+		}
+	}
+}
+
+func TestHitRateZeroButByteHitsGrow(t *testing.T) {
+	w := newWorld(33, 600)
+	cl := w.client(1 << 20)
+	win := geom.RectFromCenter(geom.Pt(0.5, 0.5), 0.15, 0.15)
+
+	first, err := cl.Query(query.NewRange(win))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.SavedBytes != 0 || first.FalseMissBytes != 0 {
+		t.Error("cold query should have no cached bytes")
+	}
+	second, err := cl.Query(query.NewRange(win))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.SavedBytes != 0 {
+		t.Error("page caching can never confirm locally (hitc must be 0)")
+	}
+	if second.FalseMissBytes == 0 {
+		t.Error("repeat query should find cached result bytes (hitb > 0)")
+	}
+	if second.DownlinkBytes >= first.DownlinkBytes {
+		t.Errorf("cached ids should shrink downlink: %d vs %d", second.DownlinkBytes, first.DownlinkBytes)
+	}
+	if second.UplinkBytes <= first.UplinkBytes {
+		t.Errorf("uplink should grow with cache population: %d vs %d", second.UplinkBytes, first.UplinkBytes)
+	}
+	if second.RespTime <= 0 {
+		t.Error("page caching response time must include the round trip")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	w := newWorld(34, 600)
+	cl := w.client(20_000) // room for 20 objects
+	r := rand.New(rand.NewSource(35))
+	for i := 0; i < 40; i++ {
+		win := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.1, 0.1)
+		if _, err := cl.Query(query.NewRange(win)); err != nil {
+			t.Fatal(err)
+		}
+		if cl.Used() > 20_000 {
+			t.Fatalf("query %d: used %d over capacity", i, cl.Used())
+		}
+	}
+	if cl.Len() == 0 {
+		t.Error("cache empty after workload")
+	}
+}
+
+func TestUplinkProportionalToCache(t *testing.T) {
+	w := newWorld(36, 600)
+	small := w.client(10_000)
+	big := w.client(1 << 20)
+	r := rand.New(rand.NewSource(37))
+	var smallUp, bigUp int
+	for i := 0; i < 30; i++ {
+		win := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.1, 0.1)
+		rs, err := small.Query(query.NewRange(win))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := big.Query(query.NewRange(win))
+		if err != nil {
+			t.Fatal(err)
+		}
+		smallUp += rs.UplinkBytes
+		bigUp += rb.UplinkBytes
+	}
+	if bigUp <= smallUp {
+		t.Errorf("bigger cache must cost more uplink: %d vs %d", bigUp, smallUp)
+	}
+}

@@ -1,0 +1,115 @@
+// Package pq implements the small, allocation-friendly priority queues used
+// by best-first spatial query processing and by cache replacement.
+//
+// The queue is a binary min-heap keyed by float64 with deterministic FIFO
+// tie-breaking: items pushed earlier pop first among equal keys. Determinism
+// matters because experiment runs must be reproducible bit-for-bit and the
+// kNN handover protocol serializes queue contents.
+package pq
+
+// Queue is a min-heap of T keyed by float64. The zero value is ready to use.
+type Queue[T any] struct {
+	items []item[T]
+	seq   uint64
+}
+
+type item[T any] struct {
+	key   float64
+	seq   uint64
+	value T
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Push inserts value with the given key.
+func (q *Queue[T]) Push(key float64, value T) {
+	q.seq++
+	q.items = append(q.items, item[T]{key, q.seq, value})
+	q.up(len(q.items) - 1)
+}
+
+// Min returns the smallest key and its value without removing it.
+// It must not be called on an empty queue.
+func (q *Queue[T]) Min() (float64, T) {
+	return q.items[0].key, q.items[0].value
+}
+
+// Pop removes and returns the value with the smallest key.
+// It must not be called on an empty queue.
+func (q *Queue[T]) Pop() (float64, T) {
+	top := q.items[0]
+	last := len(q.items) - 1
+	q.items[0] = q.items[last]
+	var zero item[T]
+	q.items[last] = zero
+	q.items = q.items[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top.key, top.value
+}
+
+// Reset empties the queue, retaining its backing storage.
+func (q *Queue[T]) Reset() {
+	clear(q.items)
+	q.items = q.items[:0]
+}
+
+// Items returns the queued values in heap order (not sorted). The slice is
+// freshly allocated; mutating it does not affect the queue.
+func (q *Queue[T]) Items() []T {
+	out := make([]T, len(q.items))
+	for i, it := range q.items {
+		out[i] = it.value
+	}
+	return out
+}
+
+// PopAll drains the queue in ascending key order.
+func (q *Queue[T]) PopAll() []T {
+	out := make([]T, 0, len(q.items))
+	for q.Len() > 0 {
+		_, v := q.Pop()
+		out = append(out, v)
+	}
+	return out
+}
+
+func (q *Queue[T]) less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue[T]) down(i int) {
+	n := len(q.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.items[i], q.items[smallest] = q.items[smallest], q.items[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,132 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPushPopOrdered(t *testing.T) {
+	var q Queue[string]
+	q.Push(3, "c")
+	q.Push(1, "a")
+	q.Push(2, "b")
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		k, v := q.Pop()
+		if v != w {
+			t.Errorf("pop %d = %q (key %v), want %q", i, v, k, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len = %d after draining", q.Len())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 10; i++ {
+		q.Push(1.0, i)
+	}
+	for i := 0; i < 10; i++ {
+		if _, v := q.Pop(); v != i {
+			t.Fatalf("equal-key pop order broken: got %d, want %d", v, i)
+		}
+	}
+}
+
+func TestMinPeek(t *testing.T) {
+	var q Queue[int]
+	q.Push(5, 50)
+	q.Push(2, 20)
+	if k, v := q.Min(); k != 2 || v != 20 {
+		t.Errorf("Min = %v,%v", k, v)
+	}
+	if q.Len() != 2 {
+		t.Error("Min must not remove")
+	}
+}
+
+func TestResetAndItems(t *testing.T) {
+	var q Queue[int]
+	q.Push(1, 1)
+	q.Push(2, 2)
+	if got := q.Items(); len(got) != 2 {
+		t.Errorf("Items len = %d", len(got))
+	}
+	q.Reset()
+	if q.Len() != 0 {
+		t.Error("Reset did not empty queue")
+	}
+	q.Push(3, 3)
+	if _, v := q.Pop(); v != 3 {
+		t.Error("queue unusable after Reset")
+	}
+}
+
+func TestPopAll(t *testing.T) {
+	var q Queue[int]
+	keys := []float64{9, 1, 5, 3, 7}
+	for i, k := range keys {
+		q.Push(k, i)
+	}
+	got := q.PopAll()
+	want := []int{1, 3, 2, 4, 0} // indices sorted by their keys
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PopAll = %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: popping yields keys in nondecreasing order, matching sort.
+func TestHeapOrderProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func(n uint8) bool {
+		var q Queue[float64]
+		keys := make([]float64, int(n)%64+1)
+		for i := range keys {
+			keys[i] = float64(r.Intn(16)) // duplicates likely
+			q.Push(keys[i], keys[i])
+		}
+		sort.Float64s(keys)
+		for _, want := range keys {
+			k, v := q.Pop()
+			if k != want || v != want {
+				return false
+			}
+		}
+		return q.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: interleaved push/pop keeps the min invariant.
+func TestInterleavedProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	f := func(seed uint16) bool {
+		var q Queue[float64]
+		var model []float64
+		for op := 0; op < 100; op++ {
+			if q.Len() == 0 || r.Intn(2) == 0 {
+				k := r.Float64()
+				q.Push(k, k)
+				model = append(model, k)
+				sort.Float64s(model)
+			} else {
+				k, _ := q.Pop()
+				if k != model[0] {
+					return false
+				}
+				model = model[1:]
+			}
+		}
+		return q.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

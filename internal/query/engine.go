@@ -1,0 +1,287 @@
+package query
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/pq"
+	"repro/internal/rtree"
+)
+
+// Provider supplies index structure and object availability to the engine.
+//
+// The server's provider always succeeds; the client's provider consults the
+// proactive cache and reports missing pages, super entries (which are by
+// definition opaque on the client) and evicted object payloads.
+type Provider interface {
+	// Expand returns the immediate children of a node or super reference:
+	// for a node, its entries (or the elements of its cached cut); for a
+	// super entry, the two children of its partition-tree position.
+	// ok = false marks the reference as missing.
+	Expand(ref Ref) (children []Ref, ok bool)
+
+	// HaveObject reports whether the object's payload is available locally.
+	HaveObject(obj rtree.ObjectID) bool
+}
+
+// Stats counts the work a run performed; the simulation's client CPU cost
+// model is built on these.
+type Stats struct {
+	Pops    int // priority-queue pops
+	Pushes  int // priority-queue pushes
+	Expands int // successful Expand calls
+	Evals   int // candidate evaluations (predicate checks, incl. join pairs)
+}
+
+// Total sums the counters (the per-op CPU model's input).
+func (s Stats) Total() int { return s.Pops + s.Pushes + s.Expands + s.Evals }
+
+// Add accumulates another run's counters.
+func (s *Stats) Add(o Stats) {
+	s.Pops += o.Pops
+	s.Pushes += o.Pushes
+	s.Expands += o.Expands
+	s.Evals += o.Evals
+}
+
+// Outcome is the result of one engine run.
+type Outcome struct {
+	// Results holds confirmed result objects in confirmation order
+	// (ascending distance for kNN). On the client these are the saved
+	// objects Rs of the paper.
+	Results []Ref
+
+	// Pairs holds confirmed join result pairs (canonically ordered).
+	Pairs [][2]Ref
+
+	// Remainder is the pruned priority-queue snapshot to hand to the
+	// server; empty iff Complete.
+	Remainder []QueuedElem
+
+	// Complete reports that the query was fully answered locally.
+	Complete bool
+
+	Stats Stats
+}
+
+// SeedRoot builds the initial queue contents for a fresh query rooted at the
+// given reference (a pair seed for joins).
+func SeedRoot(q Query, root Ref) []QueuedElem {
+	if q.Kind == Join {
+		if !q.acceptsPair(root.MBR, root.MBR) {
+			return nil
+		}
+		return []QueuedElem{{Key: q.pairKey(root.MBR, root.MBR), Elem: PairOf(root, root)}}
+	}
+	if !q.accepts(root.MBR) {
+		return nil
+	}
+	return []QueuedElem{{Key: q.key(root.MBR), Elem: Single(root)}}
+}
+
+// Run executes q over the provider starting from the seeded queue state.
+// It implements Algorithm 1 of the paper, generalized to all three query
+// kinds: missing elements accumulate outside the queue, kNN terminates when
+// confirmed results plus missing leaf elements reach K, and the remainder is
+// the pruned union of missing and unexplored elements.
+func Run(q Query, prov Provider, seed []QueuedElem) Outcome {
+	var (
+		h     pq.Queue[Elem]
+		stuck []QueuedElem
+		out   Outcome
+	)
+	minMissingNonLeaf := math.Inf(1)
+	m := 0            // confirmed results
+	nMissingLeaf := 0 // popped object elements that could not be confirmed
+
+	for _, qe := range seed {
+		h.Push(qe.Key, qe.Elem)
+		out.Stats.Pushes++
+	}
+
+	for {
+		if q.Kind == KNN && m+nMissingLeaf >= q.K {
+			break
+		}
+		if h.Len() == 0 {
+			break
+		}
+		key, elem := h.Pop()
+		out.Stats.Pops++
+
+		if elem.IsObjectElem() {
+			available := prov.HaveObject(elem.A.Obj) && (!elem.Pair || prov.HaveObject(elem.B.Obj))
+			switch {
+			case !available:
+				stuck = append(stuck, QueuedElem{Key: key, Elem: elem})
+				nMissingLeaf++
+			case q.Kind == KNN && minMissingNonLeaf <= key:
+				// A missing non-leaf element precedes this object in H, so
+				// it cannot be confirmed as the next nearest neighbor.
+				stuck = append(stuck, QueuedElem{Key: key, Elem: elem, Deferred: true})
+				nMissingLeaf++
+			default:
+				if elem.Pair {
+					out.Pairs = append(out.Pairs, [2]Ref{elem.A, elem.B})
+				} else {
+					out.Results = append(out.Results, elem.A)
+				}
+				m++
+			}
+			continue
+		}
+
+		children, ok := expandElem(q, prov, elem, &out.Stats)
+		if !ok {
+			stuck = append(stuck, QueuedElem{Key: key, Elem: elem})
+			if key < minMissingNonLeaf {
+				minMissingNonLeaf = key
+			}
+			continue
+		}
+		for _, c := range children {
+			h.Push(c.Key, c.Elem)
+			out.Stats.Pushes++
+		}
+	}
+
+	needRemainder := len(stuck) > 0
+	if q.Kind == KNN {
+		needRemainder = m < q.K && len(stuck) > 0
+	}
+	if !needRemainder {
+		out.Complete = true
+		return out
+	}
+
+	remainder := stuck
+	for h.Len() > 0 {
+		key, elem := h.Pop()
+		remainder = append(remainder, QueuedElem{Key: key, Elem: elem})
+	}
+	sort.SliceStable(remainder, func(i, j int) bool { return remainder[i].Key < remainder[j].Key })
+
+	if q.Kind == KNN {
+		remainder = pruneKNNRemainder(remainder, q.K-m)
+	}
+	out.Remainder = remainder
+	return out
+}
+
+// pruneKNNRemainder drops every element farther than the want-th object
+// element: such elements cannot contain any of the remaining nearest
+// neighbors (Example 3.1's pruning). The input must be sorted by key.
+func pruneKNNRemainder(rem []QueuedElem, want int) []QueuedElem {
+	seen := 0
+	for i, qe := range rem {
+		if !qe.Elem.IsObjectElem() {
+			continue
+		}
+		seen++
+		if seen == want {
+			cut := rem[:i+1]
+			// Keep ties: elements at exactly the threshold key may still
+			// contain equally near objects.
+			for j := i + 1; j < len(rem) && rem[j].Key == qe.Key; j++ {
+				cut = rem[:j+1]
+			}
+			return cut
+		}
+	}
+	return rem
+}
+
+// expandElem expands a non-object element into its accepted children.
+func expandElem(q Query, prov Provider, elem Elem, stats *Stats) ([]QueuedElem, bool) {
+	if !elem.Pair {
+		children, ok := prov.Expand(elem.A)
+		if !ok {
+			return nil, false
+		}
+		stats.Expands++
+		stats.Evals += len(children)
+		out := make([]QueuedElem, 0, len(children))
+		for _, c := range children {
+			if q.accepts(c.MBR) {
+				out = append(out, QueuedElem{Key: q.key(c.MBR), Elem: Single(c)})
+			}
+		}
+		return out, true
+	}
+	return expandPair(q, prov, elem, stats)
+}
+
+// expandPair expands a join pair by descending every expandable side.
+// A pair is missing when any side it must descend is missing (footnote 3 of
+// the paper).
+func expandPair(q Query, prov Provider, elem Elem, stats *Stats) ([]QueuedElem, bool) {
+	a, b := elem.A, elem.B
+	emit := func(out []QueuedElem, x, y Ref) []QueuedElem {
+		stats.Evals++
+		if x.Same(y) && x.IsObject() {
+			return out // a distance self-join never pairs an object with itself
+		}
+		if !q.acceptsPair(x.MBR, y.MBR) {
+			return out
+		}
+		return append(out, QueuedElem{Key: q.pairKey(x.MBR, y.MBR), Elem: PairOf(x, y)})
+	}
+
+	switch {
+	case a.IsObject(): // descend b only
+		children, ok := prov.Expand(b)
+		if !ok {
+			return nil, false
+		}
+		stats.Expands++
+		var out []QueuedElem
+		for _, c := range children {
+			out = emit(out, a, c)
+		}
+		return out, true
+
+	case b.IsObject(): // descend a only
+		children, ok := prov.Expand(a)
+		if !ok {
+			return nil, false
+		}
+		stats.Expands++
+		var out []QueuedElem
+		for _, c := range children {
+			out = emit(out, c, b)
+		}
+		return out, true
+
+	case a.Same(b): // one expansion, unordered child pairs
+		children, ok := prov.Expand(a)
+		if !ok {
+			return nil, false
+		}
+		stats.Expands++
+		var out []QueuedElem
+		for i := range children {
+			for j := i; j < len(children); j++ {
+				out = emit(out, children[i], children[j])
+			}
+		}
+		return out, true
+
+	default: // descend both sides
+		ca, okA := prov.Expand(a)
+		if !okA {
+			return nil, false
+		}
+		cb, okB := prov.Expand(b)
+		if !okB {
+			return nil, false
+		}
+		stats.Expands += 2
+		var out []QueuedElem
+		for _, x := range ca {
+			for _, y := range cb {
+				out = emit(out, x, y)
+			}
+		}
+		return out, true
+	}
+}

@@ -1,0 +1,218 @@
+// Package rtree implements an R*-tree (Beckmann et al., SIGMOD 1990): the
+// spatial index the paper's server maintains and whose nodes the proactive
+// cache ships to mobile clients.
+//
+// The tree is a page registry: every node has a stable NodeID (the "physical
+// address" of the paper's (MBR, p) entries), and clients refer to nodes by
+// that id when constructing remainder queries. Dynamic inserts use the full
+// R* algorithm (ChooseSubtree with overlap minimization, forced reinsertion,
+// margin/overlap-driven splits); bulk construction uses Sort-Tile-Recursive
+// packing with a configurable fill factor so index sizes match the paper's
+// reported R*-tree sizes.
+package rtree
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// ObjectID identifies a data object in the underlying dataset.
+type ObjectID uint32
+
+// NodeID identifies an index node (a disk page in the paper's model).
+// The zero NodeID is never a valid node.
+type NodeID uint32
+
+// InvalidNode is the NodeID zero value, used where "no node" is meant.
+const InvalidNode NodeID = 0
+
+// Entry is one slot of a node: a child pointer for intermediate nodes or an
+// object reference for leaf nodes, together with its minimum bounding
+// rectangle.
+type Entry struct {
+	MBR   geom.Rect
+	Child NodeID   // nonzero iff this entry belongs to an intermediate node
+	Obj   ObjectID // object id iff this entry belongs to a leaf node
+}
+
+// IsLeafEntry reports whether the entry references a data object.
+func (e Entry) IsLeafEntry() bool { return e.Child == InvalidNode }
+
+// Node is an index page. Level 0 nodes are leaves whose entries reference
+// objects; higher levels reference child nodes. The node's own MBR is not
+// stored but derived from its entries (see Node.MBR).
+type Node struct {
+	ID      NodeID
+	Level   int
+	Parent  NodeID // InvalidNode for the root
+	Entries []Entry
+}
+
+// Leaf reports whether the node is at leaf level.
+func (n *Node) Leaf() bool { return n.Level == 0 }
+
+// MBR returns the minimum bounding rectangle of all entries.
+// It must not be called on an empty node.
+func (n *Node) MBR() geom.Rect {
+	mbr := n.Entries[0].MBR
+	for _, e := range n.Entries[1:] {
+		mbr = mbr.Union(e.MBR)
+	}
+	return mbr
+}
+
+// Params configures tree shape.
+type Params struct {
+	// MaxEntries is the page capacity M. MinEntries defaults to 40% of M,
+	// ReinsertCount to 30% of M (the R*-tree recommendations).
+	MaxEntries    int
+	MinEntries    int
+	ReinsertCount int
+}
+
+// DefaultParams mirrors the paper's 4 KB pages with 20-byte entries
+// (16 bytes of float32 coordinates plus a 4-byte pointer), M = 204.
+func DefaultParams() Params {
+	return Params{MaxEntries: 204}
+}
+
+func (p Params) normalized() Params {
+	if p.MaxEntries < 4 {
+		p.MaxEntries = 4
+	}
+	if p.MinEntries <= 0 {
+		p.MinEntries = p.MaxEntries * 2 / 5
+	}
+	if p.MinEntries < 2 {
+		p.MinEntries = 2
+	}
+	if p.MinEntries > p.MaxEntries/2 {
+		p.MinEntries = p.MaxEntries / 2
+	}
+	if p.ReinsertCount <= 0 {
+		p.ReinsertCount = p.MaxEntries * 3 / 10
+	}
+	if p.ReinsertCount < 1 {
+		p.ReinsertCount = 1
+	}
+	if p.ReinsertCount > p.MaxEntries-p.MinEntries {
+		p.ReinsertCount = p.MaxEntries - p.MinEntries
+	}
+	return p
+}
+
+// Tree is an R*-tree. It is not safe for concurrent mutation; concurrent
+// reads are safe once construction is complete.
+type Tree struct {
+	params Params
+	nodes  map[NodeID]*Node
+	root   NodeID
+	height int // number of levels; 1 = root is a leaf
+	nextID NodeID
+	size   int // number of stored objects
+
+	// onTouch, when set, observes every node whose entry list or entry
+	// MBRs change (including node creation and removal). The update /
+	// cache-invalidation extension hangs off this hook.
+	onTouch func(NodeID)
+}
+
+// SetTouchHook installs fn to observe node mutations; nil disables.
+func (t *Tree) SetTouchHook(fn func(NodeID)) { t.onTouch = fn }
+
+func (t *Tree) touch(id NodeID) {
+	if t.onTouch != nil {
+		t.onTouch(id)
+	}
+}
+
+// New returns an empty tree with the given parameters.
+func New(p Params) *Tree {
+	t := &Tree{
+		params: p.normalized(),
+		nodes:  make(map[NodeID]*Node),
+	}
+	root := t.newNode(0)
+	t.root = root.ID
+	t.height = 1
+	return t
+}
+
+func (t *Tree) newNode(level int) *Node {
+	t.nextID++
+	n := &Node{ID: t.nextID, Level: level}
+	t.nodes[n.ID] = n
+	return n
+}
+
+// Root returns the id of the root node.
+func (t *Tree) Root() NodeID { return t.root }
+
+// RootEntry returns a synthetic entry referencing the root node, which is how
+// query processing seeds its priority queue. The MBR covers the whole tree;
+// for an empty tree it is the zero Rect.
+func (t *Tree) RootEntry() Entry {
+	root := t.nodes[t.root]
+	e := Entry{Child: t.root}
+	if len(root.Entries) > 0 {
+		e.MBR = root.MBR()
+	}
+	return e
+}
+
+// Node returns the node with the given id, or false when no such page exists.
+func (t *Tree) Node(id NodeID) (*Node, bool) {
+	n, ok := t.nodes[id]
+	return n, ok
+}
+
+// Height returns the number of levels (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// Len returns the number of stored objects.
+func (t *Tree) Len() int { return t.size }
+
+// NodeCount returns the number of index nodes.
+func (t *Tree) NodeCount() int { return len(t.nodes) }
+
+// Params returns the tree's normalized parameters.
+func (t *Tree) Params() Params { return t.params }
+
+// Nodes iterates over all nodes in unspecified order.
+func (t *Tree) Nodes(fn func(*Node) bool) {
+	for _, n := range t.nodes {
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// parentEntryIndex locates the slot of child within parent's entry list.
+func parentEntryIndex(parent *Node, child NodeID) int {
+	for i, e := range parent.Entries {
+		if e.Child == child {
+			return i
+		}
+	}
+	return -1
+}
+
+// adjustPathMBRs recomputes parent entry MBRs along the path from n to the
+// root after n's entries changed.
+func (t *Tree) adjustPathMBRs(n *Node) {
+	for n.Parent != InvalidNode {
+		parent := t.nodes[n.Parent]
+		i := parentEntryIndex(parent, n.ID)
+		if i < 0 {
+			panic(fmt.Sprintf("rtree: node %d missing from parent %d", n.ID, parent.ID))
+		}
+		mbr := n.MBR()
+		if parent.Entries[i].MBR == mbr {
+			return // no change propagates further
+		}
+		parent.Entries[i].MBR = mbr
+		t.touch(parent.ID)
+		n = parent
+	}
+}

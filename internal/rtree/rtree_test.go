@@ -1,0 +1,351 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// smallParams keeps nodes tiny so tests exercise splits and reinserts deeply.
+var smallParams = Params{MaxEntries: 8}
+
+func randItems(r *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		c := geom.Pt(r.Float64(), r.Float64())
+		w, h := r.Float64()*0.01, r.Float64()*0.01
+		items[i] = Item{Obj: ObjectID(i + 1), MBR: geom.RectFromCenter(c, w, h)}
+	}
+	return items
+}
+
+func buildDynamic(t *testing.T, items []Item, p Params) *Tree {
+	t.Helper()
+	tr := New(p)
+	for _, it := range items {
+		tr.Insert(it.Obj, it.MBR)
+	}
+	return tr
+}
+
+// bruteRange computes ground truth for range queries.
+func bruteRange(items []Item, w geom.Rect) map[ObjectID]bool {
+	out := make(map[ObjectID]bool)
+	for _, it := range items {
+		if it.MBR.Intersects(w) {
+			out[it.Obj] = true
+		}
+	}
+	return out
+}
+
+// bruteKNN computes ground truth for kNN by min distance to MBR.
+func bruteKNN(items []Item, p geom.Point, k int) []float64 {
+	ds := make([]float64, len(items))
+	for i, it := range items {
+		ds[i] = geom.MinDist(p, it.MBR)
+	}
+	sort.Float64s(ds)
+	if k > len(ds) {
+		k = len(ds)
+	}
+	return ds[:k]
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(smallParams)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Fatalf("empty tree Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if got := tr.RangeQuery(geom.R(0, 0, 1, 1)); len(got) != 0 {
+		t.Errorf("range on empty = %v", got)
+	}
+	if got := tr.KNN(geom.Pt(0.5, 0.5), 3); len(got) != 0 {
+		t.Errorf("knn on empty = %v", got)
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Errorf("empty tree invalid: %v", err)
+	}
+}
+
+func TestInsertValidate(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	items := randItems(r, 500)
+	tr := buildDynamic(t, items, smallParams)
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Fatalf("invalid after inserts: %v", err)
+	}
+	if tr.Height() < 3 {
+		t.Errorf("height %d suspiciously small for 500 items with M=8", tr.Height())
+	}
+}
+
+func TestRangeQueryMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	items := randItems(r, 400)
+	tr := buildDynamic(t, items, smallParams)
+	for i := 0; i < 50; i++ {
+		w := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), r.Float64()*0.3, r.Float64()*0.3)
+		want := bruteRange(items, w)
+		got := tr.RangeQuery(w)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d results, want %d", i, len(got), len(want))
+		}
+		for _, e := range got {
+			if !want[e.Obj] {
+				t.Fatalf("query %d: unexpected object %d", i, e.Obj)
+			}
+		}
+	}
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	items := randItems(r, 300)
+	tr := buildDynamic(t, items, smallParams)
+	for i := 0; i < 50; i++ {
+		p := geom.Pt(r.Float64(), r.Float64())
+		k := 1 + r.Intn(10)
+		got := tr.KNN(p, k)
+		want := bruteKNN(items, p, k)
+		if len(got) != len(want) {
+			t.Fatalf("knn %d: got %d, want %d", i, len(got), len(want))
+		}
+		for j, e := range got {
+			d := geom.MinDist(p, e.MBR)
+			if math.Abs(d-want[j]) > 1e-12 {
+				t.Fatalf("knn %d result %d: dist %v, want %v", i, j, d, want[j])
+			}
+		}
+	}
+}
+
+func TestKNNOrdering(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	items := randItems(r, 200)
+	tr := buildDynamic(t, items, smallParams)
+	p := geom.Pt(0.5, 0.5)
+	got := tr.KNN(p, 25)
+	for j := 1; j < len(got); j++ {
+		if geom.MinDist(p, got[j].MBR) < geom.MinDist(p, got[j-1].MBR)-1e-12 {
+			t.Fatalf("knn results not in ascending distance at %d", j)
+		}
+	}
+}
+
+func TestDeleteAndValidate(t *testing.T) {
+	r := rand.New(rand.NewSource(15))
+	items := randItems(r, 300)
+	tr := buildDynamic(t, items, smallParams)
+
+	perm := r.Perm(len(items))
+	for i, pi := range perm {
+		it := items[pi]
+		if !tr.Delete(it.Obj, it.MBR) {
+			t.Fatalf("delete %d: object %d not found", i, it.Obj)
+		}
+		if tr.Len() != len(items)-i-1 {
+			t.Fatalf("Len = %d after %d deletes", tr.Len(), i+1)
+		}
+		if i%37 == 0 {
+			if err := tr.Validate(false); err != nil {
+				t.Fatalf("invalid after %d deletes: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("tree not empty: %d", tr.Len())
+	}
+	if err := tr.Validate(true); err != nil {
+		t.Errorf("empty tree invalid: %v", err)
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := New(smallParams)
+	tr.Insert(1, geom.R(0, 0, 0.1, 0.1))
+	if tr.Delete(2, geom.R(0, 0, 0.1, 0.1)) {
+		t.Error("deleted nonexistent object")
+	}
+	if tr.Delete(1, geom.R(0.5, 0.5, 0.6, 0.6)) {
+		t.Error("deleted with wrong MBR")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestInterleavedInsertDelete(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	tr := New(smallParams)
+	live := make(map[ObjectID]geom.Rect)
+	next := ObjectID(1)
+	for op := 0; op < 2000; op++ {
+		if len(live) == 0 || r.Intn(3) > 0 {
+			mbr := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01)
+			tr.Insert(next, mbr)
+			live[next] = mbr
+			next++
+		} else {
+			// Delete a random live object.
+			var id ObjectID
+			for k := range live {
+				id = k
+				break
+			}
+			if !tr.Delete(id, live[id]) {
+				t.Fatalf("op %d: delete failed for %d", op, id)
+			}
+			delete(live, id)
+		}
+	}
+	if tr.Len() != len(live) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(live))
+	}
+	if err := tr.Validate(false); err != nil {
+		t.Fatalf("invalid after interleaving: %v", err)
+	}
+	// All live objects findable.
+	for id, mbr := range live {
+		found := false
+		for _, e := range tr.RangeQuery(mbr) {
+			if e.Obj == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("object %d unreachable", id)
+		}
+	}
+}
+
+func TestBulkLoadValidateAndQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	items := randItems(r, 5000)
+	tr := BulkLoad(Params{MaxEntries: 50}, items, 0.7)
+	if tr.Len() != 5000 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(false); err != nil {
+		t.Fatalf("bulk tree invalid: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		w := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.1, 0.1)
+		want := bruteRange(items, w)
+		got := tr.RangeQuery(w)
+		if len(got) != len(want) {
+			t.Fatalf("bulk range: got %d, want %d", len(got), len(want))
+		}
+	}
+	st := tr.Stats()
+	if st.AvgFill < 0.5 || st.AvgFill > 0.85 {
+		t.Errorf("bulk fill = %.2f, want ~0.7", st.AvgFill)
+	}
+}
+
+func TestBulkLoadEmptyAndTiny(t *testing.T) {
+	tr := BulkLoad(smallParams, nil, 0.7)
+	if tr.Len() != 0 {
+		t.Errorf("empty bulk Len = %d", tr.Len())
+	}
+	tr = BulkLoad(smallParams, randItems(rand.New(rand.NewSource(1)), 3), 0.7)
+	if tr.Len() != 3 || tr.Height() != 1 {
+		t.Errorf("tiny bulk Len=%d Height=%d", tr.Len(), tr.Height())
+	}
+	if err := tr.Validate(false); err != nil {
+		t.Errorf("tiny bulk invalid: %v", err)
+	}
+}
+
+func TestSplitEntriesProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(18))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(40)
+		entries := make([]Entry, n)
+		for i := range entries {
+			entries[i] = Entry{
+				MBR: geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), r.Float64()*0.1, r.Float64()*0.1),
+				Obj: ObjectID(i + 1),
+			}
+		}
+		minFill := 1 + r.Intn(n/2+1)
+		if minFill > n/2 {
+			minFill = n / 2
+		}
+		if minFill < 1 {
+			minFill = 1
+		}
+		l, rt := SplitEntries(entries, minFill)
+		if len(l)+len(rt) != n {
+			t.Fatalf("split lost entries: %d+%d != %d", len(l), len(rt), n)
+		}
+		if len(l) < minFill || len(rt) < minFill {
+			t.Fatalf("split violates minFill %d: %d/%d", minFill, len(l), len(rt))
+		}
+		// Every object appears exactly once.
+		seen := make(map[ObjectID]int)
+		for _, e := range append(append([]Entry{}, l...), rt...) {
+			seen[e.Obj]++
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("object %d appears %d times after split", id, c)
+			}
+		}
+	}
+}
+
+func TestDistanceWithinMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	items := randItems(r, 300)
+	tr := buildDynamic(t, items, smallParams)
+	for i := 0; i < 20; i++ {
+		p := geom.Pt(r.Float64(), r.Float64())
+		d := r.Float64() * 0.2
+		got := tr.DistanceWithin(p, d)
+		want := 0
+		for _, it := range items {
+			if geom.MinDist(p, it.MBR) <= d {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("DistanceWithin: got %d, want %d", len(got), want)
+		}
+	}
+}
+
+func TestRootEntryCoversTree(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	items := randItems(r, 100)
+	tr := buildDynamic(t, items, smallParams)
+	re := tr.RootEntry()
+	for _, it := range items {
+		if !re.MBR.Contains(it.MBR) {
+			t.Fatalf("root entry %v does not cover %v", re.MBR, it.MBR)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	tr := buildDynamic(t, randItems(r, 200), smallParams)
+	st := tr.Stats()
+	if st.Objects != 200 || st.Nodes == 0 || st.Leaves == 0 || st.Height != tr.Height() {
+		t.Errorf("stats = %+v", st)
+	}
+	sum := 0
+	for _, c := range st.NodesPerLevel {
+		sum += c
+	}
+	if sum != st.Nodes {
+		t.Errorf("NodesPerLevel sums to %d, want %d", sum, st.Nodes)
+	}
+}

@@ -1,0 +1,98 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// SplitEntries partitions entries into two groups using the R*-tree split
+// algorithm: the split axis is chosen by minimum margin sum over all
+// candidate distributions, the split index by minimum overlap area (ties by
+// minimum total area). Each group receives at least minFill entries.
+//
+// It is exported because the paper reuses exactly this algorithm to build the
+// binary partition trees of Section 4.2 ("the partitioning uses the R-tree
+// node splitting algorithm to assure minimal overlap"), where minFill is 1.
+func SplitEntries(entries []Entry, minFill int) (left, right []Entry) {
+	n := len(entries)
+	if n < 2 {
+		panic("rtree: SplitEntries needs at least two entries")
+	}
+	if minFill < 1 {
+		minFill = 1
+	}
+	if minFill > n/2 {
+		minFill = n / 2
+	}
+
+	sorted := make([]Entry, n)
+
+	// chooseAxis evaluates one axis: entries sorted by (min, max) along the
+	// axis, margin summed over all legal distributions. Returns the margin
+	// sum and leaves `sorted` holding the axis ordering.
+	evalAxis := func(byX bool) float64 {
+		copy(sorted, entries)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			a, b := sorted[i].MBR, sorted[j].MBR
+			if byX {
+				if a.MinX != b.MinX {
+					return a.MinX < b.MinX
+				}
+				return a.MaxX < b.MaxX
+			}
+			if a.MinY != b.MinY {
+				return a.MinY < b.MinY
+			}
+			return a.MaxY < b.MaxY
+		})
+		var marginSum float64
+		prefix, suffix := runningMBRs(sorted)
+		for k := minFill; k <= n-minFill; k++ {
+			marginSum += prefix[k-1].Margin() + suffix[k].Margin()
+		}
+		return marginSum
+	}
+
+	mx := evalAxis(true)
+	my := evalAxis(false)
+	if mx <= my {
+		evalAxis(true) // re-sort by the winning axis
+	}
+
+	// Choose the split index on the winning axis ordering.
+	prefix, suffix := runningMBRs(sorted)
+	bestK := minFill
+	bestOverlap := math.Inf(1)
+	bestArea := math.Inf(1)
+	for k := minFill; k <= n-minFill; k++ {
+		l, r := prefix[k-1], suffix[k]
+		overlap := l.OverlapArea(r)
+		area := l.Area() + r.Area()
+		if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = k, overlap, area
+		}
+	}
+
+	left = append([]Entry(nil), sorted[:bestK]...)
+	right = append([]Entry(nil), sorted[bestK:]...)
+	return left, right
+}
+
+// runningMBRs returns prefix[i] = MBR of entries[0..i] and
+// suffix[i] = MBR of entries[i..n-1].
+func runningMBRs(entries []Entry) (prefix, suffix []geom.Rect) {
+	n := len(entries)
+	prefix = make([]geom.Rect, n)
+	suffix = make([]geom.Rect, n)
+	prefix[0] = entries[0].MBR
+	for i := 1; i < n; i++ {
+		prefix[i] = prefix[i-1].Union(entries[i].MBR)
+	}
+	suffix[n-1] = entries[n-1].MBR
+	for i := n - 2; i >= 0; i-- {
+		suffix[i] = suffix[i+1].Union(entries[i].MBR)
+	}
+	return prefix, suffix
+}

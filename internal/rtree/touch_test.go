@@ -1,0 +1,98 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// snapshotEntries deep-copies every node's entry list.
+func snapshotEntries(t *Tree) map[NodeID][]Entry {
+	snap := make(map[NodeID][]Entry, len(t.nodes))
+	for id, n := range t.nodes {
+		snap[id] = append([]Entry(nil), n.Entries...)
+	}
+	return snap
+}
+
+func entriesEqual(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTouchHookCoversAllMutations: every node whose entry list changed
+// during an operation must be reported by the hook — the soundness property
+// the invalidation protocol depends on.
+func TestTouchHookCoversAllMutations(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	tr := New(Params{MaxEntries: 8})
+	live := make(map[ObjectID]geom.Rect)
+	next := ObjectID(1)
+
+	for op := 0; op < 1500; op++ {
+		before := snapshotEntries(tr)
+		touched := make(map[NodeID]bool)
+		tr.SetTouchHook(func(id NodeID) { touched[id] = true })
+
+		if len(live) == 0 || r.Intn(3) > 0 {
+			mbr := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01)
+			tr.Insert(next, mbr)
+			live[next] = mbr
+			next++
+		} else {
+			var id ObjectID
+			for k := range live {
+				id = k
+				break
+			}
+			tr.Delete(id, live[id])
+			delete(live, id)
+		}
+		tr.SetTouchHook(nil)
+
+		// Changed, created, or removed nodes must all be in the touched set.
+		for id, oldEntries := range before {
+			n, exists := tr.nodes[id]
+			switch {
+			case !exists:
+				if !touched[id] {
+					t.Fatalf("op %d: removed node %d not touched", op, id)
+				}
+			case !entriesEqual(oldEntries, n.Entries):
+				if !touched[id] {
+					t.Fatalf("op %d: changed node %d not touched", op, id)
+				}
+			}
+		}
+		for id := range tr.nodes {
+			if _, existed := before[id]; !existed && !touched[id] {
+				t.Fatalf("op %d: new node %d not touched", op, id)
+			}
+		}
+	}
+}
+
+// TestTouchHookSilentOnReads: queries must not report mutations.
+func TestTouchHookSilentOnReads(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	tr := New(Params{MaxEntries: 8})
+	for i := 0; i < 300; i++ {
+		tr.Insert(ObjectID(i+1), geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01))
+	}
+	fired := 0
+	tr.SetTouchHook(func(NodeID) { fired++ })
+	tr.RangeQuery(geom.R(0.2, 0.2, 0.8, 0.8))
+	tr.KNN(geom.Pt(0.5, 0.5), 10)
+	tr.DistanceWithin(geom.Pt(0.5, 0.5), 0.1)
+	if fired != 0 {
+		t.Errorf("read operations fired the touch hook %d times", fired)
+	}
+}

@@ -1,0 +1,112 @@
+package rtree
+
+import "fmt"
+
+// Validate checks the tree's structural invariants: reachability of every
+// registered node, parent pointers, level consistency, entry-MBR containment
+// and capacity bounds. strictFill additionally enforces the R*-tree minimum
+// fill on non-root nodes (bulk-loaded trees may legitimately violate it on
+// their trailing pages).
+func (t *Tree) Validate(strictFill bool) error {
+	root, ok := t.nodes[t.root]
+	if !ok {
+		return fmt.Errorf("rtree: root %d not registered", t.root)
+	}
+	if root.Parent != InvalidNode {
+		return fmt.Errorf("rtree: root has parent %d", root.Parent)
+	}
+	if root.Level != t.height-1 {
+		return fmt.Errorf("rtree: root level %d but height %d", root.Level, t.height)
+	}
+
+	seen := make(map[NodeID]bool, len(t.nodes))
+	objects := 0
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		if seen[n.ID] {
+			return fmt.Errorf("rtree: node %d reached twice", n.ID)
+		}
+		seen[n.ID] = true
+		if len(n.Entries) == 0 && n.ID != t.root {
+			return fmt.Errorf("rtree: empty non-root node %d", n.ID)
+		}
+		if len(n.Entries) > t.params.MaxEntries {
+			return fmt.Errorf("rtree: node %d overflows: %d > %d", n.ID, len(n.Entries), t.params.MaxEntries)
+		}
+		if strictFill && n.ID != t.root && len(n.Entries) < t.params.MinEntries {
+			return fmt.Errorf("rtree: node %d underfull: %d < %d", n.ID, len(n.Entries), t.params.MinEntries)
+		}
+		for _, e := range n.Entries {
+			if n.Leaf() {
+				if e.Child != InvalidNode {
+					return fmt.Errorf("rtree: leaf %d holds child entry %d", n.ID, e.Child)
+				}
+				objects++
+				continue
+			}
+			if e.Child == InvalidNode {
+				return fmt.Errorf("rtree: intermediate node %d holds object entry", n.ID)
+			}
+			child, ok := t.nodes[e.Child]
+			if !ok {
+				return fmt.Errorf("rtree: node %d references missing child %d", n.ID, e.Child)
+			}
+			if child.Parent != n.ID {
+				return fmt.Errorf("rtree: child %d parent pointer %d, want %d", child.ID, child.Parent, n.ID)
+			}
+			if child.Level != n.Level-1 {
+				return fmt.Errorf("rtree: child %d level %d under node level %d", child.ID, child.Level, n.Level)
+			}
+			if len(child.Entries) > 0 && !e.MBR.Contains(child.MBR()) {
+				return fmt.Errorf("rtree: entry MBR %v does not contain child %d MBR %v", e.MBR, child.ID, child.MBR())
+			}
+			if e.MBR != child.MBR() {
+				return fmt.Errorf("rtree: entry MBR %v is not tight for child %d (%v)", e.MBR, child.ID, child.MBR())
+			}
+			if err := walk(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root); err != nil {
+		return err
+	}
+	if len(seen) != len(t.nodes) {
+		return fmt.Errorf("rtree: %d nodes registered but %d reachable", len(t.nodes), len(seen))
+	}
+	if objects != t.size {
+		return fmt.Errorf("rtree: size %d but %d leaf entries", t.size, objects)
+	}
+	return nil
+}
+
+// Stats summarizes tree shape.
+type Stats struct {
+	Height        int
+	Nodes         int
+	Leaves        int
+	Objects       int
+	AvgFill       float64 // mean entries-per-node divided by MaxEntries
+	NodesPerLevel []int
+}
+
+// Stats computes summary statistics by walking all nodes.
+func (t *Tree) Stats() Stats {
+	s := Stats{Height: t.height, Objects: t.size, NodesPerLevel: make([]int, t.height)}
+	var entries int
+	for _, n := range t.nodes {
+		s.Nodes++
+		if n.Leaf() {
+			s.Leaves++
+		}
+		if n.Level < len(s.NodesPerLevel) {
+			s.NodesPerLevel[n.Level]++
+		}
+		entries += len(n.Entries)
+	}
+	if s.Nodes > 0 {
+		s.AvgFill = float64(entries) / float64(s.Nodes) / float64(t.params.MaxEntries)
+	}
+	return s
+}

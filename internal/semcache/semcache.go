@@ -1,0 +1,394 @@
+// Package semcache implements the semantic caching baseline (SEM in the
+// experiments), following the schemes the paper compares against: range
+// queries are trimmed against cached regions à la Ren & Dunham, kNN queries
+// are answered from cached kNN results when the Zheng & Lee validity
+// condition holds, and join queries pass straight through to the server
+// (no semantic caching technique exists for them). Replacement is FAR:
+// the cached region farthest from the client's current position goes first.
+//
+// The defining limitation — and the paper's motivation — is that a cached
+// region can only serve queries of its own type: cached range results never
+// help a kNN query and vice versa, which shows up as a high false-miss rate.
+package semcache
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+// regionKind discriminates cached semantic regions.
+type regionKind uint8
+
+const (
+	rangeRegion regionKind = iota + 1
+	knnRegion
+)
+
+// region is one cached semantic description plus its associated result ids.
+type region struct {
+	kind regionKind
+
+	rect geom.Rect // range window (rangeRegion)
+
+	center geom.Point // query point (knnRegion)
+	k      int
+	radius float64 // distance of the k-th neighbor
+
+	objs     []rtree.ObjectID
+	lastUsed uint64
+}
+
+// footprint returns the rectangle FAR measures distance to.
+func (r *region) footprint() geom.Rect {
+	if r.kind == rangeRegion {
+		return r.rect
+	}
+	return geom.RectFromCenter(r.center, 2*r.radius, 2*r.radius)
+}
+
+type objInfo struct {
+	size int
+	mbr  geom.Rect
+	refs int
+}
+
+// Config parameterizes the semantic cache client.
+type Config struct {
+	ID       wire.ClientID
+	Capacity int
+	Sizes    wire.SizeModel
+	Channel  wire.Channel
+	// MaxFragments caps the remainder decomposition per range query;
+	// further cached regions are simply not trimmed (their objects come
+	// back as duplicates, which is the realistic cost of limiting cache
+	// description complexity). Default 8.
+	MaxFragments int
+	// RegionDescriptorBytes is the cache overhead per semantic region.
+	// Default 24.
+	RegionDescriptorBytes int
+}
+
+// Client is the semantic-caching mobile client.
+type Client struct {
+	cfg       Config
+	transport wire.Transport
+
+	regions  []*region
+	objects  map[rtree.ObjectID]*objInfo
+	used     int
+	clock    uint64
+	position geom.Point
+
+	// Ops models CPU cost: the region list is scanned sequentially for
+	// every query (the paper's "plain organization" criticism).
+	Ops int
+}
+
+// New builds a semantic-caching client.
+func New(cfg Config, transport wire.Transport) *Client {
+	if cfg.Sizes == (wire.SizeModel{}) {
+		cfg.Sizes = wire.DefaultSizeModel()
+	}
+	if cfg.Channel == (wire.Channel{}) {
+		cfg.Channel = wire.DefaultChannel()
+	}
+	if cfg.MaxFragments <= 0 {
+		cfg.MaxFragments = 8
+	}
+	if cfg.RegionDescriptorBytes <= 0 {
+		cfg.RegionDescriptorBytes = 24
+	}
+	return &Client{cfg: cfg, transport: transport, objects: make(map[rtree.ObjectID]*objInfo)}
+}
+
+// Used returns occupied cache bytes.
+func (c *Client) Used() int { return c.used }
+
+// Regions returns the number of cached semantic regions.
+func (c *Client) Regions() int { return len(c.regions) }
+
+// SetPosition records the client location for FAR replacement.
+func (c *Client) SetPosition(p geom.Point) { c.position = p }
+
+// Query processes one query through the semantic cache.
+func (c *Client) Query(q query.Query) (core.Report, error) {
+	c.clock++
+	opsStart := c.Ops
+	var rep core.Report
+	var err error
+	switch q.Kind {
+	case query.Range:
+		rep, err = c.rangeQuery(q)
+	case query.KNN:
+		rep, err = c.knnQuery(q)
+	default:
+		rep, err = c.passThrough(q)
+	}
+	rep.CacheOps -= opsStart
+	return rep, err
+}
+
+// rangeQuery trims q against cached range regions and fetches the remainder.
+func (c *Client) rangeQuery(q query.Query) (core.Report, error) {
+	var rep core.Report
+
+	// Local part: objects of cached range regions that intersect the window.
+	saved := make(map[rtree.ObjectID]int)
+	fragments := []geom.Rect{q.Window}
+	trimmed := 0
+	c.Ops += len(c.regions)
+	for _, r := range c.regions {
+		if r.kind != rangeRegion || !r.rect.Intersects(q.Window) {
+			continue
+		}
+		r.lastUsed = c.clock
+		for _, id := range r.objs {
+			info := c.objects[id]
+			if info != nil && info.mbr.Intersects(q.Window) {
+				saved[id] = info.size
+			}
+		}
+		// Trim the remainder while the fragment budget lasts.
+		if trimmed < c.cfg.MaxFragments {
+			var next []geom.Rect
+			for _, f := range fragments {
+				next = append(next, f.Subtract(r.rect)...)
+			}
+			if len(next) <= c.cfg.MaxFragments {
+				fragments = next
+				trimmed++
+			}
+		}
+	}
+	savedIDs := make([]rtree.ObjectID, 0, len(saved))
+	for id := range saved {
+		savedIDs = append(savedIDs, id)
+	}
+	sort.Slice(savedIDs, func(i, j int) bool { return savedIDs[i] < savedIDs[j] })
+	for _, id := range savedIDs {
+		rep.SavedBytes += saved[id]
+		rep.Results = append(rep.Results, id)
+	}
+
+	if len(fragments) == 0 { // fully covered
+		rep.LocalOnly = true
+		rep.ResultBytes = rep.SavedBytes
+		rep.CacheOps = c.Ops
+		return rep, nil
+	}
+
+	req := &wire.Request{Client: c.cfg.ID, Q: q, SemWindows: fragments, NoIndex: true}
+	resp, err := c.roundTrip(req, &rep, saved)
+	if err != nil {
+		return rep, err
+	}
+
+	// Cache each fragment as a new region holding the returned objects that
+	// intersect it.
+	for _, f := range fragments {
+		var ids []rtree.ObjectID
+		for _, o := range resp.Objects {
+			if o.MBR.Intersects(f) {
+				ids = append(ids, o.ID)
+			}
+		}
+		c.addRegion(&region{kind: rangeRegion, rect: f, objs: ids, lastUsed: c.clock}, resp.Objects)
+	}
+	c.evict()
+	rep.CacheOps = c.Ops
+	return rep, nil
+}
+
+// knnQuery answers from a cached kNN region when the validity condition
+// d(p,q) + rho <= radius holds; otherwise the full query goes to the server.
+func (c *Client) knnQuery(q query.Query) (core.Report, error) {
+	var rep core.Report
+	c.Ops += len(c.regions)
+	for _, r := range c.regions {
+		if r.kind != knnRegion || r.k < q.K || len(r.objs) < q.K {
+			continue
+		}
+		ids, rho := c.kNearestAmong(r.objs, q.Center, q.K)
+		if ids == nil || geom.Dist(q.Center, r.center)+rho > r.radius {
+			continue
+		}
+		r.lastUsed = c.clock
+		rep.LocalOnly = true
+		for _, id := range ids {
+			rep.Results = append(rep.Results, id)
+			rep.SavedBytes += c.objects[id].size
+		}
+		rep.ResultBytes = rep.SavedBytes
+		rep.CacheOps = c.Ops
+		return rep, nil
+	}
+
+	req := &wire.Request{Client: c.cfg.ID, Q: q, NoIndex: true}
+	resp, err := c.roundTrip(req, &rep, nil)
+	if err != nil {
+		return rep, err
+	}
+	if len(resp.Objects) > 0 {
+		ids := make([]rtree.ObjectID, len(resp.Objects))
+		for i, o := range resp.Objects {
+			ids[i] = o.ID
+		}
+		last := resp.Objects[len(resp.Objects)-1]
+		c.addRegion(&region{
+			kind:     knnRegion,
+			center:   q.Center,
+			k:        q.K,
+			radius:   geom.MinDist(q.Center, last.MBR),
+			objs:     ids,
+			lastUsed: c.clock,
+		}, resp.Objects)
+	}
+	c.evict()
+	rep.CacheOps = c.Ops
+	return rep, nil
+}
+
+// passThrough forwards joins untouched; results are not cacheable
+// semantically.
+func (c *Client) passThrough(q query.Query) (core.Report, error) {
+	var rep core.Report
+	req := &wire.Request{Client: c.cfg.ID, Q: q, NoIndex: true}
+	if _, err := c.roundTrip(req, &rep, nil); err != nil {
+		return rep, err
+	}
+	rep.CacheOps = c.Ops
+	return rep, nil
+}
+
+// roundTrip sends the request, merges results into rep, and computes byte
+// and timing metrics. saved lists locally confirmed objects (id -> size).
+func (c *Client) roundTrip(req *wire.Request, rep *core.Report, saved map[rtree.ObjectID]int) (*wire.Response, error) {
+	rep.UplinkBytes = c.cfg.Sizes.RequestBytes(req)
+	resp, err := c.transport.RoundTrip(req)
+	if err != nil {
+		return nil, fmt.Errorf("semcache: %w", err)
+	}
+	rep.DownlinkBytes = c.cfg.Sizes.ResponseBytes(resp)
+
+	rep.ResultBytes = rep.SavedBytes
+	for _, o := range resp.Objects {
+		if saved != nil {
+			if _, ok := saved[o.ID]; ok {
+				continue // duplicate of a locally answered object
+			}
+		}
+		rep.ResultBytes += o.Size
+		if _, cached := c.objects[o.ID]; cached {
+			rep.FalseMissBytes += o.Size
+		}
+		rep.Results = append(rep.Results, o.ID)
+	}
+	rep.Pairs = append(rep.Pairs, resp.Pairs...)
+
+	objDone, total := c.cfg.Sizes.ResponseTimeline(c.cfg.Channel, rep.UplinkBytes, resp)
+	rep.TotalTime = total
+	if rep.ResultBytes > 0 {
+		weighted := 0.0
+		for i, o := range resp.Objects {
+			if saved != nil {
+				if _, ok := saved[o.ID]; ok {
+					continue
+				}
+			}
+			weighted += float64(o.Size) * objDone[i]
+		}
+		rep.RespTime = weighted / float64(rep.ResultBytes)
+	} else {
+		rep.RespTime = total
+	}
+	return resp, nil
+}
+
+// kNearestAmong returns the k cached objects nearest to p and the distance
+// of the k-th, or nil when fewer than k are available.
+func (c *Client) kNearestAmong(ids []rtree.ObjectID, p geom.Point, k int) ([]rtree.ObjectID, float64) {
+	type cand struct {
+		id rtree.ObjectID
+		d  float64
+	}
+	cands := make([]cand, 0, len(ids))
+	for _, id := range ids {
+		if info, ok := c.objects[id]; ok {
+			cands = append(cands, cand{id, geom.MinDist(p, info.mbr)})
+		}
+	}
+	if len(cands) < k {
+		return nil, 0
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].d < cands[j].d })
+	out := make([]rtree.ObjectID, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].id
+	}
+	return out, cands[k-1].d
+}
+
+// addRegion inserts a region and reference-counts its objects, caching
+// payloads that are not yet present.
+func (c *Client) addRegion(r *region, objs []wire.ObjectRep) {
+	byID := make(map[rtree.ObjectID]wire.ObjectRep, len(objs))
+	for _, o := range objs {
+		byID[o.ID] = o
+	}
+	kept := r.objs[:0]
+	for _, id := range r.objs {
+		info, ok := c.objects[id]
+		if !ok {
+			o, have := byID[id]
+			if !have {
+				continue
+			}
+			info = &objInfo{size: o.Size, mbr: o.MBR}
+			c.objects[id] = info
+			c.used += o.Size
+		}
+		info.refs++
+		kept = append(kept, id)
+	}
+	r.objs = kept
+	c.regions = append(c.regions, r)
+	c.used += c.cfg.RegionDescriptorBytes
+	c.Ops += len(r.objs) + 1
+}
+
+// evict applies FAR: drop the region farthest from the current position
+// until the cache fits; objects leave when their last region does.
+func (c *Client) evict() {
+	for c.used > c.cfg.Capacity && len(c.regions) > 0 {
+		c.Ops += len(c.regions)
+		worst, worstDist := -1, -1.0
+		for i, r := range c.regions {
+			d := geom.MinDist(c.position, r.footprint())
+			if d > worstDist {
+				worst, worstDist = i, d
+			}
+		}
+		c.dropRegion(worst)
+	}
+}
+
+func (c *Client) dropRegion(i int) {
+	r := c.regions[i]
+	for _, id := range r.objs {
+		info := c.objects[id]
+		info.refs--
+		if info.refs <= 0 {
+			c.used -= info.size
+			delete(c.objects, id)
+		}
+	}
+	c.used -= c.cfg.RegionDescriptorBytes
+	c.regions = append(c.regions[:i], c.regions[i+1:]...)
+	c.Ops += len(r.objs)
+}

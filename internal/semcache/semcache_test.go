@@ -1,0 +1,212 @@
+package semcache
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+type world struct {
+	items []rtree.Item
+	sizes map[rtree.ObjectID]int
+	srv   *server.Server
+}
+
+func newWorld(seed int64, n int) *world {
+	r := rand.New(rand.NewSource(seed))
+	w := &world{sizes: make(map[rtree.ObjectID]int)}
+	for i := 0; i < n; i++ {
+		id := rtree.ObjectID(i + 1)
+		c := geom.Pt(r.Float64(), r.Float64())
+		w.items = append(w.items, rtree.Item{Obj: id, MBR: geom.RectFromCenter(c, r.Float64()*0.01, r.Float64()*0.01)})
+		w.sizes[id] = 500 + r.Intn(1500)
+	}
+	tree := rtree.BulkLoad(rtree.Params{MaxEntries: 16}, w.items, 0.7)
+	w.srv = server.New(tree, func(id rtree.ObjectID) int { return w.sizes[id] }, server.Config{})
+	return w
+}
+
+func (w *world) client(capacity int) *Client {
+	return New(Config{ID: 2, Capacity: capacity}, wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+		resp, _ := w.srv.Execute(req)
+		return resp, nil
+	}))
+}
+
+func (w *world) bruteRange(win geom.Rect) map[rtree.ObjectID]bool {
+	out := make(map[rtree.ObjectID]bool)
+	for _, it := range w.items {
+		if it.MBR.Intersects(win) {
+			out[it.Obj] = true
+		}
+	}
+	return out
+}
+
+func (w *world) bruteKNNDists(p geom.Point, k int) []float64 {
+	ds := make([]float64, len(w.items))
+	for i, it := range w.items {
+		ds[i] = geom.MinDist(p, it.MBR)
+	}
+	sort.Float64s(ds)
+	return ds[:k]
+}
+
+func TestRangeCorrectnessAndTrimming(t *testing.T) {
+	w := newWorld(21, 700)
+	cl := w.client(1 << 22)
+	r := rand.New(rand.NewSource(22))
+	for i := 0; i < 120; i++ {
+		// Overlapping drift to exercise trimming.
+		p := geom.Pt(0.3+r.Float64()*0.4, 0.3+r.Float64()*0.4)
+		win := geom.RectFromCenter(p, 0.05+r.Float64()*0.05, 0.05+r.Float64()*0.05)
+		rep, err := cl.Query(query.NewRange(win))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := w.bruteRange(win)
+		got := make(map[rtree.ObjectID]bool, len(rep.Results))
+		for _, id := range rep.Results {
+			got[id] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d distinct results, want %d", i, len(got), len(want))
+		}
+		for id := range got {
+			if !want[id] {
+				t.Fatalf("query %d: unexpected result %d", i, id)
+			}
+		}
+	}
+}
+
+func TestRangeReuseSavesBytes(t *testing.T) {
+	w := newWorld(23, 700)
+	cl := w.client(1 << 22)
+	win := geom.RectFromCenter(geom.Pt(0.5, 0.5), 0.1, 0.1)
+
+	first, err := cl.Query(query.NewRange(win))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.SavedBytes != 0 {
+		t.Error("cold range query saved bytes")
+	}
+	second, err := cl.Query(query.NewRange(win))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.LocalOnly {
+		t.Error("identical range query not answered locally")
+	}
+	if second.ResultBytes != second.SavedBytes {
+		t.Error("local answer accounting broken")
+	}
+}
+
+func TestKNNValidityCorrectness(t *testing.T) {
+	w := newWorld(24, 800)
+	cl := w.client(1 << 22)
+	r := rand.New(rand.NewSource(25))
+	base := geom.Pt(0.5, 0.5)
+	localHits := 0
+	for i := 0; i < 100; i++ {
+		// Small drift so validity circles get reused.
+		p := geom.Pt(base.X+(r.Float64()-0.5)*0.01, base.Y+(r.Float64()-0.5)*0.01)
+		k := 1 + r.Intn(4)
+		rep, err := cl.Query(query.NewKNN(p, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.LocalOnly {
+			localHits++
+		}
+		wantD := w.bruteKNNDists(p, k)
+		if len(rep.Results) != len(wantD) {
+			t.Fatalf("query %d: %d results, want %d", i, len(rep.Results), len(wantD))
+		}
+		gotD := make([]float64, len(rep.Results))
+		for j, id := range rep.Results {
+			gotD[j] = geom.MinDist(p, w.items[int(id)-1].MBR)
+		}
+		sort.Float64s(gotD)
+		for j := range wantD {
+			if math.Abs(gotD[j]-wantD[j]) > 1e-12 {
+				t.Fatalf("query %d: dist[%d]=%v want %v", i, j, gotD[j], wantD[j])
+			}
+		}
+	}
+	if localHits == 0 {
+		t.Error("validity circles never reused under heavy locality")
+	}
+}
+
+func TestJoinPassThrough(t *testing.T) {
+	w := newWorld(26, 600)
+	cl := w.client(1 << 22)
+	win := geom.RectFromCenter(geom.Pt(0.5, 0.5), 0.3, 0.3)
+	rep, err := cl.Query(query.NewJoin(win, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SavedBytes != 0 || rep.LocalOnly {
+		t.Error("join must pass through entirely")
+	}
+	// Same join again: still a full pass-through (nothing was cached).
+	again, err := cl.Query(query.NewJoin(win, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.SavedBytes != 0 {
+		t.Error("join reused cache; semantic caching cannot do that")
+	}
+	if len(again.Pairs) != len(rep.Pairs) {
+		t.Errorf("pair counts differ: %d vs %d", len(again.Pairs), len(rep.Pairs))
+	}
+}
+
+func TestFAREvictionRespectsCapacity(t *testing.T) {
+	w := newWorld(27, 800)
+	cl := w.client(60_000)
+	r := rand.New(rand.NewSource(28))
+	for i := 0; i < 60; i++ {
+		p := geom.Pt(r.Float64(), r.Float64())
+		cl.SetPosition(p)
+		if _, err := cl.Query(query.NewRange(geom.RectFromCenter(p, 0.08, 0.08))); err != nil {
+			t.Fatal(err)
+		}
+		if cl.Used() > 60_000 {
+			t.Fatalf("query %d: used %d over capacity", i, cl.Used())
+		}
+	}
+	if cl.Regions() == 0 {
+		t.Error("cache empty after workload")
+	}
+}
+
+func TestCrossTypeNoReuse(t *testing.T) {
+	// The motivating drawback: a range query's objects do not help a kNN.
+	w := newWorld(29, 800)
+	cl := w.client(1 << 22)
+	center := geom.Pt(0.5, 0.5)
+	if _, err := cl.Query(query.NewRange(geom.RectFromCenter(center, 0.2, 0.2))); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cl.Query(query.NewKNN(center, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SavedBytes != 0 {
+		t.Error("semantic cache reused range results for kNN; that is proactive caching's trick, not SEM's")
+	}
+	if rep.FalseMissBytes == 0 {
+		t.Error("expected false misses: results were cached but unusable")
+	}
+}

@@ -1,0 +1,110 @@
+package server
+
+import (
+	"repro/internal/bpt"
+	"repro/internal/query"
+	"repro/internal/rtree"
+)
+
+// provider implements query.Provider over the full index. In partitioned
+// mode, node expansion navigates the node's binary partition tree (the
+// embedded compact-form computation of Section 4.2), recording which
+// positions were expanded so Ir can ship exactly the explored frontier.
+// In flat mode (full-form index or index-less baselines) node expansion
+// returns entries directly.
+type provider struct {
+	s           *Server
+	partitioned bool
+
+	visited    []rtree.NodeID
+	visitedSet map[rtree.NodeID]bool
+	expanded   map[rtree.NodeID]map[bpt.Code]bool
+}
+
+func newProvider(s *Server, partitioned bool) *provider {
+	return &provider{
+		s:           s,
+		partitioned: partitioned,
+		visitedSet:  make(map[rtree.NodeID]bool),
+		expanded:    make(map[rtree.NodeID]map[bpt.Code]bool),
+	}
+}
+
+func (p *provider) visit(id rtree.NodeID) {
+	if !p.visitedSet[id] {
+		p.visitedSet[id] = true
+		p.visited = append(p.visited, id)
+	}
+}
+
+func (p *provider) markExpanded(id rtree.NodeID, code bpt.Code) {
+	m, ok := p.expanded[id]
+	if !ok {
+		m = make(map[bpt.Code]bool)
+		p.expanded[id] = m
+	}
+	m[code] = true
+}
+
+// Expand implements query.Provider. The server never reports missing
+// targets; a dangling reference returns an empty expansion.
+func (p *provider) Expand(ref query.Ref) ([]query.Ref, bool) {
+	switch ref.Kind {
+	case query.RefNode:
+		n, ok := p.s.tree.Node(ref.Node)
+		if !ok {
+			return nil, true
+		}
+		p.visit(n.ID)
+		if len(n.Entries) == 0 {
+			return nil, true
+		}
+		if !p.partitioned {
+			out := make([]query.Ref, len(n.Entries))
+			for i, e := range n.Entries {
+				out[i] = query.FromEntry(e)
+			}
+			return out, true
+		}
+		pt := p.s.forest.Get(n)
+		p.markExpanded(n.ID, pt.Root.Code)
+		return pnodeChildren(n.ID, pt.Root), true
+
+	case query.RefSuper:
+		n, ok := p.s.tree.Node(ref.Node)
+		if !ok {
+			return nil, true
+		}
+		p.visit(n.ID)
+		pt := p.s.forest.Get(n)
+		pn, ok := pt.Node(ref.Code)
+		if !ok || pn.Leaf() {
+			return nil, true
+		}
+		p.markExpanded(n.ID, ref.Code)
+		return pnodeChildren(n.ID, pn), true
+
+	default:
+		return nil, true
+	}
+}
+
+// HaveObject implements query.Provider; the server holds every object.
+func (p *provider) HaveObject(rtree.ObjectID) bool { return true }
+
+// pnodeChildren converts a partition node's children into engine references:
+// leaves become real entries, internal positions become super entries.
+func pnodeChildren(node rtree.NodeID, pn *bpt.PNode) []query.Ref {
+	if pn.Leaf() {
+		return []query.Ref{query.FromEntry(pn.Entry)}
+	}
+	out := make([]query.Ref, 0, 2)
+	for _, c := range []*bpt.PNode{pn.Left, pn.Right} {
+		if c.Leaf() {
+			out = append(out, query.FromEntry(c.Entry))
+		} else {
+			out = append(out, query.SuperRef(node, c.Code, c.MBR))
+		}
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+// Package server implements the mobile application server of the proactive
+// caching architecture (Figure 3): it resumes remainder queries from the
+// client's handed-over priority queue, and ships back the remainder results
+// Rr together with the supporting index Ir in full, normal-compact, or
+// d+-level compact form (the adaptive scheme of Section 4.3).
+package server
+
+import (
+	"sort"
+
+	"repro/internal/bpt"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+// IndexForm selects how the supporting index is represented on the wire.
+type IndexForm uint8
+
+const (
+	// FullForm ships every accessed node with all its entries (FPRO).
+	FullForm IndexForm = iota + 1
+	// CompactForm ships the normal compact form CF(n, Qr) (CPRO).
+	CompactForm
+	// AdaptiveForm ships the d+-level compact form with a per-client d
+	// driven by false-miss-rate feedback (APRO).
+	AdaptiveForm
+)
+
+// Config parameterizes a server.
+type Config struct {
+	// Form selects the supporting-index representation. Default AdaptiveForm.
+	Form IndexForm
+	// Sensitivity is the adaptive scheme's s parameter (relative fmr change
+	// that triggers a d adjustment). Default 0.20 (Table 6.1).
+	Sensitivity float64
+	// InitialD is the starting refinement level for adaptive clients.
+	InitialD int
+	// MaxD caps the refinement level. Default 12.
+	MaxD int
+	// UpdateLogLimit bounds the invalidation log; clients whose epoch falls
+	// off the horizon are told to flush. Default 4096 update records.
+	UpdateLogLimit int
+}
+
+func (c Config) normalized() Config {
+	if c.Form == 0 {
+		c.Form = AdaptiveForm
+	}
+	if c.Sensitivity <= 0 {
+		c.Sensitivity = 0.20
+	}
+	if c.MaxD <= 0 {
+		c.MaxD = 12
+	}
+	if c.InitialD < 0 {
+		c.InitialD = 0
+	}
+	if c.InitialD > c.MaxD {
+		c.InitialD = c.MaxD
+	}
+	if c.UpdateLogLimit <= 0 {
+		c.UpdateLogLimit = 4096
+	}
+	return c
+}
+
+// ObjectSizer reports the payload size in bytes of each data object.
+type ObjectSizer func(rtree.ObjectID) int
+
+// ExecInfo reports per-request processing statistics (the basis of the
+// server-CPU observations in Section 6.4).
+type ExecInfo struct {
+	Engine       query.Stats
+	VisitedNodes int
+	D            int // refinement level used for this client
+}
+
+// Server owns the R*-tree, the binary partition forest, and per-client
+// adaptive state.
+type Server struct {
+	tree    *rtree.Tree
+	forest  *bpt.Forest
+	sizes   ObjectSizer
+	cfg     Config
+	clients map[wire.ClientID]*clientState
+
+	// Update/invalidation state (see update.go).
+	epoch      uint64
+	logFloor   uint64
+	updates    []updateRecord
+	extraSizes map[rtree.ObjectID]int // sizes of objects inserted post-build
+}
+
+type clientState struct {
+	d       int
+	lastFMR float64
+	hasLast bool
+}
+
+// New constructs a server over an existing index.
+func New(tree *rtree.Tree, sizes ObjectSizer, cfg Config) *Server {
+	s := &Server{
+		tree:       tree,
+		forest:     bpt.NewForest(),
+		cfg:        cfg.normalized(),
+		clients:    make(map[wire.ClientID]*clientState),
+		extraSizes: make(map[rtree.ObjectID]int),
+	}
+	s.sizes = func(id rtree.ObjectID) int {
+		if sz, ok := s.extraSizes[id]; ok {
+			return sz
+		}
+		return sizes(id)
+	}
+	return s
+}
+
+// Tree exposes the underlying index (read-only use).
+func (s *Server) Tree() *rtree.Tree { return s.tree }
+
+// RootRef returns the reference query processing starts from; clients use it
+// as their catalog entry for the index root.
+func (s *Server) RootRef() query.Ref {
+	return query.FromEntry(s.tree.RootEntry())
+}
+
+// ClientD returns the current adaptive refinement level for a client.
+func (s *Server) ClientD(id wire.ClientID) int { return s.state(id).d }
+
+func (s *Server) state(id wire.ClientID) *clientState {
+	st, ok := s.clients[id]
+	if !ok {
+		st = &clientState{d: s.cfg.InitialD}
+		s.clients[id] = st
+	}
+	return st
+}
+
+// applyFeedback implements the adaptive rule of Section 4.3: a false-miss
+// rate more than s percent above the last reported one means the cached
+// index is too coarse (raise d); more than s percent below means it is
+// finer than needed (lower d).
+func (s *Server) applyFeedback(st *clientState, fmr float64) {
+	if !st.hasLast {
+		st.lastFMR, st.hasLast = fmr, true
+		return
+	}
+	switch {
+	case fmr > st.lastFMR*(1+s.cfg.Sensitivity):
+		if st.d < s.cfg.MaxD {
+			st.d++
+		}
+	case fmr < st.lastFMR*(1-s.cfg.Sensitivity):
+		if st.d > 0 {
+			st.d--
+		}
+	}
+	st.lastFMR = fmr
+}
+
+// Execute processes one request and builds the response.
+func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
+	st := s.state(req.Client)
+	if req.HasFMR {
+		s.applyFeedback(st, req.FMR)
+	}
+	if req.Catalog {
+		root := s.RootRef()
+		resp := &wire.Response{RootID: root.Node, RootMBR: root.MBR}
+		s.attachInvalidations(req, resp)
+		return resp, ExecInfo{D: st.d}
+	}
+
+	partitioned := s.cfg.Form != FullForm && !req.NoIndex
+	prov := newProvider(s, partitioned)
+
+	resp := &wire.Response{K: req.Q.K}
+	info := ExecInfo{D: st.d}
+
+	// Objects the client already holds: no payload bytes for those.
+	noPayload := make(map[rtree.ObjectID]bool)
+	for _, id := range req.CachedIDs {
+		noPayload[id] = true
+	}
+	for _, qe := range req.H {
+		if qe.Deferred && qe.Elem.IsObjectElem() && !qe.Elem.Pair {
+			noPayload[qe.Elem.A.Obj] = true
+		}
+	}
+
+	switch {
+	case len(req.SemWindows) > 0 && req.Q.Kind == query.Range:
+		// Semantic-caching remainder: union of trimmed windows.
+		seen := make(map[rtree.ObjectID]bool)
+		for _, w := range req.SemWindows {
+			q := query.NewRange(w)
+			out := query.Run(q, prov, query.SeedRoot(q, s.RootRef()))
+			info.Engine.Add(out.Stats)
+			for _, r := range out.Results {
+				if !seen[r.Obj] {
+					seen[r.Obj] = true
+					resp.Objects = append(resp.Objects, s.objectRep(r, noPayload))
+				}
+			}
+		}
+	default:
+		seed := req.H
+		if len(seed) == 0 {
+			seed = query.SeedRoot(req.Q, s.RootRef())
+		} else {
+			seed = s.rekey(req.Q, seed)
+		}
+		out := query.Run(req.Q, prov, seed)
+		info.Engine = out.Stats
+		seen := make(map[rtree.ObjectID]bool)
+		for _, r := range out.Results {
+			if !seen[r.Obj] {
+				seen[r.Obj] = true
+				resp.Objects = append(resp.Objects, s.objectRep(r, noPayload))
+			}
+		}
+		for _, p := range out.Pairs {
+			resp.Pairs = append(resp.Pairs, [2]rtree.ObjectID{p[0].Obj, p[1].Obj})
+			for _, r := range p {
+				if !seen[r.Obj] {
+					seen[r.Obj] = true
+					resp.Objects = append(resp.Objects, s.objectRep(r, noPayload))
+				}
+			}
+		}
+	}
+
+	if !req.NoIndex {
+		resp.Index = s.buildIndex(prov, st.d)
+	}
+	root := s.RootRef()
+	resp.RootID, resp.RootMBR = root.Node, root.MBR
+	s.attachInvalidations(req, resp)
+	info.VisitedNodes = len(prov.visited)
+	return resp, info
+}
+
+func (s *Server) objectRep(r query.Ref, noPayload map[rtree.ObjectID]bool) wire.ObjectRep {
+	return wire.ObjectRep{
+		ID:      r.Obj,
+		MBR:     r.MBR,
+		Size:    s.sizes(r.Obj),
+		Payload: !noPayload[r.Obj],
+	}
+}
+
+// rekey recomputes priorities of handed-over elements from their MBRs (the
+// client's keys are not trusted) and drops deferred flags into fresh copies.
+func (s *Server) rekey(q query.Query, h []query.QueuedElem) []query.QueuedElem {
+	out := make([]query.QueuedElem, len(h))
+	for i, qe := range h {
+		var key float64
+		if qe.Elem.Pair {
+			key = q.PairKeyFor(qe.Elem.A.MBR, qe.Elem.B.MBR)
+		} else {
+			key = q.KeyFor(qe.Elem.A.MBR)
+		}
+		out[i] = query.QueuedElem{Key: key, Elem: qe.Elem, Deferred: qe.Deferred}
+	}
+	return out
+}
+
+// buildIndex assembles Ir: one representation per node the remainder query
+// accessed, parents before children, in the configured form.
+func (s *Server) buildIndex(p *provider, d int) []wire.NodeRep {
+	nodes := make([]*rtree.Node, 0, len(p.visited))
+	for _, id := range p.visited {
+		if n, ok := s.tree.Node(id); ok {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].Level > nodes[j].Level })
+
+	reps := make([]wire.NodeRep, 0, len(nodes))
+	for _, n := range nodes {
+		if len(n.Entries) == 0 {
+			continue
+		}
+		pt := s.forest.Get(n)
+		var cut bpt.Cut
+		switch s.cfg.Form {
+		case FullForm:
+			cut = pt.FullCut()
+		case CompactForm:
+			cut = pt.Frontier(closeUpward(p.expanded[n.ID]))
+		default: // AdaptiveForm
+			cut = pt.ExpandCut(pt.Frontier(closeUpward(p.expanded[n.ID])), d)
+		}
+		rep := wire.NodeRep{ID: n.ID, Level: n.Level}
+		for _, code := range cut {
+			pn, ok := pt.Node(code)
+			if !ok {
+				continue
+			}
+			elem := wire.CutElem{Code: code, MBR: pn.MBR}
+			if pn.Leaf() {
+				elem.Child = pn.Entry.Child
+				elem.Obj = pn.Entry.Obj
+			} else {
+				elem.Super = true
+			}
+			rep.Elems = append(rep.Elems, elem)
+		}
+		reps = append(reps, rep)
+	}
+	return reps
+}
+
+// closeUpward adds every ancestor of each expanded position. A remainder
+// query resumed from a client's super entry (n, code) expands only the
+// subtree below code; closing the set upward makes the shipped frontier a
+// full cover of the node — the unexplored siblings ride along as super
+// entries. Shipping partial covers would let a client whose copy of the
+// node was just invalidated install a representation that silently hides
+// entries, losing results forever.
+func closeUpward(expanded map[bpt.Code]bool) map[bpt.Code]bool {
+	if len(expanded) == 0 {
+		return expanded
+	}
+	closed := make(map[bpt.Code]bool, 2*len(expanded))
+	for code := range expanded {
+		closed[code] = true
+		for c := code; len(c) > 0; {
+			c = c.Parent()
+			closed[c] = true
+		}
+	}
+	return closed
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+// Update support — the paper's first future-work item ("investigate the
+// impact of server updates on proactive caching and devise efficient cache
+// invalidation schemes"). The server keeps an epoch-stamped log of the index
+// nodes and objects each update touched; clients attach their last-seen
+// epoch to requests, and responses piggyback the ids invalidated since then
+// (a pull-based invalidation report in the spirit of Xu et al.'s IR
+// schemes, adapted to the unicast setting).
+
+// updateRecord is one epoch's worth of invalidations.
+type updateRecord struct {
+	epoch uint64
+	nodes []rtree.NodeID
+	objs  []rtree.ObjectID
+}
+
+// InsertObject adds an object to the index, assigns it the next epoch, and
+// logs every index node the insertion touched.
+func (s *Server) InsertObject(id rtree.ObjectID, mbr geom.Rect, size int) {
+	touched := s.capture(func() {
+		s.tree.Insert(id, mbr)
+	})
+	s.extraSizes[id] = size
+	s.logUpdate(touched, nil)
+}
+
+// DeleteObject removes an object. It reports whether the object existed.
+func (s *Server) DeleteObject(id rtree.ObjectID, mbr geom.Rect) bool {
+	var ok bool
+	touched := s.capture(func() {
+		ok = s.tree.Delete(id, mbr)
+	})
+	if !ok {
+		return false
+	}
+	s.logUpdate(touched, []rtree.ObjectID{id})
+	return true
+}
+
+// MoveObject relocates an object (delete + insert under one epoch), the
+// moving-objects workload of the update experiments.
+func (s *Server) MoveObject(id rtree.ObjectID, from, to geom.Rect) bool {
+	var ok bool
+	touched := s.capture(func() {
+		if ok = s.tree.Delete(id, from); ok {
+			s.tree.Insert(id, to)
+		}
+	})
+	if !ok {
+		return false
+	}
+	s.logUpdate(touched, []rtree.ObjectID{id})
+	return true
+}
+
+// capture runs fn with the touch hook installed and returns the set of
+// mutated nodes in first-touch order. Partition trees for touched nodes are
+// invalidated so compact forms rebuild against current entries.
+func (s *Server) capture(fn func()) []rtree.NodeID {
+	seen := make(map[rtree.NodeID]bool)
+	var order []rtree.NodeID
+	s.tree.SetTouchHook(func(id rtree.NodeID) {
+		if !seen[id] {
+			seen[id] = true
+			order = append(order, id)
+		}
+	})
+	defer s.tree.SetTouchHook(nil)
+	fn()
+	for _, id := range order {
+		s.forest.Invalidate(id)
+	}
+	return order
+}
+
+func (s *Server) logUpdate(nodes []rtree.NodeID, objs []rtree.ObjectID) {
+	s.epoch++
+	s.updates = append(s.updates, updateRecord{epoch: s.epoch, nodes: nodes, objs: objs})
+	// Bound the log; clients older than the horizon get a full flush.
+	if len(s.updates) > s.cfg.UpdateLogLimit {
+		drop := len(s.updates) - s.cfg.UpdateLogLimit
+		s.logFloor = s.updates[drop-1].epoch
+		s.updates = append(s.updates[:0], s.updates[drop:]...)
+	}
+}
+
+// Epoch returns the server's current update epoch.
+func (s *Server) Epoch() uint64 { return s.epoch }
+
+// invalidationsSince collects the node/object ids changed after the client's
+// epoch. The boolean reports whether the log horizon was exceeded, in which
+// case the client must drop its whole cache (FlushAll).
+func (s *Server) invalidationsSince(epoch uint64) (nodes []rtree.NodeID, objs []rtree.ObjectID, flush bool) {
+	if epoch >= s.epoch {
+		return nil, nil, false
+	}
+	if epoch < s.logFloor {
+		return nil, nil, true
+	}
+	seenN := make(map[rtree.NodeID]bool)
+	seenO := make(map[rtree.ObjectID]bool)
+	for _, rec := range s.updates {
+		if rec.epoch <= epoch {
+			continue
+		}
+		for _, id := range rec.nodes {
+			if !seenN[id] {
+				seenN[id] = true
+				nodes = append(nodes, id)
+			}
+		}
+		for _, id := range rec.objs {
+			if !seenO[id] {
+				seenO[id] = true
+				objs = append(objs, id)
+			}
+		}
+	}
+	return nodes, objs, false
+}
+
+// attachInvalidations stamps the response with the current epoch and the
+// invalidation report for the requesting client.
+func (s *Server) attachInvalidations(req *wire.Request, resp *wire.Response) {
+	resp.Epoch = s.epoch
+	if s.epoch == 0 {
+		return
+	}
+	nodes, objs, flush := s.invalidationsSince(req.Epoch)
+	resp.FlushAll = flush
+	resp.InvalidNodes = nodes
+	resp.InvalidObjs = objs
+}

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+func updServer(t *testing.T, n int, logLimit int) (*Server, []rtree.Item) {
+	t.Helper()
+	r := rand.New(rand.NewSource(171))
+	items := make([]rtree.Item, n)
+	for i := range items {
+		items[i] = rtree.Item{
+			Obj: rtree.ObjectID(i + 1),
+			MBR: geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01),
+		}
+	}
+	tree := rtree.BulkLoad(rtree.Params{MaxEntries: 8}, items, 0.7)
+	return New(tree, func(rtree.ObjectID) int { return 1000 }, Config{UpdateLogLimit: logLimit}), items
+}
+
+func TestEpochAdvancesPerUpdate(t *testing.T) {
+	srv, items := updServer(t, 200, 0)
+	if srv.Epoch() != 0 {
+		t.Fatalf("initial epoch %d", srv.Epoch())
+	}
+	srv.InsertObject(1000, geom.R(0.5, 0.5, 0.51, 0.51), 500)
+	if srv.Epoch() != 1 {
+		t.Fatalf("epoch after insert %d", srv.Epoch())
+	}
+	if !srv.DeleteObject(items[0].Obj, items[0].MBR) {
+		t.Fatal("delete failed")
+	}
+	if srv.Epoch() != 2 {
+		t.Fatalf("epoch after delete %d", srv.Epoch())
+	}
+	// Deleting a ghost neither succeeds nor advances the epoch.
+	if srv.DeleteObject(9999, geom.R(0, 0, 1, 1)) {
+		t.Fatal("deleted a ghost")
+	}
+	if srv.Epoch() != 2 {
+		t.Fatalf("ghost delete advanced epoch to %d", srv.Epoch())
+	}
+	// A failed move does not advance the epoch either.
+	if srv.MoveObject(9999, geom.R(0, 0, 1, 1), geom.R(0, 0, 1, 1)) {
+		t.Fatal("moved a ghost")
+	}
+	if srv.Epoch() != 2 {
+		t.Fatalf("ghost move advanced epoch to %d", srv.Epoch())
+	}
+}
+
+func TestInvalidationsSinceWindows(t *testing.T) {
+	srv, items := updServer(t, 300, 0)
+	// Three updates at epochs 1, 2, 3.
+	srv.DeleteObject(items[0].Obj, items[0].MBR)
+	srv.DeleteObject(items[1].Obj, items[1].MBR)
+	srv.InsertObject(2000, geom.R(0.2, 0.2, 0.21, 0.21), 500)
+
+	// From epoch 0: everything.
+	nodes, objs, flush := srv.invalidationsSince(0)
+	if flush {
+		t.Fatal("unexpected flush")
+	}
+	if len(nodes) == 0 {
+		t.Fatal("no nodes invalidated")
+	}
+	if len(objs) != 2 {
+		t.Fatalf("objs = %v, want the two deletions", objs)
+	}
+
+	// From epoch 2: only the insert's touched nodes, no object removals.
+	nodes2, objs2, _ := srv.invalidationsSince(2)
+	if len(objs2) != 0 {
+		t.Fatalf("objs since 2 = %v", objs2)
+	}
+	if len(nodes2) == 0 || len(nodes2) > len(nodes) {
+		t.Fatalf("nodes since 2 = %d, total %d", len(nodes2), len(nodes))
+	}
+
+	// Current epoch: nothing.
+	n3, o3, f3 := srv.invalidationsSince(srv.Epoch())
+	if len(n3) != 0 || len(o3) != 0 || f3 {
+		t.Fatal("non-empty report for a current client")
+	}
+}
+
+func TestLogTrimForcesFlush(t *testing.T) {
+	srv, items := updServer(t, 300, 5)
+	for i := 0; i < 12; i++ {
+		srv.DeleteObject(items[i].Obj, items[i].MBR)
+	}
+	// A client at epoch 0 fell off the 5-record horizon.
+	_, _, flush := srv.invalidationsSince(0)
+	if !flush {
+		t.Fatal("expected flush for a client beyond the log horizon")
+	}
+	// A recent client is still served incrementally.
+	_, _, flush = srv.invalidationsSince(srv.Epoch() - 2)
+	if flush {
+		t.Fatal("recent client flushed unnecessarily")
+	}
+}
+
+func TestResponsesCarryEpochAndInvalidations(t *testing.T) {
+	srv, items := updServer(t, 300, 0)
+	srv.DeleteObject(items[5].Obj, items[5].MBR)
+
+	resp, _ := srv.Execute(&wire.Request{
+		Client: 4,
+		Q:      query.NewKNN(geom.Pt(0.5, 0.5), 2),
+		Epoch:  0,
+	})
+	if resp.Epoch != srv.Epoch() {
+		t.Fatalf("response epoch %d, server %d", resp.Epoch, srv.Epoch())
+	}
+	if len(resp.InvalidObjs) != 1 || resp.InvalidObjs[0] != items[5].Obj {
+		t.Fatalf("InvalidObjs = %v", resp.InvalidObjs)
+	}
+	if len(resp.InvalidNodes) == 0 {
+		t.Fatal("no invalidated nodes reported")
+	}
+	// Catalog requests carry the report too.
+	cat, _ := srv.Execute(&wire.Request{Client: 4, Catalog: true, Epoch: 0})
+	if cat.Epoch != srv.Epoch() || len(cat.InvalidObjs) != 1 {
+		t.Fatalf("catalog report incomplete: %+v", cat)
+	}
+	if cat.RootID != srv.Tree().Root() {
+		t.Fatal("catalog root missing")
+	}
+}
+
+func TestUpdatesKeepQueriesCorrect(t *testing.T) {
+	srv, items := updServer(t, 400, 0)
+	r := rand.New(rand.NewSource(172))
+	live := make(map[rtree.ObjectID]geom.Rect, len(items))
+	for _, it := range items {
+		live[it.Obj] = it.MBR
+	}
+	next := rtree.ObjectID(len(items) + 1)
+
+	for round := 0; round < 120; round++ {
+		switch r.Intn(3) {
+		case 0:
+			mbr := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01)
+			srv.InsertObject(next, mbr, 700)
+			live[next] = mbr
+			next++
+		case 1:
+			for id, mbr := range live {
+				srv.DeleteObject(id, mbr)
+				delete(live, id)
+				break
+			}
+		default:
+			for id, mbr := range live {
+				to := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01)
+				srv.MoveObject(id, mbr, to)
+				live[id] = to
+				break
+			}
+		}
+		if err := srv.Tree().Validate(false); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		win := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.2, 0.2)
+		resp, _ := srv.Execute(&wire.Request{Q: query.NewRange(win), NoIndex: true})
+		want := 0
+		for _, mbr := range live {
+			if mbr.Intersects(win) {
+				want++
+			}
+		}
+		if len(resp.Objects) != want {
+			t.Fatalf("round %d: got %d, want %d", round, len(resp.Objects), want)
+		}
+	}
+}
+
+func TestInsertedObjectSizeServed(t *testing.T) {
+	srv, _ := updServer(t, 100, 0)
+	srv.InsertObject(5000, geom.R(0.9, 0.9, 0.901, 0.901), 4321)
+	resp, _ := srv.Execute(&wire.Request{Q: query.NewKNN(geom.Pt(0.9, 0.9), 1), NoIndex: true})
+	if len(resp.Objects) != 1 || resp.Objects[0].ID != 5000 {
+		t.Fatalf("resp = %+v", resp.Objects)
+	}
+	if resp.Objects[0].Size != 4321 {
+		t.Fatalf("size overlay broken: %d", resp.Objects[0].Size)
+	}
+}

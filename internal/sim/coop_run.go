@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/coop"
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// The cooperative-caching experiment quantifies the paper's MANET vision: a
+// neighborhood of clients with high query locality shares cached index and
+// objects over a cheap local link, trading WAN bytes for LAN bytes. The
+// sweep varies group size; members move as a loose cluster and interleave
+// queries about the shared area.
+
+// CoopConfig parameterizes one cooperative run.
+type CoopConfig struct {
+	Objects   int
+	Queries   int // per member (each user issues the same workload size)
+	Seed      int64
+	GroupSize int
+	CacheFrac float64 // per member
+	// Spread is the cluster radius: member offsets from the shared anchor.
+	Spread    float64
+	ThinkMean float64
+	Speed     float64
+	KMax      int
+}
+
+func (c CoopConfig) normalized() CoopConfig {
+	if c.Objects <= 0 {
+		c.Objects = 30_000
+	}
+	if c.Queries <= 0 {
+		c.Queries = 1_500
+	}
+	if c.GroupSize <= 0 {
+		c.GroupSize = 3
+	}
+	if c.CacheFrac <= 0 {
+		c.CacheFrac = 0.01
+	}
+	if c.Spread <= 0 {
+		c.Spread = 0.01
+	}
+	if c.ThinkMean <= 0 {
+		c.ThinkMean = 50
+	}
+	if c.Speed <= 0 {
+		c.Speed = 1e-4
+	}
+	if c.KMax <= 0 {
+		c.KMax = 5
+	}
+	return c
+}
+
+// CoopResult summarizes one cooperative run.
+type CoopResult struct {
+	GroupSize int
+
+	Queries        int
+	WANUplink      int64
+	WANDownlink    int64
+	LANBytes       int64
+	ServerContacts int
+	PeerBytes      int64
+	OwnBytes       int64
+	ResultBytes    int64
+	RespSum        float64
+}
+
+// WANPerQuery returns mean WAN downlink bytes per query.
+func (r *CoopResult) WANPerQuery() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.WANDownlink) / float64(r.Queries)
+}
+
+// LANPerQuery returns mean LAN bytes per query.
+func (r *CoopResult) LANPerQuery() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.LANBytes) / float64(r.Queries)
+}
+
+// ContactRate returns the fraction of queries that used the WAN.
+func (r *CoopResult) ContactRate() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return float64(r.ServerContacts) / float64(r.Queries)
+}
+
+// NeighborhoodHitRate returns (own + peer) bytes over all result bytes.
+func (r *CoopResult) NeighborhoodHitRate() float64 {
+	if r.ResultBytes == 0 {
+		return 0
+	}
+	return float64(r.OwnBytes+r.PeerBytes) / float64(r.ResultBytes)
+}
+
+// MeanResp returns mean response time in seconds.
+func (r *CoopResult) MeanResp() float64 {
+	if r.Queries == 0 {
+		return 0
+	}
+	return r.RespSum / float64(r.Queries)
+}
+
+// RunCoop executes one cooperative-group simulation against env.
+func RunCoop(env *Environment, cfg CoopConfig) (*CoopResult, error) {
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rngMove := rand.New(rand.NewSource(cfg.Seed + 7919))
+
+	srv := server.New(env.Tree, env.DS.SizeOf, server.Config{})
+	transport := wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+		resp, _ := srv.Execute(req)
+		return resp, nil
+	})
+
+	capacity := int(cfg.CacheFrac * float64(env.DS.TotalBytes))
+	members := make([]*coop.Client, cfg.GroupSize)
+	offsets := make([]geom.Point, cfg.GroupSize)
+	for i := range members {
+		members[i] = coop.NewClient(coop.Config{
+			ID:   wire.ClientID(i + 1),
+			Root: srv.RootRef(),
+		}, capacity, transport)
+		angle := float64(i) / float64(cfg.GroupSize) * 2 * math.Pi
+		offsets[i] = geom.Pt(cfg.Spread*math.Cos(angle), cfg.Spread*math.Sin(angle))
+	}
+	coop.NewGroup(members...)
+
+	anchor := mobility.NewRandomWaypoint(mobility.Config{Speed: cfg.Speed, PauseMean: cfg.ThinkMean}, rngMove)
+
+	res := &CoopResult{GroupSize: cfg.GroupSize}
+	total := cfg.Queries * cfg.GroupSize
+	base := anchor.Position()
+	for i := 0; i < total; i++ {
+		// The cluster walks together: the anchor advances once per round,
+		// then each member issues its query from its offset position.
+		m := i % cfg.GroupSize
+		if m == 0 {
+			think := rng.ExpFloat64() * cfg.ThinkMean
+			base = anchor.Advance(think)
+		}
+		pos := geom.Pt(clamp01(base.X+offsets[m].X), clamp01(base.Y+offsets[m].Y))
+		members[m].SetPosition(pos)
+
+		var q query.Query
+		switch rng.Intn(3) {
+		case 0:
+			side := 0.002 + rng.Float64()*0.002
+			q = query.NewRange(geom.RectFromCenter(pos, side, side))
+		case 1:
+			q = query.NewKNN(pos, 1+rng.Intn(cfg.KMax))
+		default:
+			q = query.NewJoin(geom.RectFromCenter(pos, 0.004, 0.004), 5e-5)
+		}
+		rep, err := members[m].Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("sim: coop query %d: %w", i, err)
+		}
+		res.Queries++
+		res.WANUplink += int64(rep.WANUplink)
+		res.WANDownlink += int64(rep.WANDownlink)
+		res.LANBytes += int64(rep.LANBytes)
+		res.PeerBytes += int64(rep.PeerBytes)
+		res.OwnBytes += int64(rep.OwnBytes)
+		res.ResultBytes += int64(rep.ResultBytes)
+		res.RespSum += rep.RespTime
+		if rep.ServerContact {
+			res.ServerContacts++
+		}
+	}
+	return res, nil
+}
+
+// CoopSweep compares group sizes (1 = no cooperation).
+func CoopSweep(env *Environment, queries int, seed int64, groupSizes []int) ([]*CoopResult, error) {
+	var out []*CoopResult
+	for _, gs := range groupSizes {
+		res, err := RunCoop(env, CoopConfig{
+			Objects:   env.DS.Len(),
+			Queries:   queries,
+			Seed:      seed,
+			GroupSize: gs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FprintCoopSweep renders the cooperative sweep.
+func FprintCoopSweep(w io.Writer, rows []*CoopResult) {
+	fmt.Fprintln(w, "Extension: cooperative caching (cluster of clients, shared neighborhood)")
+	fmt.Fprintf(w, "%6s %12s %12s %10s %10s %10s\n",
+		"group", "WAN B/q", "LAN B/q", "contact", "nbr-hit", "resp s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%6d %12.1f %12.1f %9.1f%% %9.1f%% %10.3f\n",
+			r.GroupSize, r.WANPerQuery(), r.LANPerQuery(),
+			r.ContactRate()*100, r.NeighborhoodHitRate()*100, r.MeanResp())
+	}
+}

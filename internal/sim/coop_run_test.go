@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+func TestCoopSweepSavesWAN(t *testing.T) {
+	rows, err := CoopSweep(sharedEnv, 400, 9, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, group := rows[0], rows[1]
+	if solo.GroupSize != 1 || group.GroupSize != 4 {
+		t.Fatal("row order")
+	}
+	if solo.LANBytes != 0 {
+		t.Errorf("solo run used the LAN: %d bytes", solo.LANBytes)
+	}
+	if group.LANBytes == 0 {
+		t.Error("group run never used the LAN")
+	}
+	// Cooperation must reduce the WAN load per query.
+	if group.WANPerQuery() >= solo.WANPerQuery() {
+		t.Errorf("no WAN savings: group %.0f B/q vs solo %.0f B/q",
+			group.WANPerQuery(), solo.WANPerQuery())
+	}
+	// And raise the neighborhood hit rate.
+	if group.NeighborhoodHitRate() <= solo.NeighborhoodHitRate() {
+		t.Errorf("no hit-rate gain: group %.3f vs solo %.3f",
+			group.NeighborhoodHitRate(), solo.NeighborhoodHitRate())
+	}
+}
+
+func TestCoopDeterministic(t *testing.T) {
+	a, err := RunCoop(sharedEnv, CoopConfig{Queries: 150, Seed: 10, GroupSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCoop(sharedEnv, CoopConfig{Queries: 150, Seed: 10, GroupSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("same seed, different coop outcomes:\n%+v\n%+v", a, b)
+	}
+}

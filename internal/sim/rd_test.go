@@ -1,0 +1,39 @@
+package sim
+
+import "testing"
+
+// TestRDEnvironmentShape: the paper's footnote 6 reports that RD results
+// mirror NE's; verify the headline ordering holds on road-segment data too.
+func TestRDEnvironmentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RD environment build is slow")
+	}
+	env := NewRDEnvironment(Scale{Objects: 8_000, Queries: 300, Seed: 2})
+	if env.DS.Name != "RD" {
+		t.Fatalf("dataset name %q", env.DS.Name)
+	}
+	if err := env.Tree.Validate(false); err != nil {
+		t.Fatal(err)
+	}
+
+	resp := map[Model]float64{}
+	hitc := map[Model]float64{}
+	for _, m := range []Model{PAG, APRO} {
+		cfg := DefaultConfig(env)
+		cfg.Model = m
+		cfg.Queries = 300
+		cfg.Seed = 2
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp[m] = res.Sum.MeanResp()
+		hitc[m] = res.Sum.HitC()
+	}
+	if !(resp[APRO] < resp[PAG]) {
+		t.Errorf("APRO %.3f should beat PAG %.3f on RD", resp[APRO], resp[PAG])
+	}
+	if hitc[PAG] != 0 || hitc[APRO] == 0 {
+		t.Errorf("hit rates wrong on RD: PAG %.3f APRO %.3f", hitc[PAG], hitc[APRO])
+	}
+}

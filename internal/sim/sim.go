@@ -1,0 +1,384 @@
+// Package sim is the simulation harness of Section 6: a mobile client moves
+// through the unit square (RAN or DIR), thinks for an exponential period,
+// issues spatial queries about its neighborhood (range / kNN / windowed
+// distance self-join), and processes them through one of the caching models
+// (APRO/FPRO/CPRO proactive variants, the SEM semantic baseline, or the PAG
+// page baseline) against a simulated 384 Kbps wireless channel.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/pagecache"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/semcache"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// Model selects the caching model under test.
+type Model uint8
+
+const (
+	// APRO is adaptive proactive caching (the paper's proposal).
+	APRO Model = iota + 1
+	// FPRO is proactive caching with full-form index shipping.
+	FPRO
+	// CPRO is proactive caching with normal-compact-form shipping.
+	CPRO
+	// SEM is the semantic caching baseline.
+	SEM
+	// PAG is the page caching baseline.
+	PAG
+)
+
+// String implements fmt.Stringer.
+func (m Model) String() string {
+	switch m {
+	case APRO:
+		return "APRO"
+	case FPRO:
+		return "FPRO"
+	case CPRO:
+		return "CPRO"
+	case SEM:
+		return "SEM"
+	case PAG:
+		return "PAG"
+	default:
+		return "Model(?)"
+	}
+}
+
+// MobilityKind selects the movement model.
+type MobilityKind uint8
+
+const (
+	// RAN is the random waypoint model.
+	RAN MobilityKind = iota + 1
+	// DIR is the directed movement model.
+	DIR
+)
+
+// String implements fmt.Stringer.
+func (m MobilityKind) String() string {
+	if m == DIR {
+		return "DIR"
+	}
+	return "RAN"
+}
+
+// Environment is the immutable world shared by runs: the dataset and its
+// server-side index.
+type Environment struct {
+	DS   *dataset.Dataset
+	Tree *rtree.Tree
+}
+
+// NewEnvironment bulk-loads the index for a dataset with the paper's page
+// parameters (4 KB pages, ~70% fill).
+func NewEnvironment(ds *dataset.Dataset) *Environment {
+	return &Environment{DS: ds, Tree: ds.BuildTree(rtree.DefaultParams(), 0.7)}
+}
+
+// Config collects the Table 6.1 parameters plus the run controls.
+type Config struct {
+	Env      *Environment
+	Model    Model
+	Policy   core.Policy // replacement for the proactive models
+	Mobility MobilityKind
+
+	Queries   int
+	CacheFrac float64 // |C| as a fraction of total dataset bytes
+
+	ThinkMean   float64 // mean thinking time, seconds
+	Speed       float64 // spd, units/second
+	AreaWnd     float64 // mean range window area
+	DistJoin    float64 // distance-join threshold
+	JoinWndSide float64 // side of the join neighborhood window
+	KMax        int     // k drawn uniformly from 1..KMax
+	Sensitivity float64 // adaptive s
+	FMRPeriod   int     // queries between fmr reports
+	InitialD    int     // starting d for adaptive clients
+
+	BandwidthBps float64 // wireless bandwidth, bits/second
+	LatencySec   float64 // fixed per-message channel latency
+
+	// Mix weights the query kinds (range, kNN, join).
+	Mix [3]float64
+
+	// KSchedule overrides the average k per query index (Figure 11's
+	// controlled drift); nil means uniform 1..KMax.
+	KSchedule func(i int) float64
+
+	// WindowSize batches the time series of Figure 11 (0 disables).
+	WindowSize int
+
+	// CPUPerOpMicros converts operation counts (engine pops/pushes/expands
+	// plus cache operations) into the client CPU milliseconds of Figure 9.
+	CPUPerOpMicros float64
+
+	Seed int64
+}
+
+// DefaultConfig returns the Table 6.1 settings for an environment.
+func DefaultConfig(env *Environment) Config {
+	return Config{
+		Env:            env,
+		Model:          APRO,
+		Policy:         core.GRD3,
+		Mobility:       RAN,
+		Queries:        10_000,
+		CacheFrac:      0.01,
+		ThinkMean:      50,
+		Speed:          1e-4,
+		AreaWnd:        1e-6,
+		DistJoin:       5e-5,
+		JoinWndSide:    0.004,
+		KMax:           5,
+		Sensitivity:    0.20,
+		FMRPeriod:      50,
+		BandwidthBps:   384_000,
+		LatencySec:     0.15,
+		Mix:            [3]float64{1, 1, 1},
+		CPUPerOpMicros: 2.0,
+		Seed:           1,
+	}
+}
+
+func (c Config) normalized() (Config, error) {
+	if c.Env == nil {
+		return c, fmt.Errorf("sim: Config.Env is required")
+	}
+	if c.Model == 0 {
+		c.Model = APRO
+	}
+	if c.Policy == 0 {
+		c.Policy = core.GRD3
+	}
+	if c.Mobility == 0 {
+		c.Mobility = RAN
+	}
+	if c.Queries <= 0 {
+		c.Queries = 10_000
+	}
+	if c.CacheFrac <= 0 {
+		c.CacheFrac = 0.01
+	}
+	if c.ThinkMean <= 0 {
+		c.ThinkMean = 50
+	}
+	if c.Speed <= 0 {
+		c.Speed = 1e-4
+	}
+	if c.AreaWnd <= 0 {
+		c.AreaWnd = 1e-6
+	}
+	if c.DistJoin <= 0 {
+		c.DistJoin = 5e-5
+	}
+	if c.JoinWndSide <= 0 {
+		c.JoinWndSide = 0.004
+	}
+	if c.KMax <= 0 {
+		c.KMax = 5
+	}
+	if c.Sensitivity <= 0 {
+		c.Sensitivity = 0.20
+	}
+	if c.FMRPeriod <= 0 {
+		c.FMRPeriod = 50
+	}
+	if c.BandwidthBps <= 0 {
+		c.BandwidthBps = 384_000
+	}
+	if c.Mix == ([3]float64{}) {
+		c.Mix = [3]float64{1, 1, 1}
+	}
+	if c.CPUPerOpMicros <= 0 {
+		c.CPUPerOpMicros = 2.0
+	}
+	return c, nil
+}
+
+// WindowPoint is one time-series sample (Figure 11).
+type WindowPoint struct {
+	EndQuery  int
+	FMR       float64
+	IndexFrac float64 // index bytes / cache bytes (i/c)
+	Resp      float64 // mean response time in the window, seconds
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Model    Model
+	Mobility MobilityKind
+	Policy   core.Policy
+
+	Sum     metrics.Summary
+	Windows []WindowPoint
+
+	// ServerEngineOps accumulates the server-side engine work (ablation
+	// diagnostics for the Section 6.4 server-CPU observation).
+	ServerEngineOps int64
+
+	FinalCacheUsed  int
+	FinalIndexBytes int
+	SimulatedTime   float64 // seconds of simulated clock
+}
+
+// agent is the common surface of the three client implementations.
+type agent interface {
+	Query(q query.Query) (core.Report, error)
+	SetPosition(p geom.Point)
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	env := cfg.Env
+	rngQuery := rand.New(rand.NewSource(cfg.Seed))
+	rngMove := rand.New(rand.NewSource(cfg.Seed + 7919))
+
+	form := server.AdaptiveForm
+	switch cfg.Model {
+	case FPRO:
+		form = server.FullForm
+	case CPRO:
+		form = server.CompactForm
+	}
+	srv := server.New(env.Tree, env.DS.SizeOf, server.Config{
+		Form:        form,
+		Sensitivity: cfg.Sensitivity,
+		InitialD:    cfg.InitialD,
+	})
+
+	res := &Result{Model: cfg.Model, Mobility: cfg.Mobility, Policy: cfg.Policy}
+	transport := wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+		resp, info := srv.Execute(req)
+		res.ServerEngineOps += int64(info.Engine.Total())
+		return resp, nil
+	})
+
+	sizes := wire.DefaultSizeModel()
+	channel := wire.Channel{BytesPerSec: cfg.BandwidthBps / 8, Latency: cfg.LatencySec}
+	capacity := int(cfg.CacheFrac * float64(env.DS.TotalBytes))
+
+	var cl agent
+	var proCache *core.Cache
+	switch cfg.Model {
+	case SEM:
+		cl = semcache.New(semcache.Config{ID: 1, Capacity: capacity, Sizes: sizes, Channel: channel}, transport)
+	case PAG:
+		cl = pagecache.New(1, capacity, transport, sizes, channel)
+	default:
+		proCache = core.NewCache(capacity, cfg.Policy, sizes)
+		cl = core.NewClient(core.ClientConfig{
+			ID:        1,
+			Root:      srv.RootRef(),
+			Sizes:     sizes,
+			Channel:   channel,
+			FMRPeriod: cfg.FMRPeriod,
+		}, proCache, transport)
+	}
+
+	// RAN pauses at waypoints (its source of revisit locality); DIR models
+	// on-purpose movement and keeps going.
+	var mob mobility.Model
+	if cfg.Mobility == DIR {
+		mob = mobility.NewDirected(mobility.Config{Speed: cfg.Speed}, rngMove)
+	} else {
+		mob = mobility.NewRandomWaypoint(mobility.Config{Speed: cfg.Speed, PauseMean: cfg.ThinkMean}, rngMove)
+	}
+
+	var clock float64
+	var win metrics.Summary
+	for i := 0; i < cfg.Queries; i++ {
+		think := rngQuery.ExpFloat64() * cfg.ThinkMean
+		clock += think
+		pos := mob.Advance(think)
+		cl.SetPosition(pos)
+
+		q := cfg.genQuery(rngQuery, pos, i)
+		rep, err := cl.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("sim: query %d: %w", i, err)
+		}
+
+		ops := rep.EngineStats.Total() + rep.CacheOps
+		cpuMS := float64(ops) * cfg.CPUPerOpMicros / 1000
+		res.Sum.Add(rep.UplinkBytes, rep.DownlinkBytes, rep.ResultBytes, rep.SavedBytes,
+			rep.FalseMissBytes, rep.RespTime, cpuMS, rep.LocalOnly)
+		win.Add(rep.UplinkBytes, rep.DownlinkBytes, rep.ResultBytes, rep.SavedBytes,
+			rep.FalseMissBytes, rep.RespTime, cpuMS, rep.LocalOnly)
+
+		clock += rep.TotalTime
+		mob.Advance(rep.TotalTime)
+
+		if cfg.WindowSize > 0 && (i+1)%cfg.WindowSize == 0 {
+			point := WindowPoint{EndQuery: i + 1, FMR: win.FMR(), Resp: win.MeanResp()}
+			if proCache != nil && proCache.Used() > 0 {
+				point.IndexFrac = float64(proCache.IndexBytes()) / float64(proCache.Used())
+			}
+			res.Windows = append(res.Windows, point)
+			win = metrics.Summary{}
+		}
+	}
+
+	if proCache != nil {
+		res.FinalCacheUsed = proCache.Used()
+		res.FinalIndexBytes = proCache.IndexBytes()
+	}
+	res.SimulatedTime = clock
+	return res, nil
+}
+
+// genQuery draws the i-th query around the client position.
+func (c Config) genQuery(rng *rand.Rand, pos geom.Point, i int) query.Query {
+	kind := pickKind(rng, c.Mix)
+	switch kind {
+	case query.Range:
+		area := c.AreaWnd * (0.5 + rng.Float64()) // mean AreaWnd
+		aspect := 0.5 + rng.Float64()*1.5
+		w := math.Sqrt(area * aspect)
+		h := area / w
+		return query.NewRange(geom.RectFromCenter(pos, w, h))
+	case query.KNN:
+		k := 1 + rng.Intn(c.KMax)
+		if c.KSchedule != nil {
+			avg := c.KSchedule(i)
+			jitter := 1 + (rng.Float64()*2-1)*0.3
+			k = int(math.Round(avg * jitter))
+			if k < 1 {
+				k = 1
+			}
+		}
+		return query.NewKNN(pos, k)
+	default:
+		win := geom.RectFromCenter(pos, c.JoinWndSide, c.JoinWndSide)
+		return query.NewJoin(win, c.DistJoin)
+	}
+}
+
+func pickKind(rng *rand.Rand, mix [3]float64) query.Kind {
+	total := mix[0] + mix[1] + mix[2]
+	pick := rng.Float64() * total
+	if pick < mix[0] {
+		return query.Range
+	}
+	if pick < mix[0]+mix[1] {
+		return query.KNN
+	}
+	return query.Join
+}

@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// The update experiment exercises the paper's first future-work item: how do
+// server-side updates (moving, appearing and disappearing objects) affect
+// proactive caching, and what does epoch-based invalidation cost? Each run
+// owns a private mutable world, applies updates between queries at a
+// configured rate, and measures — besides the usual metrics — the retry
+// rate, the invalidation traffic, and the staleness of locally answered
+// queries against live ground truth.
+
+// UpdateConfig parameterizes one update-workload run.
+type UpdateConfig struct {
+	Objects   int
+	Queries   int
+	Seed      int64
+	CacheFrac float64
+
+	// UpdateRate is the expected number of server updates per query.
+	UpdateRate float64
+	// MoveFrac / InsertFrac / DeleteFrac weight the update mix (defaults
+	// 0.7/0.15/0.15). Moves drift by MoveSigma around the old position.
+	MoveFrac, InsertFrac, DeleteFrac float64
+	MoveSigma                        float64
+
+	// SyncEvery issues a consistency heartbeat every n queries (0 = never;
+	// clients then learn of updates only when a remainder query contacts
+	// the server).
+	SyncEvery int
+
+	ThinkMean float64
+	Speed     float64
+	KMax      int
+}
+
+func (c UpdateConfig) normalized() UpdateConfig {
+	if c.Objects <= 0 {
+		c.Objects = 30_000
+	}
+	if c.Queries <= 0 {
+		c.Queries = 1_500
+	}
+	if c.CacheFrac <= 0 {
+		c.CacheFrac = 0.01
+	}
+	if c.MoveFrac+c.InsertFrac+c.DeleteFrac == 0 {
+		c.MoveFrac, c.InsertFrac, c.DeleteFrac = 0.7, 0.15, 0.15
+	}
+	if c.MoveSigma <= 0 {
+		c.MoveSigma = 0.01
+	}
+	if c.ThinkMean <= 0 {
+		c.ThinkMean = 50
+	}
+	if c.Speed <= 0 {
+		c.Speed = 1e-4
+	}
+	if c.KMax <= 0 {
+		c.KMax = 5
+	}
+	return c
+}
+
+// UpdateResult summarizes one update-workload run.
+type UpdateResult struct {
+	UpdateRate float64
+	SyncEvery  int
+
+	Sum metrics.Summary
+
+	Updates         int
+	Retries         int
+	Invalidated     int
+	SyncBytes       int64 // uplink+downlink spent on heartbeats
+	LocalQueries    int
+	StaleLocal      int // locally answered queries that disagreed with live truth
+	InvalidationIDs int // ids carried in invalidation reports
+}
+
+// StaleLocalRate returns the fraction of local answers that were stale.
+func (r *UpdateResult) StaleLocalRate() float64 {
+	if r.LocalQueries == 0 {
+		return 0
+	}
+	return float64(r.StaleLocal) / float64(r.LocalQueries)
+}
+
+// RunUpdates executes one update-workload simulation with a private world.
+func RunUpdates(cfg UpdateConfig) (*UpdateResult, error) {
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rngMove := rand.New(rand.NewSource(cfg.Seed + 7919))
+
+	ds := dataset.GenerateNE(dataset.Params{N: cfg.Objects, Seed: cfg.Seed})
+	tree := ds.BuildTree(rtree.DefaultParams(), 0.7)
+
+	// Live ground truth, maintained alongside server updates.
+	live := make(map[rtree.ObjectID]geom.Rect, ds.Len())
+	sizes := make(map[rtree.ObjectID]int, ds.Len())
+	for _, o := range ds.Objects {
+		live[o.ID] = o.MBR
+		sizes[o.ID] = o.Size
+	}
+	nextID := rtree.ObjectID(ds.Len() + 1)
+
+	srv := server.New(tree, func(id rtree.ObjectID) int { return sizes[id] }, server.Config{})
+
+	res := &UpdateResult{UpdateRate: cfg.UpdateRate, SyncEvery: cfg.SyncEvery}
+	transport := wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+		resp, _ := srv.Execute(req)
+		return resp, nil
+	})
+
+	sm := wire.DefaultSizeModel()
+	capacity := int(cfg.CacheFrac * float64(ds.TotalBytes))
+	cache := core.NewCache(capacity, core.GRD3, sm)
+	cl := core.NewClient(core.ClientConfig{ID: 1, Root: srv.RootRef(), Sizes: sm, FMRPeriod: 50},
+		cache, transport)
+
+	mob := mobility.NewRandomWaypoint(mobility.Config{Speed: cfg.Speed, PauseMean: cfg.ThinkMean}, rngMove)
+
+	// liveIDs mirrors the live map as a slice for deterministic O(1)
+	// victim selection (swap-remove on delete).
+	liveIDs := make([]rtree.ObjectID, 0, ds.Len())
+	liveIdx := make(map[rtree.ObjectID]int, ds.Len())
+	for _, o := range ds.Objects {
+		liveIdx[o.ID] = len(liveIDs)
+		liveIDs = append(liveIDs, o.ID)
+	}
+	addLive := func(id rtree.ObjectID) {
+		liveIdx[id] = len(liveIDs)
+		liveIDs = append(liveIDs, id)
+	}
+	dropLive := func(id rtree.ObjectID) {
+		i := liveIdx[id]
+		last := len(liveIDs) - 1
+		liveIDs[i] = liveIDs[last]
+		liveIdx[liveIDs[i]] = i
+		liveIDs = liveIDs[:last]
+		delete(liveIdx, id)
+	}
+	pickLive := func() (rtree.ObjectID, bool) {
+		if len(liveIDs) == 0 {
+			return 0, false
+		}
+		return liveIDs[rng.Intn(len(liveIDs))], true
+	}
+
+	applyUpdate := func() {
+		res.Updates++
+		w := rng.Float64() * (cfg.MoveFrac + cfg.InsertFrac + cfg.DeleteFrac)
+		switch {
+		case w < cfg.MoveFrac:
+			id, ok := pickLive()
+			if !ok {
+				return
+			}
+			from := live[id]
+			c := from.Center()
+			to := geom.RectFromCenter(geom.Pt(
+				clamp01(c.X+rng.NormFloat64()*cfg.MoveSigma),
+				clamp01(c.Y+rng.NormFloat64()*cfg.MoveSigma)),
+				from.Width(), from.Height())
+			srv.MoveObject(id, from, to)
+			live[id] = to
+		case w < cfg.MoveFrac+cfg.InsertFrac:
+			id := nextID
+			nextID++
+			mbr := geom.RectFromCenter(geom.Pt(rng.Float64(), rng.Float64()), 3e-4, 3e-4)
+			srv.InsertObject(id, mbr, 10*1024)
+			live[id] = mbr
+			sizes[id] = 10 * 1024
+			addLive(id)
+		default:
+			id, ok := pickLive()
+			if !ok {
+				return
+			}
+			srv.DeleteObject(id, live[id])
+			delete(live, id)
+			dropLive(id)
+		}
+	}
+
+	bruteRange := func(win geom.Rect) map[rtree.ObjectID]bool {
+		out := make(map[rtree.ObjectID]bool)
+		for id, mbr := range live {
+			if mbr.Intersects(win) {
+				out[id] = true
+			}
+		}
+		return out
+	}
+
+	for i := 0; i < cfg.Queries; i++ {
+		// Server-side churn between queries.
+		for u := cfg.UpdateRate; u > 0; u-- {
+			if u >= 1 || rng.Float64() < u {
+				applyUpdate()
+			}
+		}
+
+		think := rng.ExpFloat64() * cfg.ThinkMean
+		pos := mob.Advance(think)
+		cl.SetPosition(pos)
+
+		if cfg.SyncEvery > 0 && i > 0 && i%cfg.SyncEvery == 0 {
+			req := &wire.Request{Client: 1, Catalog: true}
+			res.SyncBytes += int64(sm.RequestBytes(req)) + int64(sm.MsgHeader)
+			if _, err := cl.Sync(); err != nil {
+				return nil, err
+			}
+		}
+
+		// Range-only workload keeps live ground truth checks exact.
+		side := 0.01 + rng.Float64()*0.02
+		q := query.NewRange(geom.RectFromCenter(pos, side, side))
+		rep, err := cl.Query(q)
+		if err != nil {
+			return nil, fmt.Errorf("sim: update run query %d: %w", i, err)
+		}
+
+		res.Retries += rep.Retries
+		res.Invalidated += rep.Invalidated
+		res.Sum.Add(rep.UplinkBytes, rep.DownlinkBytes, rep.ResultBytes, rep.SavedBytes,
+			rep.FalseMissBytes, rep.RespTime, 0, rep.LocalOnly)
+
+		if rep.LocalOnly {
+			res.LocalQueries++
+			want := bruteRange(q.Window)
+			stale := len(want) != len(rep.Results)
+			if !stale {
+				for _, id := range rep.Results {
+					if !want[id] {
+						stale = true
+						break
+					}
+				}
+			}
+			if stale {
+				res.StaleLocal++
+			}
+		}
+	}
+	return res, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// UpdateSweep runs the update experiment across update rates.
+func UpdateSweep(objects, queries int, seed int64, rates []float64, syncEvery int) ([]*UpdateResult, error) {
+	var out []*UpdateResult
+	for _, rate := range rates {
+		res, err := RunUpdates(UpdateConfig{
+			Objects:    objects,
+			Queries:    queries,
+			Seed:       seed,
+			UpdateRate: rate,
+			SyncEvery:  syncEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FprintUpdateSweep renders the update sweep.
+func FprintUpdateSweep(w io.Writer, rows []*UpdateResult) {
+	fmt.Fprintln(w, "Extension: server updates and cache invalidation (APRO, range workload)")
+	fmt.Fprintf(w, "%10s %8s %8s %9s %9s %12s %11s\n",
+		"upd/query", "hitc", "resp s", "retries", "inval", "stale-local", "local")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10.2f %8.3f %8.3f %9d %9d %11.1f%% %11d\n",
+			r.UpdateRate, r.Sum.HitC(), r.Sum.MeanResp(), r.Retries, r.Invalidated,
+			r.StaleLocalRate()*100, r.LocalQueries)
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+import "testing"
+
+func TestRunUpdatesNoChurnIsClean(t *testing.T) {
+	res, err := RunUpdates(UpdateConfig{Objects: 4000, Queries: 150, Seed: 3, UpdateRate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates != 0 || res.Retries != 0 || res.Invalidated != 0 {
+		t.Errorf("no-churn run recorded churn: %+v", res)
+	}
+	if res.StaleLocal != 0 {
+		t.Errorf("stale local answers without updates: %d", res.StaleLocal)
+	}
+	if res.Sum.Queries != 150 {
+		t.Errorf("ran %d queries", res.Sum.Queries)
+	}
+}
+
+func TestRunUpdatesChurnInvalidates(t *testing.T) {
+	res, err := RunUpdates(UpdateConfig{Objects: 4000, Queries: 200, Seed: 4, UpdateRate: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates == 0 {
+		t.Fatal("no updates applied")
+	}
+	if res.Invalidated == 0 {
+		t.Error("churn produced no invalidations")
+	}
+}
+
+func TestSyncReducesStaleness(t *testing.T) {
+	base := UpdateConfig{Objects: 4000, Queries: 300, Seed: 5, UpdateRate: 2.0}
+	noSync, err := RunUpdates(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withSync := base
+	withSync.SyncEvery = 5
+	synced, err := RunUpdates(withSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if synced.StaleLocalRate() > noSync.StaleLocalRate() && synced.StaleLocal > noSync.StaleLocal+2 {
+		t.Errorf("heartbeats increased staleness: %.3f (sync) vs %.3f (none)",
+			synced.StaleLocalRate(), noSync.StaleLocalRate())
+	}
+}
+
+func TestUpdateSweepMonotonicChurn(t *testing.T) {
+	rows, err := UpdateSweep(4000, 150, 6, []float64{0, 1.0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatal("want 2 rows")
+	}
+	if rows[0].Invalidated > 0 {
+		t.Error("rate-0 run invalidated items")
+	}
+	if rows[1].Invalidated == 0 {
+		t.Error("rate-1 run invalidated nothing")
+	}
+	// Churn should not improve the hit rate.
+	if rows[1].Sum.HitC() > rows[0].Sum.HitC()+0.05 {
+		t.Errorf("hitc rose under churn: %.3f vs %.3f", rows[1].Sum.HitC(), rows[0].Sum.HitC())
+	}
+}

@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The gob codec carries the protocol over a real byte stream (cmd/prodb and
+// examples/netclient). The simulation never uses it — byte accounting there
+// comes from SizeModel — but the encodings round-trip every message type, so
+// the repository doubles as a working networked spatial database.
+
+// envelope tags each message on the stream.
+type envelope struct {
+	Req  *Request
+	Resp *Response
+	Err  string
+}
+
+// ClientConn is a Transport over a network connection (or any
+// io.ReadWriter). It serializes concurrent RoundTrip calls.
+type ClientConn struct {
+	mu  sync.Mutex
+	enc *gob.Encoder
+	dec *gob.Decoder
+	rw  io.ReadWriter
+}
+
+// NewClientConn wraps a connection as a Transport.
+func NewClientConn(rw io.ReadWriter) *ClientConn {
+	bw := bufio.NewWriter(rw)
+	return &ClientConn{
+		enc: gob.NewEncoder(writeFlusher{bw}),
+		dec: gob.NewDecoder(bufio.NewReader(rw)),
+		rw:  rw,
+	}
+}
+
+type writeFlusher struct{ *bufio.Writer }
+
+// Write forwards to the buffered writer and flushes, so each gob message
+// leaves the process as soon as it is encoded.
+func (w writeFlusher) Write(p []byte) (int, error) {
+	n, err := w.Writer.Write(p)
+	if err != nil {
+		return n, err
+	}
+	return n, w.Flush()
+}
+
+// RoundTrip implements Transport.
+func (c *ClientConn) RoundTrip(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(envelope{Req: req}); err != nil {
+		return nil, fmt.Errorf("wire: send request: %w", err)
+	}
+	var env envelope
+	if err := c.dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("wire: read response: %w", err)
+	}
+	if env.Err != "" {
+		return nil, fmt.Errorf("wire: server error: %s", env.Err)
+	}
+	if env.Resp == nil {
+		return nil, errors.New("wire: empty response envelope")
+	}
+	return env.Resp, nil
+}
+
+// Handler processes one request on the server side.
+type Handler func(*Request) (*Response, error)
+
+// ServeConn answers requests on a connection until it closes.
+func ServeConn(rw io.ReadWriter, handle Handler) error {
+	bw := bufio.NewWriter(rw)
+	enc := gob.NewEncoder(writeFlusher{bw})
+	dec := gob.NewDecoder(bufio.NewReader(rw))
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("wire: decode: %w", err)
+		}
+		if env.Req == nil {
+			if err := enc.Encode(envelope{Err: "empty request envelope"}); err != nil {
+				return err
+			}
+			continue
+		}
+		resp, err := handle(env.Req)
+		out := envelope{Resp: resp}
+		if err != nil {
+			out = envelope{Err: err.Error()}
+		}
+		if err := enc.Encode(out); err != nil {
+			return fmt.Errorf("wire: encode: %w", err)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bpt"
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+)
+
+func randRequest(r *rand.Rand) *Request {
+	req := &Request{
+		Client: ClientID(r.Uint32()),
+		Epoch:  r.Uint64() % 1000,
+	}
+	switch r.Intn(3) {
+	case 0:
+		req.Q = query.NewRange(geom.R(r.Float64(), r.Float64(), 1+r.Float64(), 1+r.Float64()))
+	case 1:
+		req.Q = query.NewKNN(geom.Pt(r.Float64(), r.Float64()), 1+r.Intn(9))
+	default:
+		req.Q = query.NewJoin(geom.R(0, 0, r.Float64(), r.Float64()), r.Float64()*0.01)
+	}
+	for i := 0; i < r.Intn(5); i++ {
+		ref := query.NodeRef(rtree.NodeID(r.Uint32()%1000+1), geom.R(0, 0, r.Float64(), r.Float64()))
+		if r.Intn(2) == 0 {
+			ref = query.SuperRef(rtree.NodeID(r.Uint32()%1000+1), bpt.Code("0110"[:r.Intn(4)+1]), geom.R(0, 0, 1, 1))
+		}
+		req.H = append(req.H, query.QueuedElem{Key: r.Float64(), Elem: query.Single(ref), Deferred: r.Intn(2) == 0})
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		req.CachedIDs = append(req.CachedIDs, rtree.ObjectID(r.Uint32()))
+	}
+	if r.Intn(2) == 0 {
+		req.HasFMR = true
+		req.FMR = r.Float64()
+	}
+	return req
+}
+
+func randResponse(r *rand.Rand) *Response {
+	resp := &Response{
+		K:      r.Intn(10),
+		Epoch:  r.Uint64() % 1000,
+		RootID: rtree.NodeID(r.Uint32() % 100),
+	}
+	for i := 0; i < r.Intn(6); i++ {
+		resp.Objects = append(resp.Objects, ObjectRep{
+			ID:      rtree.ObjectID(r.Uint32()),
+			MBR:     geom.R(0, 0, r.Float64(), r.Float64()),
+			Size:    r.Intn(10000),
+			Payload: r.Intn(2) == 0,
+		})
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		resp.Pairs = append(resp.Pairs, [2]rtree.ObjectID{rtree.ObjectID(r.Uint32()), rtree.ObjectID(r.Uint32())})
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		rep := NodeRep{ID: rtree.NodeID(r.Uint32() % 1000), Level: r.Intn(4)}
+		for j := 0; j < 1+r.Intn(5); j++ {
+			rep.Elems = append(rep.Elems, CutElem{
+				Code:  bpt.Code("01011"[:r.Intn(5)+1]),
+				MBR:   geom.R(0, 0, r.Float64(), r.Float64()),
+				Super: r.Intn(2) == 0,
+				Child: rtree.NodeID(r.Uint32() % 100),
+			})
+		}
+		resp.Index = append(resp.Index, rep)
+	}
+	if r.Intn(4) == 0 {
+		resp.FlushAll = true
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		resp.InvalidNodes = append(resp.InvalidNodes, rtree.NodeID(r.Uint32()))
+		resp.InvalidObjs = append(resp.InvalidObjs, rtree.ObjectID(r.Uint32()))
+	}
+	return resp
+}
+
+// Property: arbitrary protocol messages survive the gob codec bit-for-bit.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		req := randRequest(r)
+		wantResp := randResponse(r)
+
+		c1, c2 := net.Pipe()
+		defer c1.Close()
+		defer c2.Close()
+
+		var gotReq *Request
+		served := make(chan error, 1)
+		go func() {
+			served <- ServeConn(c2, func(q *Request) (*Response, error) {
+				gotReq = q
+				return wantResp, nil
+			})
+		}()
+
+		client := NewClientConn(c1)
+		resp, err := client.RoundTrip(req)
+		if err != nil {
+			t.Logf("roundtrip: %v", err)
+			return false
+		}
+		c1.Close()
+		if err := <-served; err != nil {
+			t.Logf("serve: %v", err)
+			return false
+		}
+		if !reflect.DeepEqual(gotReq, req) {
+			t.Logf("request mangled:\n got %+v\nwant %+v", gotReq, req)
+			return false
+		}
+		if !reflect.DeepEqual(resp, wantResp) {
+			t.Logf("response mangled:\n got %+v\nwant %+v", resp, wantResp)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package repro is a from-scratch Go implementation of "Proactive Caching
+// for Spatial Queries in Mobile Environments" (Hu, Xu, Wong, Zheng, Lee,
+// Lee — ICDE 2005).
+//
+// Proactive caching lets a mobile client answer range, k-nearest-neighbor
+// and distance self-join queries locally by caching not just query results
+// but the R*-tree index nodes that prove those results. A query that cannot
+// finish locally hands its execution state (the best-first priority queue)
+// to the server as a remainder query; the server resumes it and ships back
+// the remaining results plus a supporting index in full, compact, or
+// adaptively refined form (binary partition trees / super entries).
+//
+// This package is the facade over the building blocks in internal/:
+//
+//	Server     — R*-tree + partition forest + remainder-query processor
+//	Client     — proactive cache + Algorithm 1 local processor
+//	NewRange / NewKNN / NewJoin — query constructors
+//
+// A minimal session:
+//
+//	srv := repro.NewServer(objects, repro.ServerConfig{})
+//	cl := repro.NewClient(srv.Transport(), repro.ClientConfig{CacheBytes: 1 << 20})
+//	rep, err := cl.Query(repro.NewKNN(repro.Pt(0.5, 0.5), 3))
+//
+// See examples/ for runnable programs and internal/sim for the experiment
+// harness that regenerates the paper's figures.
+package repro
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// Re-exported building-block types. The aliases keep the public API surface
+// in one place while the implementations live in internal packages.
+type (
+	// Point is a location in the unit square.
+	Point = geom.Point
+	// Rect is an axis-aligned rectangle (an MBR).
+	Rect = geom.Rect
+	// ObjectID identifies a data object.
+	ObjectID = rtree.ObjectID
+	// Object is one spatial object: id, bounding rectangle, payload size.
+	Object = dataset.Object
+	// Query is a spatial query (range, kNN, or windowed distance self-join).
+	Query = query.Query
+	// Report is the per-query outcome: results, byte and timing accounting.
+	Report = core.Report
+	// Policy selects the cache replacement scheme.
+	Policy = core.Policy
+	// Transport carries requests to a server (in-process or remote).
+	Transport = wire.Transport
+	// IndexForm selects how the server represents shipped index nodes.
+	IndexForm = server.IndexForm
+)
+
+// Replacement policies (Section 5).
+const (
+	GRD3 = core.GRD3
+	GRD2 = core.GRD2
+	LRU  = core.LRU
+	MRU  = core.MRU
+	FAR  = core.FAR
+)
+
+// Index forms (Section 4).
+const (
+	FullForm     = server.FullForm
+	CompactForm  = server.CompactForm
+	AdaptiveForm = server.AdaptiveForm
+)
+
+// Pt is shorthand for a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// R is shorthand for a Rect.
+func R(minX, minY, maxX, maxY float64) Rect { return geom.R(minX, minY, maxX, maxY) }
+
+// RectFromCenter builds the w-by-h rectangle centered at c.
+func RectFromCenter(c Point, w, h float64) Rect { return geom.RectFromCenter(c, w, h) }
+
+// NewRange builds a range query over a window.
+func NewRange(window Rect) Query { return query.NewRange(window) }
+
+// NewKNN builds a k-nearest-neighbor query around a point.
+func NewKNN(center Point, k int) Query { return query.NewKNN(center, k) }
+
+// NewJoin builds a distance self-join over the window with the given
+// distance threshold.
+func NewJoin(window Rect, dist float64) Query { return query.NewJoin(window, dist) }
+
+// ServerConfig parameterizes NewServer.
+type ServerConfig struct {
+	// Form selects the supporting-index representation; default adaptive.
+	Form IndexForm
+	// Sensitivity is the adaptive s parameter; default 0.20.
+	Sensitivity float64
+	// PageBytes sizes index pages; default 4096 (about 204 entries).
+	PageBytes int
+	// BulkFill is the bulk-load fill factor; default 0.7.
+	BulkFill float64
+}
+
+// Server owns a spatial dataset, its R*-tree, and the proactive-caching
+// remainder-query processor.
+type Server struct {
+	inner *server.Server
+	tree  *rtree.Tree
+	sizes map[ObjectID]int
+	mbrs  map[ObjectID]Rect
+}
+
+// NewServer indexes the objects and stands up a server.
+func NewServer(objects []Object, cfg ServerConfig) *Server {
+	if cfg.PageBytes <= 0 {
+		cfg.PageBytes = 4096
+	}
+	if cfg.BulkFill <= 0 {
+		cfg.BulkFill = 0.7
+	}
+	entrySize := wire.DefaultSizeModel().Entry
+	params := rtree.Params{MaxEntries: cfg.PageBytes / entrySize}
+
+	items := make([]rtree.Item, len(objects))
+	sizes := make(map[ObjectID]int, len(objects))
+	mbrs := make(map[ObjectID]Rect, len(objects))
+	for i, o := range objects {
+		items[i] = rtree.Item{Obj: o.ID, MBR: o.MBR}
+		sizes[o.ID] = o.Size
+		mbrs[o.ID] = o.MBR
+	}
+	tree := rtree.BulkLoad(params, items, cfg.BulkFill)
+	inner := server.New(tree, func(id ObjectID) int { return sizes[id] }, server.Config{
+		Form:        cfg.Form,
+		Sensitivity: cfg.Sensitivity,
+	})
+	return &Server{inner: inner, tree: tree, sizes: sizes, mbrs: mbrs}
+}
+
+// InsertObject adds a new object to the live index. Connected clients learn
+// about it through the epoch-based invalidation protocol.
+func (s *Server) InsertObject(o Object) {
+	s.inner.InsertObject(o.ID, o.MBR, o.Size)
+	s.sizes[o.ID] = o.Size
+	s.mbrs[o.ID] = o.MBR
+}
+
+// DeleteObject removes an object from the live index; it reports whether
+// the object existed.
+func (s *Server) DeleteObject(id ObjectID) bool {
+	mbr, ok := s.mbrs[id]
+	if !ok {
+		return false
+	}
+	if !s.inner.DeleteObject(id, mbr) {
+		return false
+	}
+	delete(s.mbrs, id)
+	delete(s.sizes, id)
+	return true
+}
+
+// MoveObject relocates an object to a new bounding rectangle.
+func (s *Server) MoveObject(id ObjectID, to Rect) bool {
+	from, ok := s.mbrs[id]
+	if !ok {
+		return false
+	}
+	if !s.inner.MoveObject(id, from, to) {
+		return false
+	}
+	s.mbrs[id] = to
+	return true
+}
+
+// Epoch returns the server's current update epoch.
+func (s *Server) Epoch() uint64 { return s.inner.Epoch() }
+
+// Transport returns an in-process transport to this server.
+func (s *Server) Transport() Transport {
+	return wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+		resp, _ := s.inner.Execute(req)
+		return resp, nil
+	})
+}
+
+// Serve answers proactive-caching clients on a listener until it closes
+// (the gob/TCP protocol of cmd/prodb). It blocks.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("repro: accept: %w", err)
+		}
+		go func() {
+			defer conn.Close()
+			_ = wire.ServeConn(conn, func(req *wire.Request) (*wire.Response, error) {
+				resp, _ := s.inner.Execute(req)
+				return resp, nil
+			})
+		}()
+	}
+}
+
+// IndexStats describes the server-side R*-tree.
+func (s *Server) IndexStats() rtree.Stats { return s.tree.Stats() }
+
+// ClientConfig parameterizes NewClient.
+type ClientConfig struct {
+	// ID distinguishes clients for per-client adaptive state; default 1.
+	ID uint32
+	// CacheBytes is the proactive cache capacity. Required.
+	CacheBytes int
+	// Policy is the replacement scheme; default GRD3.
+	Policy Policy
+	// FMRPeriod is the feedback cadence in queries; default 50.
+	FMRPeriod int
+	// BandwidthBps models the wireless channel; default 384 kbps.
+	BandwidthBps float64
+	// LatencySec is the fixed per-message latency; default 0.
+	LatencySec float64
+}
+
+// Client is a proactive-caching mobile client.
+type Client struct {
+	inner *core.Client
+}
+
+// NewClient connects a proactive-caching client to a server via transport.
+// It performs a catalog round trip to learn the index root.
+func NewClient(t Transport, cfg ClientConfig) (*Client, error) {
+	if cfg.CacheBytes <= 0 {
+		return nil, fmt.Errorf("repro: ClientConfig.CacheBytes must be positive")
+	}
+	if cfg.ID == 0 {
+		cfg.ID = 1
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = GRD3
+	}
+	if cfg.FMRPeriod <= 0 {
+		cfg.FMRPeriod = 50
+	}
+	ch := wire.DefaultChannel()
+	if cfg.BandwidthBps > 0 {
+		ch.BytesPerSec = cfg.BandwidthBps / 8
+	}
+	ch.Latency = cfg.LatencySec
+
+	cat, err := t.RoundTrip(&wire.Request{Client: wire.ClientID(cfg.ID), Catalog: true})
+	if err != nil {
+		return nil, fmt.Errorf("repro: catalog: %w", err)
+	}
+	sizes := wire.DefaultSizeModel()
+	cache := core.NewCache(cfg.CacheBytes, cfg.Policy, sizes)
+	inner := core.NewClient(core.ClientConfig{
+		ID:        wire.ClientID(cfg.ID),
+		Root:      query.NodeRef(cat.RootID, cat.RootMBR),
+		Sizes:     sizes,
+		Channel:   ch,
+		FMRPeriod: cfg.FMRPeriod,
+	}, cache, t)
+	return &Client{inner: inner}, nil
+}
+
+// Query processes one spatial query: local execution against the proactive
+// cache, a remainder round trip when needed, and cache integration.
+func (c *Client) Query(q Query) (Report, error) { return c.inner.Query(q) }
+
+// SetPosition updates the client's location (used by the FAR policy).
+func (c *Client) SetPosition(p Point) { c.inner.SetPosition(p) }
+
+// Sync pulls the server's invalidation report without running a query — a
+// cheap consistency heartbeat under server updates. It returns the number
+// of cache items dropped.
+func (c *Client) Sync() (int, error) { return c.inner.Sync() }
+
+// CacheUsed returns the occupied cache bytes.
+func (c *Client) CacheUsed() int { return c.inner.Cache().Used() }
+
+// CacheIndexBytes returns the bytes of cached index (vs objects).
+func (c *Client) CacheIndexBytes() int { return c.inner.Cache().IndexBytes() }
+
+// Dial connects to a cmd/prodb server over TCP and returns a Transport.
+func Dial(addr string) (Transport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("repro: dial %s: %w", addr, err)
+	}
+	return wire.NewClientConn(conn), nil
+}
+
+// GenerateNE and GenerateRD expose the synthetic datasets used by the
+// experiments (see internal/dataset for the substitution rationale).
+func GenerateNE(n int, seed int64) []Object {
+	return dataset.GenerateNE(dataset.Params{N: n, Seed: seed}).Objects
+}
+
+// GenerateRD generates the road-segment dataset.
+func GenerateRD(n int, seed int64) []Object {
+	return dataset.GenerateRD(dataset.Params{N: n, Seed: seed}).Objects
+}
