@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/bpt"
@@ -301,6 +302,47 @@ func BenchmarkServerColdKNN(b *testing.B) {
 		req := &wire.Request{Q: query.NewKNN(geom.Pt(r.Float64(), r.Float64()), 5)}
 		srv.Execute(req)
 	}
+}
+
+// BenchmarkServerExecuteParallel measures the concurrent serving path: many
+// goroutines (one simulated client each) issuing mixed range/kNN requests
+// against one shared Server. Run with -cpu 1,4 to see the multi-core
+// scaling of the shared read lock, sharded client state, and lazily built
+// partition forest:
+//
+//	go test -bench BenchmarkServerExecuteParallel -cpu 1,4 .
+func BenchmarkServerExecuteParallel(b *testing.B) {
+	env := benchEnvironment()
+	srv := server.New(env.Tree, env.DS.SizeOf, server.Config{})
+
+	// Pregenerate a fixed query pool consumed through a shared cursor, so
+	// every -cpu value executes the same work in the same proportions and
+	// ns/op differences reflect the serving path, not workload skew.
+	r := rand.New(rand.NewSource(42))
+	pool := make([]query.Query, 4096)
+	for i := range pool {
+		p := geom.Pt(r.Float64(), r.Float64())
+		if i%2 == 0 {
+			pool[i] = query.NewRange(geom.RectFromCenter(p, 0.01, 0.01))
+		} else {
+			pool[i] = query.NewKNN(p, 5)
+		}
+	}
+	// Warm the partition forest so lazy builds don't dominate short runs.
+	for i := 0; i < 64; i++ {
+		srv.Execute(&wire.Request{Client: 1, Q: pool[i]})
+	}
+
+	var nextClient atomic.Uint32
+	var cursor atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := wire.ClientID(nextClient.Add(1))
+		for pb.Next() {
+			q := pool[cursor.Add(1)%uint64(len(pool))]
+			srv.Execute(&wire.Request{Client: id, Q: q})
+		}
+	})
 }
 
 func BenchmarkClientWarmKNN(b *testing.B) {

@@ -5,10 +5,15 @@
 //	procsim -fig 6            # Figure 6 at bench scale
 //	procsim -fig all -full    # every figure at paper scale (slow)
 //	procsim -fig 11 -queries 4000 -objects 50000
+//	procsim -fig throughput -clients 16
 //
 // Figures: table61, 6, 7, 8, 9, 10, 11, ablation-staticd, ablation-grd,
-// ablation-partition, all. Figures 8 and 9 come from the same sweep and are
-// printed together.
+// ablation-partition, throughput, all. Figures 8 and 9 come from the same
+// sweep and are printed together. The throughput mode is not a paper
+// figure: it hammers one shared server from -clients concurrent goroutine
+// clients (sweeping powers of two up from 1) and reports wall-clock
+// queries/second with latency quantiles, measuring the concurrent serving
+// layer rather than the simulated wireless channel.
 package main
 
 import (
@@ -23,13 +28,14 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "6", "experiment to run (table61, 6, 7, 8, 9, 10, 11, ablation-staticd, ablation-grd, ablation-partition, all)")
+		fig     = flag.String("fig", "6", "experiment to run (table61, 6, 7, 8, 9, 10, 11, ablation-staticd, ablation-grd, ablation-partition, throughput, all)")
 		full    = flag.Bool("full", false, "paper scale: 123,593 objects, 10,000 queries")
 		objects = flag.Int("objects", 0, "override dataset cardinality")
 		queries = flag.Int("queries", 0, "override query count")
 		seed    = flag.Int64("seed", 1, "random seed")
 		ds      = flag.String("dataset", "ne", "dataset: ne or rd")
 		window  = flag.Int("window", 0, "Figure 11 window size (default queries/20)")
+		clients = flag.Int("clients", 8, "throughput mode: max concurrent clients (swept in powers of two)")
 	)
 	flag.Parse()
 
@@ -58,7 +64,7 @@ func main() {
 
 	run := func(name string) {
 		t0 := time.Now()
-		if err := runFigure(name, env, sc, *window); err != nil {
+		if err := runFigure(name, env, sc, *window, *clients); err != nil {
 			fmt.Fprintf(os.Stderr, "procsim: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -76,9 +82,27 @@ func main() {
 	run(*fig)
 }
 
-func runFigure(name string, env *sim.Environment, sc sim.Scale, window int) error {
+func runFigure(name string, env *sim.Environment, sc sim.Scale, window, clients int) error {
 	w := os.Stdout
 	switch name {
+	case "throughput":
+		if clients < 1 {
+			return fmt.Errorf("-clients must be >= 1 (got %d)", clients)
+		}
+		var counts []int
+		for c := 1; c < clients; c *= 2 {
+			counts = append(counts, c)
+		}
+		counts = append(counts, clients)
+		perClient := sc.Queries / len(counts)
+		if perClient < 1 {
+			perClient = 1
+		}
+		rows, err := sim.ThroughputSweep(env, counts, perClient, sc.Seed)
+		if err != nil {
+			return err
+		}
+		sim.FprintThroughput(w, rows)
 	case "table61":
 		printTable61(env)
 		return nil

@@ -2,18 +2,27 @@
 // TCP using the gob wire protocol. Clients connect with repro.Dial (see
 // examples/netclient).
 //
+// The serving layer runs one goroutine per connection behind a connection
+// limit and a bounded worker pool, reaps idle connections, and drains
+// in-flight requests on SIGINT/SIGTERM before exiting.
+//
 // Usage:
 //
 //	prodb -addr :7001 -n 50000            # synthetic NE data
 //	prodb -addr :7001 -load ne.gob        # dataset from datagen
 //	prodb -form compact                   # CPRO-style index shipping
+//	prodb -max-conns 8192 -inflight 64    # tune concurrency limits
+//	prodb -stats 10s                      # periodic serving stats
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro"
@@ -22,13 +31,32 @@ import (
 
 func main() {
 	var (
-		addr = flag.String("addr", ":7001", "listen address")
-		n    = flag.Int("n", 50_000, "synthetic NE objects when -load is not given")
-		seed = flag.Int64("seed", 1, "synthetic data seed")
-		load = flag.String("load", "", "load a datagen .gob file instead of generating")
-		form = flag.String("form", "adaptive", "index shipping form: full, compact, adaptive")
+		addr     = flag.String("addr", ":7001", "listen address")
+		n        = flag.Int("n", 50_000, "synthetic NE objects when -load is not given")
+		seed     = flag.Int64("seed", 1, "synthetic data seed")
+		load     = flag.String("load", "", "load a datagen .gob file instead of generating")
+		form     = flag.String("form", "adaptive", "index shipping form: full, compact, adaptive")
+		maxConns = flag.Int("max-conns", 0, "max concurrent connections (0 = default 4096)")
+		inflight = flag.Int("inflight", 0, "max concurrently executing requests (0 = 4*GOMAXPROCS)")
+		readTO   = flag.Duration("read-timeout", 0, "idle connection deadline (0 = default 5m)")
+		statsEv  = flag.Duration("stats", 0, "print serving stats at this interval (0 = off)")
+		drainTO  = flag.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
 	)
 	flag.Parse()
+
+	// Validate flags before paying for dataset generation.
+	var indexForm repro.IndexForm
+	switch *form {
+	case "full":
+		indexForm = repro.FullForm
+	case "compact":
+		indexForm = repro.CompactForm
+	case "adaptive":
+		indexForm = repro.AdaptiveForm
+	default:
+		fmt.Fprintf(os.Stderr, "prodb: unknown form %q\n", *form)
+		os.Exit(2)
+	}
 
 	var objects []repro.Object
 	switch {
@@ -45,19 +73,6 @@ func main() {
 		fmt.Printf("generated %d synthetic NE objects (seed %d)\n", len(objects), *seed)
 	}
 
-	var indexForm repro.IndexForm
-	switch *form {
-	case "full":
-		indexForm = repro.FullForm
-	case "compact":
-		indexForm = repro.CompactForm
-	case "adaptive":
-		indexForm = repro.AdaptiveForm
-	default:
-		fmt.Fprintf(os.Stderr, "prodb: unknown form %q\n", *form)
-		os.Exit(2)
-	}
-
 	start := time.Now()
 	srv := repro.NewServer(objects, repro.ServerConfig{Form: indexForm})
 	st := srv.IndexStats()
@@ -69,9 +84,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "prodb: %v\n", err)
 		os.Exit(1)
 	}
+	net1 := srv.NetServer(repro.ServeOptions{
+		MaxConns:    *maxConns,
+		MaxInflight: *inflight,
+		ReadTimeout: *readTO,
+	})
 	fmt.Printf("serving proactive spatial queries on %s (form=%s)\n", ln.Addr(), *form)
-	if err := srv.Serve(ln); err != nil {
-		fmt.Fprintf(os.Stderr, "prodb: %v\n", err)
-		os.Exit(1)
+
+	statsDone := make(chan struct{})
+	if *statsEv > 0 {
+		ticker := time.NewTicker(*statsEv)
+		go func() {
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					fmt.Printf("stats: %s\n", srv.Stats())
+				case <-statsDone:
+					return
+				}
+			}
+		}()
 	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- net1.Serve(ln) }()
+
+	exitCode := 0
+	select {
+	case sig := <-sigCh:
+		close(statsDone) // keep stats lines out of the drain log
+		fmt.Printf("\n%v: draining (up to %v)...\n", sig, *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := net1.Shutdown(ctx); err != nil {
+			// In-flight requests were force-closed; report the dirty
+			// shutdown through the exit code for orchestrators.
+			fmt.Fprintf(os.Stderr, "prodb: shutdown: %v\n", err)
+			exitCode = 1
+		}
+	case err := <-serveErr:
+		close(statsDone)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prodb: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("final %s\n", srv.Stats())
+	os.Exit(exitCode)
 }

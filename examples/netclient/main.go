@@ -7,19 +7,29 @@
 //
 //	go run ./cmd/prodb -addr :7001 &
 //	go run ./examples/netclient -addr 127.0.0.1:7001
+//
+// With -clients N it becomes a small load generator: N concurrent clients,
+// each on its own TCP connection, hammer the server and print aggregate
+// throughput — a quick way to watch the concurrent serving layer work.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro"
 )
 
 func main() {
 	addr := flag.String("addr", "", "connect to an existing prodb server instead of self-hosting")
+	clients := flag.Int("clients", 1, "concurrent clients (each on its own connection)")
+	queries := flag.Int("queries", 50, "queries per client in multi-client mode")
 	flag.Parse()
 
 	target := *addr
@@ -33,6 +43,11 @@ func main() {
 		go func() { _ = srv.Serve(ln) }()
 		target = ln.Addr().String()
 		fmt.Printf("self-hosted server on %s\n", target)
+	}
+
+	if *clients > 1 {
+		loadTest(target, *clients, *queries)
+		return
 	}
 
 	transport, err := repro.Dial(target)
@@ -64,4 +79,55 @@ func main() {
 	}
 	fmt.Printf("range around the warm spot: %d results, hit=%3.0f%%\n",
 		len(rep.Results), rep.HitRate()*100)
+}
+
+// loadTest runs n concurrent clients over real TCP connections and prints
+// aggregate throughput.
+func loadTest(target string, n, queriesPer int) {
+	fmt.Printf("load test: %d clients x %d queries against %s\n", n, queriesPer, target)
+	var done, local atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			transport, err := repro.Dial(target)
+			if err != nil {
+				log.Printf("client %d: %v", c, err)
+				return
+			}
+			cl, err := repro.NewClient(transport, repro.ClientConfig{
+				ID:         uint32(c + 1),
+				CacheBytes: 1 << 20,
+			})
+			if err != nil {
+				log.Printf("client %d: %v", c, err)
+				return
+			}
+			r := rand.New(rand.NewSource(int64(c + 1)))
+			for i := 0; i < queriesPer; i++ {
+				p := repro.Pt(r.Float64(), r.Float64())
+				var rep repro.Report
+				if i%2 == 0 {
+					rep, err = cl.Query(repro.NewRange(repro.RectFromCenter(p, 0.02, 0.02)))
+				} else {
+					rep, err = cl.Query(repro.NewKNN(p, 4))
+				}
+				if err != nil {
+					log.Printf("client %d query %d: %v", c, i, err)
+					return
+				}
+				done.Add(1)
+				if rep.LocalOnly {
+					local.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("%d queries in %v (%.0f q/s), %d answered fully from cache\n",
+		done.Load(), elapsed.Round(time.Millisecond),
+		float64(done.Load())/elapsed.Seconds(), local.Load())
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/rtree"
@@ -275,9 +276,12 @@ func (t *Tree) ValidateCut(cut Cut) error {
 func (t *Tree) Size() int { return len(t.byCode) }
 
 // Forest lazily builds and caches partition trees for the nodes of an R-tree.
-// The experiments operate on read-only indexes; call Invalidate after any
-// structural mutation of a node.
+// It is safe for concurrent use: any number of goroutines may call Get while
+// others Invalidate. Callers must still ensure the R-tree nodes themselves
+// are not mutated while a Get is in flight (the server does this with its
+// index RWMutex); call Invalidate after any structural mutation of a node.
 type Forest struct {
+	mu    sync.RWMutex
 	trees map[rtree.NodeID]*Tree
 }
 
@@ -286,25 +290,45 @@ func NewForest() *Forest {
 	return &Forest{trees: make(map[rtree.NodeID]*Tree)}
 }
 
-// Get returns the partition tree for node n, building it on first use.
+// Get returns the partition tree for node n, building it on first use. Two
+// goroutines racing on a cold node may both build; one result wins and the
+// other is dropped — partition trees for the same entries are equivalent.
 func (f *Forest) Get(n *rtree.Node) *Tree {
+	f.mu.RLock()
+	t, ok := f.trees[n.ID]
+	f.mu.RUnlock()
+	if ok && t.Root.Count == len(n.Entries) {
+		return t
+	}
+	built := Build(n.ID, n.Entries)
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if t, ok := f.trees[n.ID]; ok && t.Root.Count == len(n.Entries) {
 		return t
 	}
-	t := Build(n.ID, n.Entries)
-	f.trees[n.ID] = t
-	return t
+	f.trees[n.ID] = built
+	return built
 }
 
 // Invalidate drops the cached tree for a node after its entries changed.
-func (f *Forest) Invalidate(id rtree.NodeID) { delete(f.trees, id) }
+func (f *Forest) Invalidate(id rtree.NodeID) {
+	f.mu.Lock()
+	delete(f.trees, id)
+	f.mu.Unlock()
+}
 
 // Len returns the number of cached partition trees.
-func (f *Forest) Len() int { return len(f.trees) }
+func (f *Forest) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.trees)
+}
 
 // TotalPositions sums Size over all cached trees (the paper's "no more than
 // two times the R-tree index" space bound, §4.2).
 func (f *Forest) TotalPositions() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	total := 0
 	for _, t := range f.trees {
 		total += t.Size()

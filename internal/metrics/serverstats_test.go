@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{1500 * time.Nanosecond, 1}, // rounds up: 2µs bucket covers it
+		{2 * time.Microsecond, 1},
+		{2900 * time.Nanosecond, 2}, // rounds up to 3µs, bucket upper 4µs
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Second, 20},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Durations beyond the last bucket bound must clamp, not panic.
+	if got := bucketFor(500 * time.Hour); got != histBuckets-1 {
+		t.Errorf("huge duration landed in bucket %d", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 99 fast observations, 1 slow one.
+	for i := 0; i < 99; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	h.Observe(100 * time.Millisecond)
+
+	if n := h.Count(); n != 100 {
+		t.Fatalf("count = %d", n)
+	}
+	if p50 := h.Quantile(0.50); p50 > 16*time.Microsecond {
+		t.Errorf("p50 = %v, want <= 16µs bucket bound", p50)
+	}
+	// p99 rank is 99, still within the fast bucket; p100 must see the tail.
+	if p100 := h.Quantile(1.0); p100 < 100*time.Millisecond {
+		t.Errorf("p100 = %v, want >= 100ms", p100)
+	}
+	if mean := h.Mean(); mean < 500*time.Microsecond || mean > 2*time.Millisecond {
+		t.Errorf("mean = %v, want ~1ms", mean)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if q := h.Quantile(0.99); q != 0 {
+		t.Errorf("empty quantile = %v", q)
+	}
+	if m := h.Mean(); m != 0 {
+		t.Errorf("empty mean = %v", m)
+	}
+}
+
+func TestServerStatsConcurrent(t *testing.T) {
+	var st ServerStats
+	const goroutines, per = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				st.Requests.Add(1)
+				st.Latency.Observe(time.Duration(i%50) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := st.Snapshot()
+	if snap.Requests != goroutines*per {
+		t.Errorf("requests = %d, want %d", snap.Requests, goroutines*per)
+	}
+	if got := st.Latency.Count(); got != goroutines*per {
+		t.Errorf("latency count = %d, want %d", got, goroutines*per)
+	}
+	if snap.P50 == 0 || snap.P99 < snap.P50 {
+		t.Errorf("quantiles inconsistent: p50=%v p99=%v", snap.P50, snap.P99)
+	}
+	if snap.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -56,6 +56,18 @@ func (q *Queue[T]) Reset() {
 	q.items = q.items[:0]
 }
 
+// Grow ensures capacity for at least n items beyond the current length,
+// saving the incremental reallocations of a growing heap when the caller
+// can estimate the working-set size up front.
+func (q *Queue[T]) Grow(n int) {
+	if cap(q.items)-len(q.items) >= n {
+		return
+	}
+	items := make([]item[T], len(q.items), len(q.items)+n)
+	copy(items, q.items)
+	q.items = items
+}
+
 // Items returns the queued values in heap order (not sorted). The slice is
 // freshly allocated; mutating it does not affect the queue.
 func (q *Queue[T]) Items() []T {

@@ -94,6 +94,9 @@ func Run(q Query, prov Provider, seed []QueuedElem) Outcome {
 	m := 0            // confirmed results
 	nMissingLeaf := 0 // popped object elements that could not be confirmed
 
+	// Pre-grow past the handful of doubling reallocations every non-trivial
+	// query pays; warm-cache heaps routinely exceed 64 elements.
+	h.Grow(len(seed) + 64)
 	for _, qe := range seed {
 		h.Push(qe.Key, qe.Elem)
 		out.Stats.Pushes++
@@ -131,17 +134,11 @@ func Run(q Query, prov Provider, seed []QueuedElem) Outcome {
 			continue
 		}
 
-		children, ok := expandElem(q, prov, elem, &out.Stats)
-		if !ok {
+		if !expandElem(q, prov, elem, &h, &out.Stats) {
 			stuck = append(stuck, QueuedElem{Key: key, Elem: elem})
 			if key < minMissingNonLeaf {
 				minMissingNonLeaf = key
 			}
-			continue
-		}
-		for _, c := range children {
-			h.Push(c.Key, c.Elem)
-			out.Stats.Pushes++
 		}
 	}
 
@@ -191,97 +188,97 @@ func pruneKNNRemainder(rem []QueuedElem, want int) []QueuedElem {
 	return rem
 }
 
-// expandElem expands a non-object element into its accepted children.
-func expandElem(q Query, prov Provider, elem Elem, stats *Stats) ([]QueuedElem, bool) {
+// expandElem expands a non-object element, pushing its accepted children
+// straight into the priority queue (no intermediate slice — expansion is
+// the engine's hottest allocation site). It reports false when the element
+// is missing from the provider.
+func expandElem(q Query, prov Provider, elem Elem, h *pq.Queue[Elem], stats *Stats) bool {
 	if !elem.Pair {
 		children, ok := prov.Expand(elem.A)
 		if !ok {
-			return nil, false
+			return false
 		}
 		stats.Expands++
 		stats.Evals += len(children)
-		out := make([]QueuedElem, 0, len(children))
 		for _, c := range children {
 			if q.accepts(c.MBR) {
-				out = append(out, QueuedElem{Key: q.key(c.MBR), Elem: Single(c)})
+				h.Push(q.key(c.MBR), Single(c))
+				stats.Pushes++
 			}
 		}
-		return out, true
+		return true
 	}
-	return expandPair(q, prov, elem, stats)
+	return expandPair(q, prov, elem, h, stats)
 }
 
 // expandPair expands a join pair by descending every expandable side.
 // A pair is missing when any side it must descend is missing (footnote 3 of
 // the paper).
-func expandPair(q Query, prov Provider, elem Elem, stats *Stats) ([]QueuedElem, bool) {
+func expandPair(q Query, prov Provider, elem Elem, h *pq.Queue[Elem], stats *Stats) bool {
 	a, b := elem.A, elem.B
-	emit := func(out []QueuedElem, x, y Ref) []QueuedElem {
+	emit := func(x, y Ref) {
 		stats.Evals++
 		if x.Same(y) && x.IsObject() {
-			return out // a distance self-join never pairs an object with itself
+			return // a distance self-join never pairs an object with itself
 		}
 		if !q.acceptsPair(x.MBR, y.MBR) {
-			return out
+			return
 		}
-		return append(out, QueuedElem{Key: q.pairKey(x.MBR, y.MBR), Elem: PairOf(x, y)})
+		h.Push(q.pairKey(x.MBR, y.MBR), PairOf(x, y))
+		stats.Pushes++
 	}
 
 	switch {
 	case a.IsObject(): // descend b only
 		children, ok := prov.Expand(b)
 		if !ok {
-			return nil, false
+			return false
 		}
 		stats.Expands++
-		var out []QueuedElem
 		for _, c := range children {
-			out = emit(out, a, c)
+			emit(a, c)
 		}
-		return out, true
+		return true
 
 	case b.IsObject(): // descend a only
 		children, ok := prov.Expand(a)
 		if !ok {
-			return nil, false
+			return false
 		}
 		stats.Expands++
-		var out []QueuedElem
 		for _, c := range children {
-			out = emit(out, c, b)
+			emit(c, b)
 		}
-		return out, true
+		return true
 
 	case a.Same(b): // one expansion, unordered child pairs
 		children, ok := prov.Expand(a)
 		if !ok {
-			return nil, false
+			return false
 		}
 		stats.Expands++
-		var out []QueuedElem
 		for i := range children {
 			for j := i; j < len(children); j++ {
-				out = emit(out, children[i], children[j])
+				emit(children[i], children[j])
 			}
 		}
-		return out, true
+		return true
 
 	default: // descend both sides
 		ca, okA := prov.Expand(a)
 		if !okA {
-			return nil, false
+			return false
 		}
 		cb, okB := prov.Expand(b)
 		if !okB {
-			return nil, false
+			return false
 		}
 		stats.Expands += 2
-		var out []QueuedElem
 		for _, x := range ca {
 			for _, y := range cb {
-				out = emit(out, x, y)
+				emit(x, y)
 			}
 		}
-		return out, true
+		return true
 	}
 }

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+// mixedQueries builds a deterministic workload of interleaved range and kNN
+// queries scattered over the unit square.
+func mixedQueries(seed int64, n int) []query.Query {
+	r := rand.New(rand.NewSource(seed))
+	qs := make([]query.Query, n)
+	for i := range qs {
+		p := geom.Pt(r.Float64(), r.Float64())
+		if i%2 == 0 {
+			qs[i] = query.NewRange(geom.RectFromCenter(p, 0.04, 0.04))
+		} else {
+			qs[i] = query.NewKNN(p, 1+r.Intn(8))
+		}
+	}
+	return qs
+}
+
+func objectIDs(resp *wire.Response) []rtree.ObjectID {
+	ids := make([]rtree.ObjectID, len(resp.Objects))
+	for i, o := range resp.Objects {
+		ids[i] = o.ID
+	}
+	return ids
+}
+
+// TestConcurrentClientsMatchSerial runs many clients issuing mixed range and
+// kNN queries against one Server at once and cross-checks every response
+// against a single-threaded execution of the same workload. Run under
+// -race this is the tentpole regression test for the concurrent serving
+// path: sharded client state, the lazily built partition forest, and the
+// shared read lock on the index.
+func TestConcurrentClientsMatchSerial(t *testing.T) {
+	const (
+		clients          = 8
+		queriesPerClient = 40
+	)
+	srv, _ := buildServer(t, 80, 2000, Config{Form: AdaptiveForm, InitialD: 2})
+
+	// Serial ground truth on an identically built server. Distinct client
+	// ids with no FMR feedback keep d pinned at InitialD, so responses are
+	// deterministic functions of the query alone.
+	ref, _ := buildServer(t, 80, 2000, Config{Form: AdaptiveForm, InitialD: 2})
+	want := make([][][]rtree.ObjectID, clients)
+	for c := 0; c < clients; c++ {
+		qs := mixedQueries(int64(100+c), queriesPerClient)
+		want[c] = make([][]rtree.ObjectID, len(qs))
+		for i, q := range qs {
+			resp, _ := ref.Execute(&wire.Request{Client: wire.ClientID(c + 1), Q: q})
+			want[c][i] = objectIDs(resp)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			qs := mixedQueries(int64(100+c), queriesPerClient)
+			for i, q := range qs {
+				resp, info := srv.Execute(&wire.Request{Client: wire.ClientID(c + 1), Q: q})
+				if info.D != 2 {
+					errs <- fmt.Errorf("client %d query %d: d = %d, want 2", c, i, info.D)
+					return
+				}
+				got := objectIDs(resp)
+				if len(got) != len(want[c][i]) {
+					errs <- fmt.Errorf("client %d query %d: %d objects, want %d", c, i, len(got), len(want[c][i]))
+					return
+				}
+				for j := range got {
+					if got[j] != want[c][i][j] {
+						errs <- fmt.Errorf("client %d query %d: object %d is %d, want %d", c, i, j, got[j], want[c][i][j])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentFeedbackStaysClamped hammers one client's adaptive state
+// from several goroutines; under -race this exercises the shard locking of
+// applyFeedback, and the final d must respect [0, MaxD] regardless of the
+// interleaving.
+func TestConcurrentFeedbackStaysClamped(t *testing.T) {
+	srv, _ := buildServer(t, 81, 400, Config{MaxD: 3})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fmr := 0.01
+			for i := 0; i < 50; i++ {
+				fmr *= 2
+				srv.Execute(&wire.Request{
+					Client: 7,
+					Q:      query.NewKNN(geom.Pt(0.5, 0.5), 2),
+					FMR:    fmr,
+					HasFMR: true,
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d := srv.ClientD(7); d < 0 || d > 3 {
+		t.Fatalf("d = %d escaped [0, 3]", d)
+	}
+}
+
+// TestQueriesDuringUpdates runs queries concurrently with index mutations:
+// inserts, moves, and deletes all take the write lock, so every query must
+// observe a consistent index and a monotonically non-decreasing epoch.
+func TestQueriesDuringUpdates(t *testing.T) {
+	srv, items := buildServer(t, 82, 1500, Config{})
+	var queriers, mutator sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Mutator: churn a band of objects.
+	mutator.Add(1)
+	go func() {
+		defer mutator.Done()
+		r := rand.New(rand.NewSource(9))
+		var lastID rtree.ObjectID
+		var lastMBR geom.Rect
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				lastID = rtree.ObjectID(10_000 + i)
+				lastMBR = geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01)
+				srv.InsertObject(lastID, lastMBR, 500)
+			case 1:
+				it := items[r.Intn(len(items))]
+				to := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01)
+				if srv.MoveObject(it.Obj, it.MBR, to) {
+					// Move it back so later iterations find it where
+					// items says it is.
+					srv.MoveObject(it.Obj, to, it.MBR)
+				}
+			case 2:
+				if !srv.DeleteObject(lastID, lastMBR) {
+					t.Errorf("delete of freshly inserted object %d failed", lastID)
+					return
+				}
+			}
+		}
+	}()
+
+	for g := 0; g < 8; g++ {
+		queriers.Add(1)
+		go func(g int) {
+			defer queriers.Done()
+			var lastEpoch uint64
+			qs := mixedQueries(int64(200+g), 60)
+			for i, q := range qs {
+				resp, _ := srv.Execute(&wire.Request{Client: wire.ClientID(g + 1), Q: q})
+				if resp.Epoch < lastEpoch {
+					t.Errorf("client %d query %d: epoch went backwards (%d < %d)", g, i, resp.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = resp.Epoch
+			}
+		}(g)
+	}
+
+	queriers.Wait()
+	close(stop)
+	mutator.Wait()
+}

@@ -37,13 +37,33 @@ func (p *provider) visit(id rtree.NodeID) {
 	}
 }
 
+// markExpanded records that a partition-tree position was expanded, closing
+// the set upward on the fly: every ancestor of an expanded position counts
+// as expanded too. A remainder query resumed from a client's super entry
+// (n, code) expands only the subtree below code; closing the set upward
+// makes the shipped frontier a full cover of the node — the unexplored
+// siblings ride along as super entries. Shipping partial covers would let a
+// client whose copy of the node was just invalidated install a
+// representation that silently hides entries, losing results forever.
+// Expansion proceeds top-down, so the ancestor walk almost always stops at
+// the immediate parent.
 func (p *provider) markExpanded(id rtree.NodeID, code bpt.Code) {
 	m, ok := p.expanded[id]
 	if !ok {
 		m = make(map[bpt.Code]bool)
 		p.expanded[id] = m
 	}
+	if m[code] {
+		return
+	}
 	m[code] = true
+	for c := code; len(c) > 0; {
+		c = c.Parent()
+		if m[c] {
+			break
+		}
+		m[c] = true
+	}
 }
 
 // Expand implements query.Provider. The server never reports missing

@@ -7,6 +7,7 @@ package server
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/bpt"
 	"repro/internal/query"
@@ -76,22 +77,45 @@ type ExecInfo struct {
 	D            int // refinement level used for this client
 }
 
+// clientShardCount is the number of independently locked shards the
+// per-client adaptive state is spread over. Concurrent requests from
+// different clients contend only when their ids hash to the same shard.
+const clientShardCount = 32
+
+// clientShard is one lock domain of the per-client state map.
+type clientShard struct {
+	mu sync.Mutex
+	m  map[wire.ClientID]*clientState
+}
+
 // Server owns the R*-tree, the binary partition forest, and per-client
 // adaptive state.
+//
+// A Server is safe for concurrent use. Execute (and the read-only accessors)
+// may be called from any number of goroutines; the index mutators
+// (InsertObject, DeleteObject, MoveObject) take a write lock and exclude
+// queries for their duration. Per-client adaptive state lives in a sharded
+// map so feedback from distinct clients never serializes on one lock.
 type Server struct {
-	tree    *rtree.Tree
-	forest  *bpt.Forest
-	sizes   ObjectSizer
-	cfg     Config
-	clients map[wire.ClientID]*clientState
+	// mu guards the tree, the forest's underlying nodes, the update log,
+	// and extraSizes. Query execution holds the read side; index mutation
+	// holds the write side.
+	mu     sync.RWMutex
+	tree   *rtree.Tree
+	forest *bpt.Forest
+	sizes  ObjectSizer
+	cfg    Config
+	shards [clientShardCount]clientShard
 
-	// Update/invalidation state (see update.go).
+	// Update/invalidation state (see update.go), guarded by mu.
 	epoch      uint64
 	logFloor   uint64
 	updates    []updateRecord
 	extraSizes map[rtree.ObjectID]int // sizes of objects inserted post-build
 }
 
+// clientState is the adaptive refinement state of one client, guarded by its
+// shard's mutex.
 type clientState struct {
 	d       int
 	lastFMR float64
@@ -104,8 +128,10 @@ func New(tree *rtree.Tree, sizes ObjectSizer, cfg Config) *Server {
 		tree:       tree,
 		forest:     bpt.NewForest(),
 		cfg:        cfg.normalized(),
-		clients:    make(map[wire.ClientID]*clientState),
 		extraSizes: make(map[rtree.ObjectID]int),
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[wire.ClientID]*clientState)
 	}
 	s.sizes = func(id rtree.ObjectID) int {
 		if sz, ok := s.extraSizes[id]; ok {
@@ -116,31 +142,67 @@ func New(tree *rtree.Tree, sizes ObjectSizer, cfg Config) *Server {
 	return s
 }
 
-// Tree exposes the underlying index (read-only use).
+// Tree exposes the underlying index. Callers must treat it as read-only and
+// must not hold the result across calls to the index mutators.
 func (s *Server) Tree() *rtree.Tree { return s.tree }
 
 // RootRef returns the reference query processing starts from; clients use it
 // as their catalog entry for the index root.
 func (s *Server) RootRef() query.Ref {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.rootRefLocked()
+}
+
+// rootRefLocked is RootRef for callers already holding mu.
+func (s *Server) rootRefLocked() query.Ref {
 	return query.FromEntry(s.tree.RootEntry())
 }
 
-// ClientD returns the current adaptive refinement level for a client.
-func (s *Server) ClientD(id wire.ClientID) int { return s.state(id).d }
+// shard returns the lock domain owning a client's state.
+func (s *Server) shard(id wire.ClientID) *clientShard {
+	return &s.shards[uint32(id)%clientShardCount]
+}
 
-func (s *Server) state(id wire.ClientID) *clientState {
-	st, ok := s.clients[id]
+// ClientD returns the current adaptive refinement level for a client.
+func (s *Server) ClientD(id wire.ClientID) int {
+	sh := s.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.stateLocked(id, s.cfg.InitialD).d
+}
+
+// stateLocked returns (creating if needed) a client's state. The shard's
+// mutex must be held.
+func (sh *clientShard) stateLocked(id wire.ClientID, initialD int) *clientState {
+	st, ok := sh.m[id]
 	if !ok {
-		st = &clientState{d: s.cfg.InitialD}
-		s.clients[id] = st
+		st = &clientState{d: initialD}
+		sh.m[id] = st
 	}
 	return st
+}
+
+// feedbackAndD folds the request's false-miss-rate feedback (if any) into
+// the client's adaptive state and returns the refinement level to use for
+// this request. All clientState access happens under the shard lock here,
+// so concurrent requests from the same client serialize only on this small
+// critical section, never on query execution.
+func (s *Server) feedbackAndD(req *wire.Request) int {
+	sh := s.shard(req.Client)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st := sh.stateLocked(req.Client, s.cfg.InitialD)
+	if req.HasFMR {
+		s.applyFeedback(st, req.FMR)
+	}
+	return st.d
 }
 
 // applyFeedback implements the adaptive rule of Section 4.3: a false-miss
 // rate more than s percent above the last reported one means the cached
 // index is too coarse (raise d); more than s percent below means it is
-// finer than needed (lower d).
+// finer than needed (lower d). The caller must hold the state's shard lock.
 func (s *Server) applyFeedback(st *clientState, fmr float64) {
 	if !st.hasLast {
 		st.lastFMR, st.hasLast = fmr, true
@@ -159,33 +221,44 @@ func (s *Server) applyFeedback(st *clientState, fmr float64) {
 	st.lastFMR = fmr
 }
 
-// Execute processes one request and builds the response.
+// Execute processes one request and builds the response. It is safe to call
+// from many goroutines at once: requests share the index read lock, so
+// queries never block each other — only index mutations exclude them.
 func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
-	st := s.state(req.Client)
-	if req.HasFMR {
-		s.applyFeedback(st, req.FMR)
-	}
+	d := s.feedbackAndD(req)
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
 	if req.Catalog {
-		root := s.RootRef()
+		root := s.rootRefLocked()
 		resp := &wire.Response{RootID: root.Node, RootMBR: root.MBR}
 		s.attachInvalidations(req, resp)
-		return resp, ExecInfo{D: st.d}
+		return resp, ExecInfo{D: d}
 	}
 
 	partitioned := s.cfg.Form != FullForm && !req.NoIndex
 	prov := newProvider(s, partitioned)
 
 	resp := &wire.Response{K: req.Q.K}
-	info := ExecInfo{D: st.d}
+	info := ExecInfo{D: d}
 
-	// Objects the client already holds: no payload bytes for those.
-	noPayload := make(map[rtree.ObjectID]bool)
-	for _, id := range req.CachedIDs {
+	// Objects the client already holds: no payload bytes for those. Lazily
+	// allocated — lookups on the nil map are fine and most fresh requests
+	// carry neither cached ids nor deferred elements.
+	var noPayload map[rtree.ObjectID]bool
+	markNoPayload := func(id rtree.ObjectID) {
+		if noPayload == nil {
+			noPayload = make(map[rtree.ObjectID]bool, len(req.CachedIDs)+1)
+		}
 		noPayload[id] = true
+	}
+	for _, id := range req.CachedIDs {
+		markNoPayload(id)
 	}
 	for _, qe := range req.H {
 		if qe.Deferred && qe.Elem.IsObjectElem() && !qe.Elem.Pair {
-			noPayload[qe.Elem.A.Obj] = true
+			markNoPayload(qe.Elem.A.Obj)
 		}
 	}
 
@@ -195,7 +268,7 @@ func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
 		seen := make(map[rtree.ObjectID]bool)
 		for _, w := range req.SemWindows {
 			q := query.NewRange(w)
-			out := query.Run(q, prov, query.SeedRoot(q, s.RootRef()))
+			out := query.Run(q, prov, query.SeedRoot(q, s.rootRefLocked()))
 			info.Engine.Add(out.Stats)
 			for _, r := range out.Results {
 				if !seen[r.Obj] {
@@ -207,7 +280,7 @@ func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
 	default:
 		seed := req.H
 		if len(seed) == 0 {
-			seed = query.SeedRoot(req.Q, s.RootRef())
+			seed = query.SeedRoot(req.Q, s.rootRefLocked())
 		} else {
 			seed = s.rekey(req.Q, seed)
 		}
@@ -232,9 +305,9 @@ func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
 	}
 
 	if !req.NoIndex {
-		resp.Index = s.buildIndex(prov, st.d)
+		resp.Index = s.buildIndex(prov, d)
 	}
-	root := s.RootRef()
+	root := s.rootRefLocked()
 	resp.RootID, resp.RootMBR = root.Node, root.MBR
 	s.attachInvalidations(req, resp)
 	info.VisitedNodes = len(prov.visited)
@@ -288,9 +361,9 @@ func (s *Server) buildIndex(p *provider, d int) []wire.NodeRep {
 		case FullForm:
 			cut = pt.FullCut()
 		case CompactForm:
-			cut = pt.Frontier(closeUpward(p.expanded[n.ID]))
+			cut = pt.Frontier(p.expanded[n.ID])
 		default: // AdaptiveForm
-			cut = pt.ExpandCut(pt.Frontier(closeUpward(p.expanded[n.ID])), d)
+			cut = pt.ExpandCut(pt.Frontier(p.expanded[n.ID]), d)
 		}
 		rep := wire.NodeRep{ID: n.ID, Level: n.Level}
 		for _, code := range cut {
@@ -310,26 +383,4 @@ func (s *Server) buildIndex(p *provider, d int) []wire.NodeRep {
 		reps = append(reps, rep)
 	}
 	return reps
-}
-
-// closeUpward adds every ancestor of each expanded position. A remainder
-// query resumed from a client's super entry (n, code) expands only the
-// subtree below code; closing the set upward makes the shipped frontier a
-// full cover of the node — the unexplored siblings ride along as super
-// entries. Shipping partial covers would let a client whose copy of the
-// node was just invalidated install a representation that silently hides
-// entries, losing results forever.
-func closeUpward(expanded map[bpt.Code]bool) map[bpt.Code]bool {
-	if len(expanded) == 0 {
-		return expanded
-	}
-	closed := make(map[bpt.Code]bool, 2*len(expanded))
-	for code := range expanded {
-		closed[code] = true
-		for c := code; len(c) > 0; {
-			c = c.Parent()
-			closed[c] = true
-		}
-	}
-	return closed
 }

@@ -22,8 +22,11 @@ type updateRecord struct {
 }
 
 // InsertObject adds an object to the index, assigns it the next epoch, and
-// logs every index node the insertion touched.
+// logs every index node the insertion touched. Like all index mutators it
+// takes the server's write lock, excluding in-flight queries.
 func (s *Server) InsertObject(id rtree.ObjectID, mbr geom.Rect, size int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	touched := s.capture(func() {
 		s.tree.Insert(id, mbr)
 	})
@@ -33,6 +36,8 @@ func (s *Server) InsertObject(id rtree.ObjectID, mbr geom.Rect, size int) {
 
 // DeleteObject removes an object. It reports whether the object existed.
 func (s *Server) DeleteObject(id rtree.ObjectID, mbr geom.Rect) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var ok bool
 	touched := s.capture(func() {
 		ok = s.tree.Delete(id, mbr)
@@ -47,6 +52,8 @@ func (s *Server) DeleteObject(id rtree.ObjectID, mbr geom.Rect) bool {
 // MoveObject relocates an object (delete + insert under one epoch), the
 // moving-objects workload of the update experiments.
 func (s *Server) MoveObject(id rtree.ObjectID, from, to geom.Rect) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var ok bool
 	touched := s.capture(func() {
 		if ok = s.tree.Delete(id, from); ok {
@@ -62,7 +69,8 @@ func (s *Server) MoveObject(id rtree.ObjectID, from, to geom.Rect) bool {
 
 // capture runs fn with the touch hook installed and returns the set of
 // mutated nodes in first-touch order. Partition trees for touched nodes are
-// invalidated so compact forms rebuild against current entries.
+// invalidated so compact forms rebuild against current entries. The caller
+// must hold the server's write lock.
 func (s *Server) capture(fn func()) []rtree.NodeID {
 	seen := make(map[rtree.NodeID]bool)
 	var order []rtree.NodeID
@@ -80,6 +88,8 @@ func (s *Server) capture(fn func()) []rtree.NodeID {
 	return order
 }
 
+// logUpdate appends one epoch's invalidation record. The caller must hold
+// the server's write lock.
 func (s *Server) logUpdate(nodes []rtree.NodeID, objs []rtree.ObjectID) {
 	s.epoch++
 	s.updates = append(s.updates, updateRecord{epoch: s.epoch, nodes: nodes, objs: objs})
@@ -92,11 +102,16 @@ func (s *Server) logUpdate(nodes []rtree.NodeID, objs []rtree.ObjectID) {
 }
 
 // Epoch returns the server's current update epoch.
-func (s *Server) Epoch() uint64 { return s.epoch }
+func (s *Server) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
 
 // invalidationsSince collects the node/object ids changed after the client's
 // epoch. The boolean reports whether the log horizon was exceeded, in which
-// case the client must drop its whole cache (FlushAll).
+// case the client must drop its whole cache (FlushAll). The caller must hold
+// at least the read side of the server's lock.
 func (s *Server) invalidationsSince(epoch uint64) (nodes []rtree.NodeID, objs []rtree.ObjectID, flush bool) {
 	if epoch >= s.epoch {
 		return nil, nil, false
@@ -127,7 +142,8 @@ func (s *Server) invalidationsSince(epoch uint64) (nodes []rtree.NodeID, objs []
 }
 
 // attachInvalidations stamps the response with the current epoch and the
-// invalidation report for the requesting client.
+// invalidation report for the requesting client. The caller must hold at
+// least the read side of the server's lock.
 func (s *Server) attachInvalidations(req *wire.Request, resp *wire.Response) {
 	resp.Epoch = s.epoch
 	if s.epoch == 0 {

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// Multi-client throughput mode: instead of simulating one mobile client's
+// byte budget, hammer a single shared Server from many goroutine clients at
+// once and measure real wall-clock serving capacity. This is the measurable
+// side of the concurrent serving layer — queries share the index read lock,
+// so throughput should scale with cores until the memory bus saturates.
+
+// ThroughputResult is one row of the multi-client scaling sweep.
+type ThroughputResult struct {
+	Clients int
+	Queries int           // total across all clients
+	Elapsed time.Duration // wall clock
+	QPS     float64
+	Mean    time.Duration // per-query service time (client side, real time)
+	P50     time.Duration
+	P99     time.Duration
+}
+
+// Throughput runs `clients` concurrent proactive-caching clients, each
+// issuing queriesPerClient mixed range/kNN queries against one shared
+// server, and reports wall-clock throughput with latency quantiles. Every
+// client owns a private cache and rng; only the server is shared.
+func Throughput(env *Environment, clients, queriesPerClient int, seed int64) (ThroughputResult, error) {
+	srv := server.New(env.Tree, env.DS.SizeOf, server.Config{})
+	transport := wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+		resp, _ := srv.Execute(req)
+		return resp, nil
+	})
+	sizes := wire.DefaultSizeModel()
+
+	var hist metrics.Histogram
+	errCh := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed + int64(c)))
+			cache := core.NewCache(1<<20, core.GRD3, sizes)
+			cl := core.NewClient(core.ClientConfig{
+				ID:        wire.ClientID(c + 1),
+				Root:      srv.RootRef(),
+				Sizes:     sizes,
+				FMRPeriod: 25,
+			}, cache, transport)
+			for i := 0; i < queriesPerClient; i++ {
+				p := geom.Pt(r.Float64(), r.Float64())
+				var q query.Query
+				if i%2 == 0 {
+					q = query.NewRange(geom.RectFromCenter(p, 0.02, 0.02))
+				} else {
+					q = query.NewKNN(p, 1+r.Intn(8))
+				}
+				t0 := time.Now()
+				if _, err := cl.Query(q); err != nil {
+					errCh <- fmt.Errorf("client %d query %d: %w", c, i, err)
+					return
+				}
+				hist.Observe(time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return ThroughputResult{}, err
+	}
+
+	total := clients * queriesPerClient
+	return ThroughputResult{
+		Clients: clients,
+		Queries: total,
+		Elapsed: elapsed,
+		QPS:     float64(total) / elapsed.Seconds(),
+		Mean:    hist.Mean(),
+		P50:     hist.Quantile(0.50),
+		P99:     hist.Quantile(0.99),
+	}, nil
+}
+
+// ThroughputSweep measures Throughput at each client count.
+func ThroughputSweep(env *Environment, clientCounts []int, queriesPerClient int, seed int64) ([]ThroughputResult, error) {
+	rows := make([]ThroughputResult, 0, len(clientCounts))
+	for _, c := range clientCounts {
+		r, err := Throughput(env, c, queriesPerClient, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// FprintThroughput renders the scaling sweep, with speedup relative to the
+// first row.
+func FprintThroughput(w io.Writer, rows []ThroughputResult) {
+	fmt.Fprintln(w, "Multi-client serving throughput (shared server, per-goroutine clients)")
+	fmt.Fprintf(w, "%8s %9s %10s %10s %9s %9s %9s %8s\n",
+		"clients", "queries", "elapsed", "qps", "mean", "p50", "p99", "speedup")
+	var base float64
+	for i, r := range rows {
+		if i == 0 {
+			base = r.QPS
+		}
+		speedup := 0.0
+		if base > 0 {
+			speedup = r.QPS / base
+		}
+		fmt.Fprintf(w, "%8d %9d %10v %10.0f %9v %9v %9v %7.2fx\n",
+			r.Clients, r.Queries, r.Elapsed.Round(time.Millisecond), r.QPS,
+			r.Mean.Round(time.Microsecond), r.P50, r.P99, speedup)
+	}
+}

@@ -1,0 +1,31 @@
+package sim
+
+import "testing"
+
+func TestThroughputRuns(t *testing.T) {
+	env := NewNEEnvironment(TestScale())
+	res, err := Throughput(env, 4, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 80 {
+		t.Errorf("queries = %d, want 80", res.Queries)
+	}
+	if res.QPS <= 0 {
+		t.Errorf("qps = %f", res.QPS)
+	}
+	if res.P99 < res.P50 {
+		t.Errorf("p99 %v < p50 %v", res.P99, res.P50)
+	}
+}
+
+func TestThroughputSweep(t *testing.T) {
+	env := NewNEEnvironment(TestScale())
+	rows, err := ThroughputSweep(env, []int{1, 2}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Clients != 1 || rows[1].Clients != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}

@@ -1,0 +1,298 @@
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/gob"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// NetServer runs the gob protocol on a listener with the concerns a real
+// deployment needs: a goroutine per connection behind a connection limit, a
+// bounded pool of concurrently executing requests (so a burst of thousands
+// of connections cannot stampede the query engine), per-request read
+// deadlines that reap idle connections, live serving statistics, and a
+// graceful Shutdown that stops accepting, lets in-flight requests finish,
+// and then closes everything.
+
+// Defaults applied by NewNetServer when a ServeConfig field is zero.
+const (
+	// DefaultMaxConns bounds concurrently open client connections.
+	DefaultMaxConns = 4096
+	// DefaultReadTimeout reaps connections idle for this long between
+	// requests.
+	DefaultReadTimeout = 5 * time.Minute
+)
+
+// ErrServerClosed is returned by NetServer.Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("wire: server closed")
+
+// ServeConfig parameterizes a NetServer.
+type ServeConfig struct {
+	// MaxConns is the maximum number of concurrently open connections;
+	// connections beyond it are sent an error envelope and closed.
+	// Default DefaultMaxConns. Negative means unlimited.
+	MaxConns int
+	// MaxInflight bounds requests executing at once across all
+	// connections (the worker pool). Default 4*GOMAXPROCS. Negative means
+	// unlimited.
+	MaxInflight int
+	// ReadTimeout is how long a connection may sit idle between requests
+	// before it is closed. Default DefaultReadTimeout. Negative disables
+	// the deadline.
+	ReadTimeout time.Duration
+	// Stats receives serving counters; nil allocates a private one.
+	Stats *metrics.ServerStats
+}
+
+// NetServer is a concurrent gob-protocol server. Create one with
+// NewNetServer; Serve blocks until the listener fails or Shutdown/Close is
+// called.
+type NetServer struct {
+	handle  Handler
+	cfg     ServeConfig
+	stats   *metrics.ServerStats
+	sem     chan struct{} // in-flight request tokens; nil = unlimited
+	connSem chan struct{} // connection tokens; nil = unlimited
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	shutdown bool
+	wg       sync.WaitGroup // live connection handlers
+}
+
+// NewNetServer builds a server around a request handler.
+func NewNetServer(handle Handler, cfg ServeConfig) *NetServer {
+	if cfg.MaxConns == 0 {
+		cfg.MaxConns = DefaultMaxConns
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.ReadTimeout == 0 {
+		cfg.ReadTimeout = DefaultReadTimeout
+	}
+	s := &NetServer{
+		handle: handle,
+		cfg:    cfg,
+		stats:  cfg.Stats,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	if s.stats == nil {
+		s.stats = &metrics.ServerStats{}
+	}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	if cfg.MaxConns > 0 {
+		s.connSem = make(chan struct{}, cfg.MaxConns)
+	}
+	return s
+}
+
+// Stats returns the server's counters (live; snapshot before printing).
+func (s *NetServer) Stats() *metrics.ServerStats { return s.stats }
+
+// Serve accepts connections on ln until the listener errors or the server
+// is shut down, in which case it returns ErrServerClosed.
+func (s *NetServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.shuttingDown() {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.stats.TotalConns.Add(1)
+
+		if s.connSem != nil {
+			select {
+			case s.connSem <- struct{}{}:
+			default:
+				s.stats.RejectedConns.Add(1)
+				go rejectConn(conn)
+				continue
+			}
+		}
+		if !s.track(conn) {
+			if s.connSem != nil {
+				<-s.connSem
+			}
+			conn.Close()
+			continue
+		}
+		go s.serveConn(conn)
+	}
+}
+
+// rejectConn tells a client the server is full, then hangs up.
+func rejectConn(conn net.Conn) {
+	defer conn.Close()
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	_ = gob.NewEncoder(conn).Encode(envelope{Err: "server at connection limit"})
+}
+
+// track registers a live connection; it refuses during shutdown. The
+// WaitGroup increment happens under the same lock that Shutdown takes to
+// set the flag, so Shutdown can never observe a tracked-but-uncounted
+// connection.
+func (s *NetServer) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
+}
+
+func (s *NetServer) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *NetServer) shuttingDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shutdown
+}
+
+// serveConn runs the request loop for one connection.
+func (s *NetServer) serveConn(conn net.Conn) {
+	s.stats.ActiveConns.Add(1)
+	defer func() {
+		s.untrack(conn)
+		conn.Close()
+		if s.connSem != nil {
+			<-s.connSem
+		}
+		s.stats.ActiveConns.Add(-1)
+		s.wg.Done()
+	}()
+
+	bw := bufio.NewWriter(conn)
+	enc := gob.NewEncoder(writeFlusher{bw})
+	dec := gob.NewDecoder(bufio.NewReader(conn))
+	for {
+		if s.cfg.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		// Re-check after arming the deadline: Shutdown sets the flag and
+		// nudges deadlines in one critical section, so if the deadline
+		// write above clobbered the nudge, the flag is already visible
+		// here — without this check a racing idle connection would sleep
+		// out its full ReadTimeout and turn graceful drain into a
+		// ctx-timeout force close.
+		if s.shuttingDown() {
+			return
+		}
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			// EOF, idle timeout, or the shutdown nudge: hang up quietly.
+			return
+		}
+		if env.Req == nil {
+			if err := enc.Encode(envelope{Err: "empty request envelope"}); err != nil {
+				return
+			}
+			continue
+		}
+
+		if s.sem != nil {
+			s.sem <- struct{}{}
+		}
+		start := time.Now()
+		resp, err := s.handle(env.Req)
+		s.stats.Latency.Observe(time.Since(start))
+		if s.sem != nil {
+			<-s.sem
+		}
+		s.stats.Requests.Add(1)
+
+		out := envelope{Resp: resp}
+		if err != nil {
+			s.stats.Errors.Add(1)
+			out = envelope{Err: err.Error()}
+		}
+		if err := enc.Encode(out); err != nil {
+			return
+		}
+		if s.shuttingDown() {
+			// The in-flight request is answered; drain by refusing the next.
+			return
+		}
+	}
+}
+
+// Shutdown gracefully stops the server: it closes the listener, nudges idle
+// connections awake, waits for in-flight requests to be answered, and then
+// closes the remaining connections. If ctx expires first, lingering
+// connections are force-closed and ctx.Err() is returned.
+func (s *NetServer) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.shutdown = true
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// Interrupt reads blocked waiting for the next request. A connection
+	// mid-request keeps running: its handler finishes and the response is
+	// written before the loop notices the shutdown flag.
+	for conn := range s.conns {
+		_ = conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Force-close the sockets and give up: a handler stuck in
+		// user code cannot be interrupted, so waiting further could
+		// block forever (same contract as net/http.Server.Shutdown).
+		s.mu.Lock()
+		for conn := range s.conns {
+			conn.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Close immediately closes the listener and every connection without
+// waiting for in-flight requests.
+func (s *NetServer) Close() error {
+	s.mu.Lock()
+	s.shutdown = true
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	return err
+}

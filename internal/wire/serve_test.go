@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoHandler answers with the request's epoch, so tests can match
+// responses to requests.
+func echoHandler(req *Request) (*Response, error) {
+	return &Response{Epoch: req.Epoch}, nil
+}
+
+func startServer(t *testing.T, cfg ServeConfig, handle Handler) (*NetServer, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewNetServer(handle, cfg)
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(func() { srv.Close() })
+	return srv, ln.Addr().String()
+}
+
+func dialT(t *testing.T, addr string) *ClientConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return NewClientConn(conn)
+}
+
+func TestNetServerConcurrentClients(t *testing.T) {
+	srv, addr := startServer(t, ServeConfig{}, echoHandler)
+	const clients, perClient = 10, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer conn.Close()
+			cc := NewClientConn(conn)
+			for i := 0; i < perClient; i++ {
+				epoch := uint64(c*1000 + i)
+				resp, err := cc.RoundTrip(&Request{Client: ClientID(c), Epoch: epoch, Catalog: true})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.Epoch != epoch {
+					t.Errorf("client %d: got epoch %d, want %d", c, resp.Epoch, epoch)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	snap := srv.Stats().Snapshot()
+	if snap.Requests != clients*perClient {
+		t.Errorf("requests = %d, want %d", snap.Requests, clients*perClient)
+	}
+	if snap.TotalConns != clients {
+		t.Errorf("total conns = %d, want %d", snap.TotalConns, clients)
+	}
+}
+
+func TestNetServerConnLimit(t *testing.T) {
+	block := make(chan struct{})
+	srv, addr := startServer(t, ServeConfig{MaxConns: 1}, func(req *Request) (*Response, error) {
+		<-block
+		return &Response{}, nil
+	})
+
+	// First connection occupies the only slot.
+	first := dialT(t, addr)
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := first.RoundTrip(&Request{Catalog: true})
+		firstDone <- err
+	}()
+
+	// Wait until the server has the first connection tracked.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().ActiveConns.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first connection never became active")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	second := dialT(t, addr)
+	if _, err := second.RoundTrip(&Request{Catalog: true}); err == nil ||
+		!strings.Contains(err.Error(), "connection limit") {
+		t.Fatalf("second conn error = %v, want connection limit rejection", err)
+	}
+	if got := srv.Stats().RejectedConns.Load(); got != 1 {
+		t.Errorf("rejected = %d, want 1", got)
+	}
+	close(block)
+	if err := <-firstDone; err != nil {
+		t.Errorf("first conn round trip: %v", err)
+	}
+}
+
+func TestNetServerIdleTimeout(t *testing.T) {
+	_, addr := startServer(t, ServeConfig{ReadTimeout: 50 * time.Millisecond}, echoHandler)
+	cc := dialT(t, addr)
+	if _, err := cc.RoundTrip(&Request{Catalog: true}); err != nil {
+		t.Fatalf("warm request: %v", err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if _, err := cc.RoundTrip(&Request{Catalog: true}); err == nil {
+		t.Fatal("request after idle timeout should fail: server must have hung up")
+	}
+}
+
+func TestNetServerGracefulShutdownDrains(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	srv, addr := startServer(t, ServeConfig{}, func(req *Request) (*Response, error) {
+		if !req.Catalog {
+			close(started)
+			<-release
+		}
+		return &Response{Epoch: req.Epoch}, nil
+	})
+
+	cc := dialT(t, addr)
+	// Warm request proves the pipe works.
+	if _, err := cc.RoundTrip(&Request{Catalog: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	inflight := make(chan error, 1)
+	go func() {
+		resp, err := cc.RoundTrip(&Request{Epoch: 42})
+		if err == nil && resp.Epoch != 42 {
+			t.Errorf("drained response epoch = %d, want 42", resp.Epoch)
+		}
+		inflight <- err
+	}()
+	<-started
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// New connections must be refused while draining.
+	time.Sleep(20 * time.Millisecond)
+	if conn, err := net.Dial("tcp", addr); err == nil {
+		conn.Close()
+		// Accept may race with the listener close; what matters is that a
+		// round trip cannot succeed.
+		cc2 := dialT(t, addr)
+		if _, err := cc2.RoundTrip(&Request{Catalog: true}); err == nil {
+			t.Error("round trip succeeded during shutdown")
+		}
+	}
+
+	release <- struct{}{}
+	if err := <-inflight; err != nil {
+		t.Errorf("in-flight request was not drained: %v", err)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+func TestNetServerShutdownTimeoutForcesClose(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	srv, addr := startServer(t, ServeConfig{}, func(req *Request) (*Response, error) {
+		close(started)
+		<-release
+		return &Response{}, nil
+	})
+	cc := dialT(t, addr)
+	go func() { _, _ = cc.RoundTrip(&Request{}) }()
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("shutdown = %v, want deadline exceeded", err)
+	}
+}

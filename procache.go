@@ -29,10 +29,12 @@ package repro
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/rtree"
 	"repro/internal/server"
@@ -110,12 +112,20 @@ type ServerConfig struct {
 }
 
 // Server owns a spatial dataset, its R*-tree, and the proactive-caching
-// remainder-query processor.
+// remainder-query processor. Query execution (Transport, Serve, NetServer)
+// is safe for any number of concurrent clients; the index mutators
+// (InsertObject, DeleteObject, MoveObject) briefly exclude queries and must
+// not race with each other.
 type Server struct {
 	inner *server.Server
 	tree  *rtree.Tree
+	// sizes is the build-time size map; it is never written after
+	// NewServer (post-build sizes live inside the inner server, guarded by
+	// its lock), so concurrent queries may read it freely.
 	sizes map[ObjectID]int
+	// mbrs tracks current object rectangles; only the mutators touch it.
 	mbrs  map[ObjectID]Rect
+	stats metrics.ServerStats
 }
 
 // NewServer indexes the objects and stands up a server.
@@ -149,7 +159,6 @@ func NewServer(objects []Object, cfg ServerConfig) *Server {
 // about it through the epoch-based invalidation protocol.
 func (s *Server) InsertObject(o Object) {
 	s.inner.InsertObject(o.ID, o.MBR, o.Size)
-	s.sizes[o.ID] = o.Size
 	s.mbrs[o.ID] = o.MBR
 }
 
@@ -164,7 +173,6 @@ func (s *Server) DeleteObject(id ObjectID) bool {
 		return false
 	}
 	delete(s.mbrs, id)
-	delete(s.sizes, id)
 	return true
 }
 
@@ -184,31 +192,59 @@ func (s *Server) MoveObject(id ObjectID, to Rect) bool {
 // Epoch returns the server's current update epoch.
 func (s *Server) Epoch() uint64 { return s.inner.Epoch() }
 
-// Transport returns an in-process transport to this server.
+// Transport returns an in-process transport to this server. Transports are
+// safe for concurrent use; each simulated client may hold its own.
 func (s *Server) Transport() Transport {
-	return wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+	return wire.TransportFunc(s.Handler())
+}
+
+// Handler returns the server's request handler for use with a custom
+// wire.NetServer.
+func (s *Server) Handler() wire.Handler {
+	return func(req *wire.Request) (*wire.Response, error) {
 		resp, _ := s.inner.Execute(req)
 		return resp, nil
+	}
+}
+
+// ServeOptions tunes the network serving layer (see wire.ServeConfig for
+// field semantics). The zero value applies production defaults.
+type ServeOptions struct {
+	// MaxConns caps concurrently open connections (default 4096).
+	MaxConns int
+	// MaxInflight caps concurrently executing requests (default
+	// 4*GOMAXPROCS).
+	MaxInflight int
+	// ReadTimeout reaps connections idle between requests (default 5m).
+	ReadTimeout time.Duration
+}
+
+// NetServer builds a concurrent TCP server over this spatial database: a
+// goroutine per connection behind a connection limit, a bounded worker pool
+// for request execution, idle-connection reaping, and graceful Shutdown.
+// Serving statistics accumulate in Stats.
+func (s *Server) NetServer(opts ServeOptions) *wire.NetServer {
+	return wire.NewNetServer(s.Handler(), wire.ServeConfig{
+		MaxConns:    opts.MaxConns,
+		MaxInflight: opts.MaxInflight,
+		ReadTimeout: opts.ReadTimeout,
+		Stats:       &s.stats,
 	})
 }
 
-// Serve answers proactive-caching clients on a listener until it closes
-// (the gob/TCP protocol of cmd/prodb). It blocks.
+// Serve answers proactive-caching clients on a listener with default
+// options until the listener closes (the gob/TCP protocol of cmd/prodb).
+// It blocks. For shutdown control, use NetServer instead.
 func (s *Server) Serve(ln net.Listener) error {
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			return fmt.Errorf("repro: accept: %w", err)
-		}
-		go func() {
-			defer conn.Close()
-			_ = wire.ServeConn(conn, func(req *wire.Request) (*wire.Response, error) {
-				resp, _ := s.inner.Execute(req)
-				return resp, nil
-			})
-		}()
+	if err := s.NetServer(ServeOptions{}).Serve(ln); err != nil && err != wire.ErrServerClosed {
+		return fmt.Errorf("repro: serve: %w", err)
 	}
+	return nil
 }
+
+// Stats returns a snapshot of the serving-layer counters: connection churn,
+// requests served, and request latency quantiles.
+func (s *Server) Stats() metrics.ServerSnapshot { return s.stats.Snapshot() }
 
 // IndexStats describes the server-side R*-tree.
 func (s *Server) IndexStats() rtree.Stats { return s.tree.Stats() }
