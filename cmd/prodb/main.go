@@ -1,6 +1,9 @@
 // Command prodb serves a spatial dataset to proactive-caching clients over
-// TCP using the gob wire protocol. Clients connect with repro.Dial (see
-// examples/netclient).
+// TCP. The wire protocol is negotiated per connection: the compact binary
+// codec with request pipelining (many queries in flight per connection,
+// responses correlated by id) for new clients, the serial gob protocol as a
+// fallback for old ones. Clients connect with repro.Dial (see
+// examples/netclient; docs/WIRE.md specifies the framing).
 //
 // The serving layer runs one goroutine per connection behind a connection
 // limit and a bounded worker pool, reaps idle connections, and drains
@@ -12,6 +15,7 @@
 //	prodb -addr :7001 -load ne.gob        # dataset from datagen
 //	prodb -form compact                   # CPRO-style index shipping
 //	prodb -max-conns 8192 -inflight 64    # tune concurrency limits
+//	prodb -pipeline 128                   # deeper per-connection pipelining
 //	prodb -stats 10s                      # periodic serving stats
 package main
 
@@ -38,6 +42,7 @@ func main() {
 		form     = flag.String("form", "adaptive", "index shipping form: full, compact, adaptive")
 		maxConns = flag.Int("max-conns", 0, "max concurrent connections (0 = default 4096)")
 		inflight = flag.Int("inflight", 0, "max concurrently executing requests (0 = 4*GOMAXPROCS)")
+		pipeline = flag.Int("pipeline", 0, "max requests in flight per binary connection (0 = default 64)")
 		readTO   = flag.Duration("read-timeout", 0, "idle connection deadline (0 = default 5m)")
 		statsEv  = flag.Duration("stats", 0, "print serving stats at this interval (0 = off)")
 		drainTO  = flag.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
@@ -87,6 +92,7 @@ func main() {
 	net1 := srv.NetServer(repro.ServeOptions{
 		MaxConns:    *maxConns,
 		MaxInflight: *inflight,
+		MaxPipeline: *pipeline,
 		ReadTimeout: *readTO,
 	})
 	fmt.Printf("serving proactive spatial queries on %s (form=%s)\n", ln.Addr(), *form)

@@ -11,6 +11,15 @@
 // With -clients N it becomes a small load generator: N concurrent clients,
 // each on its own TCP connection, hammer the server and print aggregate
 // throughput — a quick way to watch the concurrent serving layer work.
+//
+// With -pipeline the N clients instead share ONE TCP connection: the binary
+// protocol tags every request with a correlation id, so all N clients keep
+// their queries in flight simultaneously and the server answers out of
+// order. Comparing the two modes on the same -clients count shows what
+// request pipelining buys over the serial one-round-trip-at-a-time path:
+//
+//	go run ./examples/netclient -clients 32            # 32 connections
+//	go run ./examples/netclient -clients 32 -pipeline  # 1 connection
 package main
 
 import (
@@ -30,6 +39,7 @@ func main() {
 	addr := flag.String("addr", "", "connect to an existing prodb server instead of self-hosting")
 	clients := flag.Int("clients", 1, "concurrent clients (each on its own connection)")
 	queries := flag.Int("queries", 50, "queries per client in multi-client mode")
+	pipeline := flag.Bool("pipeline", false, "multiplex all clients over one pipelined connection")
 	flag.Parse()
 
 	target := *addr
@@ -46,7 +56,7 @@ func main() {
 	}
 
 	if *clients > 1 {
-		loadTest(target, *clients, *queries)
+		loadTest(target, *clients, *queries, *pipeline)
 		return
 	}
 
@@ -81,10 +91,21 @@ func main() {
 		len(rep.Results), rep.HitRate()*100)
 }
 
-// loadTest runs n concurrent clients over real TCP connections and prints
-// aggregate throughput.
-func loadTest(target string, n, queriesPer int) {
-	fmt.Printf("load test: %d clients x %d queries against %s\n", n, queriesPer, target)
+// loadTest runs n concurrent clients over real TCP and prints aggregate
+// throughput. With pipeline set, all clients share one pipelined binary
+// connection (requests in flight are correlated by id); otherwise each
+// client dials its own connection and round-trips serially.
+func loadTest(target string, n, queriesPer int, pipeline bool) {
+	mode := fmt.Sprintf("%d connections", n)
+	var shared repro.Transport
+	if pipeline {
+		mode = "1 pipelined connection"
+		var err error
+		if shared, err = repro.Dial(target); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("load test: %d clients x %d queries against %s (%s)\n", n, queriesPer, target, mode)
 	var done, local atomic.Int64
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -92,10 +113,13 @@ func loadTest(target string, n, queriesPer int) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			transport, err := repro.Dial(target)
-			if err != nil {
-				log.Printf("client %d: %v", c, err)
-				return
+			transport := shared
+			if transport == nil {
+				var err error
+				if transport, err = repro.Dial(target); err != nil {
+					log.Printf("client %d: %v", c, err)
+					return
+				}
 			}
 			cl, err := repro.NewClient(transport, repro.ClientConfig{
 				ID:         uint32(c + 1),

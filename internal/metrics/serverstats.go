@@ -110,6 +110,13 @@ type ServerStats struct {
 	Requests atomic.Int64
 	// Errors counts requests whose handler returned an error.
 	Errors atomic.Int64
+	// BytesIn counts bytes read from client connections, measured at the
+	// socket boundary (framing and handshake included, both protocols).
+	// Together with BytesOut it is the real-traffic counterpart of the
+	// wire.SizeModel byte accounting the experiments use.
+	BytesIn atomic.Int64
+	// BytesOut counts bytes written to client connections.
+	BytesOut atomic.Int64
 	// Latency is the request service-time distribution (handler execution,
 	// excluding network transfer).
 	Latency Histogram
@@ -123,6 +130,8 @@ type ServerSnapshot struct {
 	RejectedConns int64
 	Requests      int64
 	Errors        int64
+	BytesIn       int64
+	BytesOut      int64
 	MeanLatency   time.Duration
 	P50           time.Duration
 	P99           time.Duration
@@ -136,6 +145,8 @@ func (s *ServerStats) Snapshot() ServerSnapshot {
 		RejectedConns: s.RejectedConns.Load(),
 		Requests:      s.Requests.Load(),
 		Errors:        s.Errors.Load(),
+		BytesIn:       s.BytesIn.Load(),
+		BytesOut:      s.BytesOut.Load(),
 		MeanLatency:   s.Latency.Mean(),
 		P50:           s.Latency.Quantile(0.50),
 		P99:           s.Latency.Quantile(0.99),
@@ -144,7 +155,8 @@ func (s *ServerStats) Snapshot() ServerSnapshot {
 
 // String renders the snapshot as a one-line status report.
 func (s ServerSnapshot) String() string {
-	return fmt.Sprintf("conns=%d/%d rejected=%d requests=%d errors=%d latency mean=%v p50=%v p99=%v",
+	return fmt.Sprintf("conns=%d/%d rejected=%d requests=%d errors=%d in=%dB out=%dB latency mean=%v p50=%v p99=%v",
 		s.ActiveConns, s.TotalConns, s.RejectedConns, s.Requests, s.Errors,
+		s.BytesIn, s.BytesOut,
 		s.MeanLatency.Round(time.Microsecond), s.P50, s.P99)
 }

@@ -76,6 +76,8 @@ func TestServerStatsConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
 				st.Requests.Add(1)
+				st.BytesIn.Add(10)
+				st.BytesOut.Add(100)
 				st.Latency.Observe(time.Duration(i%50) * time.Microsecond)
 			}
 		}()
@@ -87,6 +89,10 @@ func TestServerStatsConcurrent(t *testing.T) {
 	}
 	if got := st.Latency.Count(); got != goroutines*per {
 		t.Errorf("latency count = %d, want %d", got, goroutines*per)
+	}
+	if snap.BytesIn != goroutines*per*10 || snap.BytesOut != goroutines*per*100 {
+		t.Errorf("byte counters = %d/%d, want %d/%d",
+			snap.BytesIn, snap.BytesOut, goroutines*per*10, goroutines*per*100)
 	}
 	if snap.P50 == 0 || snap.P99 < snap.P50 {
 		t.Errorf("quantiles inconsistent: p50=%v p99=%v", snap.P50, snap.P99)

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 
@@ -89,6 +90,118 @@ func TestConcurrentClientsMatchSerial(t *testing.T) {
 				}
 			}
 		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// q32Query quantizes a query's geometry to float32, the resolution of the
+// binary wire codec, so a workload produces identical results whether it is
+// executed in-process or shipped over the wire.
+func q32Query(q query.Query) query.Query {
+	q32 := func(v float64) float64 { return float64(float32(v)) }
+	r32 := func(r geom.Rect) geom.Rect {
+		return geom.Rect{MinX: q32(r.MinX), MinY: q32(r.MinY), MaxX: q32(r.MaxX), MaxY: q32(r.MaxY)}
+	}
+	q.Window = r32(q.Window)
+	q.Center = geom.Point{X: q32(q.Center.X), Y: q32(q.Center.Y)}
+	q.JoinWindow = r32(q.JoinWindow)
+	q.Dist = q32(q.Dist)
+	return q
+}
+
+// TestPipelinedClientsMatchSerial is the wire-level sibling of
+// TestConcurrentClientsMatchSerial: the same mixed workload, but each client
+// talks to a wire.NetServer over a real TCP connection using the binary
+// codec, with its queries split across several goroutines pipelining on the
+// ONE connection. Responses travel through the full stack — encode, frame,
+// out-of-order server completion, correlation — and must still match a
+// single-threaded in-process execution query for query. Run under -race
+// alongside the in-process test.
+func TestPipelinedClientsMatchSerial(t *testing.T) {
+	const (
+		clients          = 6
+		workers          = 4
+		queriesPerWorker = 10
+	)
+	srv, _ := buildServer(t, 80, 2000, Config{Form: AdaptiveForm, InitialD: 2})
+	ref, _ := buildServer(t, 80, 2000, Config{Form: AdaptiveForm, InitialD: 2})
+
+	// Serial ground truth, on float32-quantized queries (what the wire
+	// carries). No FMR feedback keeps d pinned, so responses are
+	// deterministic functions of the query alone.
+	workload := func(c, w int) []query.Query {
+		qs := mixedQueries(int64(300+c*10+w), queriesPerWorker)
+		for i := range qs {
+			qs[i] = q32Query(qs[i])
+		}
+		return qs
+	}
+	want := make(map[[2]int][][]rtree.ObjectID)
+	for c := 0; c < clients; c++ {
+		for w := 0; w < workers; w++ {
+			qs := workload(c, w)
+			ids := make([][]rtree.ObjectID, len(qs))
+			for i, q := range qs {
+				resp, _ := ref.Execute(&wire.Request{Client: wire.ClientID(c + 1), Q: q})
+				ids[i] = objectIDs(resp)
+			}
+			want[[2]int{c, w}] = ids
+		}
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	netSrv := wire.NewNetServer(func(req *wire.Request) (*wire.Response, error) {
+		resp, _ := srv.Execute(req)
+		return resp, nil
+	}, wire.ServeConfig{})
+	go func() { _ = netSrv.Serve(ln) }()
+	defer netSrv.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*workers)
+	for c := 0; c < clients; c++ {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc, err := wire.NewBinaryClientConn(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer bc.Close()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(c, w int) {
+				defer wg.Done()
+				qs := workload(c, w)
+				for i, q := range qs {
+					resp, err := bc.RoundTrip(&wire.Request{Client: wire.ClientID(c + 1), Q: q})
+					if err != nil {
+						errs <- fmt.Errorf("client %d worker %d query %d: %w", c, w, i, err)
+						return
+					}
+					got := objectIDs(resp)
+					exp := want[[2]int{c, w}][i]
+					if len(got) != len(exp) {
+						errs <- fmt.Errorf("client %d worker %d query %d: %d objects, want %d", c, w, i, len(got), len(exp))
+						return
+					}
+					for j := range got {
+						if got[j] != exp[j] {
+							errs <- fmt.Errorf("client %d worker %d query %d: object %d is %d, want %d", c, w, i, j, got[j], exp[j])
+							return
+						}
+					}
+				}
+			}(c, w)
+		}
 	}
 	wg.Wait()
 	close(errs)

@@ -10,10 +10,14 @@ import (
 	"sync"
 )
 
-// The gob codec carries the protocol over a real byte stream (cmd/prodb and
-// examples/netclient). The simulation never uses it — byte accounting there
-// comes from SizeModel — but the encodings round-trip every message type, so
-// the repository doubles as a working networked spatial database.
+// The gob codec is the compatibility fallback of the wire protocol: it
+// predates the binary codec (binary.go) and remains fully supported so old
+// clients keep working. Servers sniff the first bytes of a connection — the
+// binary protocol always opens with the handshake preamble, a gob stream
+// never does — and speak whichever protocol the client chose. The
+// simulation never uses either codec (byte accounting there comes from
+// SizeModel), but both round-trip every message type, so the repository
+// doubles as a working networked spatial database.
 
 // envelope tags each message on the stream.
 type envelope struct {
@@ -22,8 +26,10 @@ type envelope struct {
 	Err  string
 }
 
-// ClientConn is a Transport over a network connection (or any
-// io.ReadWriter). It serializes concurrent RoundTrip calls.
+// ClientConn is a gob-protocol Transport over a network connection (or any
+// io.ReadWriter). It serializes concurrent RoundTrip calls — one request per
+// round trip, in order. New code should prefer BinaryClientConn, which
+// pipelines; ClientConn remains for compatibility with gob-only servers.
 type ClientConn struct {
 	mu  sync.Mutex
 	enc *gob.Encoder
@@ -76,11 +82,75 @@ func (c *ClientConn) RoundTrip(req *Request) (*Response, error) {
 // Handler processes one request on the server side.
 type Handler func(*Request) (*Response, error)
 
-// ServeConn answers requests on a connection until it closes.
+// ServeConn answers requests on a connection until it closes, negotiating
+// the protocol from the client's opening bytes: a binary preamble selects
+// the framed binary codec, anything else the gob fallback. Requests are
+// handled serially in arrival order (responses still echo the request's
+// correlation id, so pipelined binary clients work correctly); NetServer
+// provides the concurrent, out-of-order serving path.
 func ServeConn(rw io.ReadWriter, handle Handler) error {
+	br := bufio.NewReader(rw)
+	isBinary, err := sniffBinary(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+			return nil
+		}
+		return fmt.Errorf("wire: sniff protocol: %w", err)
+	}
+	if isBinary {
+		return serveBinarySerial(rw, br, handle)
+	}
+	return serveGobSerial(rw, br, handle)
+}
+
+// serveBinarySerial is the binary-protocol request loop of ServeConn: ack
+// the handshake, then answer frames one at a time.
+func serveBinarySerial(rw io.ReadWriter, br *bufio.Reader, handle Handler) error {
+	bw := bufio.NewWriter(rw)
+	if _, err := bw.Write(handshakeMagic[:]); err != nil {
+		return fmt.Errorf("wire: handshake ack: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("wire: handshake ack: %w", err)
+	}
+	for {
+		typ, id, body, err := readFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("wire: read frame: %w", err)
+		}
+		if typ != frameRequest {
+			return fmt.Errorf("wire: unexpected frame type %d", typ)
+		}
+		req, err := DecodeRequest(body)
+		if err != nil {
+			// Frame boundaries held, so the stream is still in sync:
+			// report and keep serving.
+			if werr := writeFrame(bw, frameError, id, []byte(err.Error())); werr != nil {
+				return werr
+			}
+			continue
+		}
+		resp, err := handle(req)
+		if err != nil {
+			if werr := writeFrame(bw, frameError, id, []byte(err.Error())); werr != nil {
+				return werr
+			}
+			continue
+		}
+		if err := writeFrame(bw, frameResponse, id, EncodeResponse(nil, resp)); err != nil {
+			return fmt.Errorf("wire: write frame: %w", err)
+		}
+	}
+}
+
+// serveGobSerial is the gob-protocol request loop of ServeConn.
+func serveGobSerial(rw io.ReadWriter, br *bufio.Reader, handle Handler) error {
 	bw := bufio.NewWriter(rw)
 	enc := gob.NewEncoder(writeFlusher{bw})
-	dec := gob.NewDecoder(bufio.NewReader(rw))
+	dec := gob.NewDecoder(br)
 	for {
 		var env envelope
 		if err := dec.Decode(&env); err != nil {

@@ -8,18 +8,24 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
 )
 
-// NetServer runs the gob protocol on a listener with the concerns a real
+// NetServer runs the wire protocol on a listener with the concerns a real
 // deployment needs: a goroutine per connection behind a connection limit, a
 // bounded pool of concurrently executing requests (so a burst of thousands
 // of connections cannot stampede the query engine), per-request read
 // deadlines that reap idle connections, live serving statistics, and a
 // graceful Shutdown that stops accepting, lets in-flight requests finish,
 // and then closes everything.
+//
+// Each connection's protocol is negotiated from its first bytes: binary
+// clients open with the handshake preamble and get framed, pipelined,
+// out-of-order service (many requests in flight per connection, responses
+// correlated by id); gob clients get the serial fallback loop.
 
 // Defaults applied by NewNetServer when a ServeConfig field is zero.
 const (
@@ -28,6 +34,11 @@ const (
 	// DefaultReadTimeout reaps connections idle for this long between
 	// requests.
 	DefaultReadTimeout = 5 * time.Minute
+	// DefaultMaxPipeline bounds requests in flight on one binary
+	// connection before the server stops reading further frames from it
+	// (natural backpressure against a client that pipelines faster than
+	// the server answers).
+	DefaultMaxPipeline = 64
 )
 
 // ErrServerClosed is returned by NetServer.Serve after Shutdown or Close.
@@ -43,6 +54,11 @@ type ServeConfig struct {
 	// connections (the worker pool). Default 4*GOMAXPROCS. Negative means
 	// unlimited.
 	MaxInflight int
+	// MaxPipeline bounds requests in flight on one binary connection;
+	// when reached the server stops reading frames from that connection
+	// until a response is written. Default DefaultMaxPipeline. Negative
+	// means unlimited.
+	MaxPipeline int
 	// ReadTimeout is how long a connection may sit idle between requests
 	// before it is closed. Default DefaultReadTimeout. Negative disables
 	// the deadline.
@@ -51,7 +67,7 @@ type ServeConfig struct {
 	Stats *metrics.ServerStats
 }
 
-// NetServer is a concurrent gob-protocol server. Create one with
+// NetServer is a concurrent wire-protocol server. Create one with
 // NewNetServer; Serve blocks until the listener fails or Shutdown/Close is
 // called.
 type NetServer struct {
@@ -75,6 +91,9 @@ func NewNetServer(handle Handler, cfg ServeConfig) *NetServer {
 	}
 	if cfg.MaxInflight == 0 {
 		cfg.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxPipeline == 0 {
+		cfg.MaxPipeline = DefaultMaxPipeline
 	}
 	if cfg.ReadTimeout == 0 {
 		cfg.ReadTimeout = DefaultReadTimeout
@@ -141,11 +160,24 @@ func (s *NetServer) Serve(ln net.Listener) error {
 	}
 }
 
-// rejectConn tells a client the server is full, then hangs up.
+// rejectConn tells a client the server is full — in whichever protocol the
+// client opened with — then hangs up.
 func rejectConn(conn net.Conn) {
 	defer conn.Close()
-	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
-	_ = gob.NewEncoder(conn).Encode(envelope{Err: "server at connection limit"})
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	const limitMsg = "server at connection limit"
+	br := bufio.NewReaderSize(conn, len(handshakeMagic))
+	if isBinary, err := sniffBinary(br); err == nil && isBinary {
+		bw := bufio.NewWriter(conn)
+		if _, err := bw.Write(handshakeMagic[:]); err != nil {
+			return
+		}
+		// Error frame id 0 is connection-scoped: the client fails every
+		// round trip on this connection with the message.
+		_ = writeFrame(bw, frameError, 0, []byte(limitMsg))
+		return
+	}
+	_ = gob.NewEncoder(conn).Encode(envelope{Err: limitMsg})
 }
 
 // track registers a live connection; it refuses during shutdown. The
@@ -175,7 +207,27 @@ func (s *NetServer) shuttingDown() bool {
 	return s.shutdown
 }
 
-// serveConn runs the request loop for one connection.
+// countingConn counts bytes crossing the socket into the serving stats, for
+// either protocol, underneath any buffering.
+type countingConn struct {
+	net.Conn
+	stats *metrics.ServerStats
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.stats.BytesIn.Add(int64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.stats.BytesOut.Add(int64(n))
+	return n, err
+}
+
+// serveConn sniffs the connection's protocol and runs the matching request
+// loop.
 func (s *NetServer) serveConn(conn net.Conn) {
 	s.stats.ActiveConns.Add(1)
 	defer func() {
@@ -188,9 +240,146 @@ func (s *NetServer) serveConn(conn net.Conn) {
 		s.wg.Done()
 	}()
 
-	bw := bufio.NewWriter(conn)
+	cc := countingConn{Conn: conn, stats: s.stats}
+	br := bufio.NewReader(cc)
+	if s.cfg.ReadTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	}
+	isBinary, err := sniffBinary(br)
+	if err != nil {
+		return
+	}
+	if isBinary {
+		s.serveBinary(conn, cc, br)
+		return
+	}
+	s.serveGob(conn, cc, br)
+}
+
+// serveBinary is the pipelined request loop: frames are read as fast as they
+// arrive (up to MaxPipeline in flight), each request executes on its own
+// goroutine gated by the shared worker pool, and responses are written in
+// completion order tagged with the request's correlation id.
+func (s *NetServer) serveBinary(conn net.Conn, cc countingConn, br *bufio.Reader) {
+	bw := bufio.NewWriter(cc)
+	if _, err := bw.Write(handshakeMagic[:]); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	var (
+		wmu         sync.Mutex
+		workers     sync.WaitGroup
+		inflight    atomic.Int64
+		writeFailed atomic.Bool
+	)
+	// Let in-flight handlers finish and their responses drain before
+	// serveConn's deferred Close tears the connection down.
+	defer workers.Wait()
+
+	var pipeSem chan struct{}
+	if s.cfg.MaxPipeline > 0 {
+		pipeSem = make(chan struct{}, s.cfg.MaxPipeline)
+	}
+
+	writeResp := func(typ byte, id uint64, body []byte) bool {
+		wmu.Lock()
+		defer wmu.Unlock()
+		if writeFailed.Load() {
+			return false
+		}
+		if s.cfg.ReadTimeout > 0 {
+			// Bound how long a stalled client can wedge response writers.
+			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		if err := writeFrame(bw, typ, id, body); err != nil {
+			writeFailed.Store(true)
+			return false
+		}
+		return true
+	}
+
+	for {
+		if s.cfg.ReadTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		if s.shuttingDown() || writeFailed.Load() {
+			return
+		}
+		// Idle wait: Peek consumes nothing, so a deadline here leaves the
+		// stream intact and the loop can keep waiting while responses for
+		// pipelined requests are still in flight. Once a frame has begun
+		// to arrive it must complete within the read timeout.
+		if _, err := br.Peek(1); err != nil {
+			if isTimeout(err) && inflight.Load() > 0 && !s.shuttingDown() {
+				continue
+			}
+			return
+		}
+		typ, id, body, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		if typ != frameRequest {
+			writeResp(frameError, 0, []byte("unexpected frame type"))
+			return
+		}
+		req, err := DecodeRequest(body)
+		if err != nil {
+			// Frame boundaries held; the stream is still in sync.
+			s.stats.Errors.Add(1)
+			if !writeResp(frameError, id, []byte(err.Error())) {
+				return
+			}
+			continue
+		}
+
+		if pipeSem != nil {
+			pipeSem <- struct{}{}
+		}
+		workers.Add(1)
+		inflight.Add(1)
+		go func(id uint64, req *Request) {
+			defer func() {
+				inflight.Add(-1)
+				workers.Done()
+				if pipeSem != nil {
+					<-pipeSem
+				}
+			}()
+			if s.sem != nil {
+				s.sem <- struct{}{}
+			}
+			start := time.Now()
+			resp, err := s.handle(req)
+			s.stats.Latency.Observe(time.Since(start))
+			if s.sem != nil {
+				<-s.sem
+			}
+			s.stats.Requests.Add(1)
+			if err != nil {
+				s.stats.Errors.Add(1)
+				writeResp(frameError, id, []byte(err.Error()))
+				return
+			}
+			writeResp(frameResponse, id, EncodeResponse(nil, resp))
+		}(id, req)
+	}
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// serveGob is the serial gob fallback loop (one request per round trip).
+func (s *NetServer) serveGob(conn net.Conn, cc countingConn, br *bufio.Reader) {
+	bw := bufio.NewWriter(cc)
 	enc := gob.NewEncoder(writeFlusher{bw})
-	dec := gob.NewDecoder(bufio.NewReader(conn))
+	dec := gob.NewDecoder(br)
 	for {
 		if s.cfg.ReadTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
@@ -231,6 +420,12 @@ func (s *NetServer) serveConn(conn net.Conn) {
 		if err != nil {
 			s.stats.Errors.Add(1)
 			out = envelope{Err: err.Error()}
+		}
+		if s.cfg.ReadTimeout > 0 {
+			// Same guard as the binary path: a client that stops reading
+			// must not wedge this goroutine (and its connSem slot) forever,
+			// or graceful Shutdown degrades to a force close.
+			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		}
 		if err := enc.Encode(out); err != nil {
 			return

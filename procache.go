@@ -215,7 +215,14 @@ type ServeOptions struct {
 	// MaxInflight caps concurrently executing requests (default
 	// 4*GOMAXPROCS).
 	MaxInflight int
-	// ReadTimeout reaps connections idle between requests (default 5m).
+	// MaxPipeline caps requests in flight on one binary connection
+	// (default 64).
+	MaxPipeline int
+	// ReadTimeout reaps connections idle between requests (default 5m;
+	// negative disables). Dialed transports do not reconnect: a client
+	// that may sit idle longer than this must either send periodic
+	// Sync heartbeats, redial on error, or be served with a negative
+	// ReadTimeout.
 	ReadTimeout time.Duration
 }
 
@@ -227,14 +234,16 @@ func (s *Server) NetServer(opts ServeOptions) *wire.NetServer {
 	return wire.NewNetServer(s.Handler(), wire.ServeConfig{
 		MaxConns:    opts.MaxConns,
 		MaxInflight: opts.MaxInflight,
+		MaxPipeline: opts.MaxPipeline,
 		ReadTimeout: opts.ReadTimeout,
 		Stats:       &s.stats,
 	})
 }
 
 // Serve answers proactive-caching clients on a listener with default
-// options until the listener closes (the gob/TCP protocol of cmd/prodb).
-// It blocks. For shutdown control, use NetServer instead.
+// options until the listener closes (the TCP wire protocol of cmd/prodb:
+// binary with pipelining, gob as negotiated fallback). It blocks. For
+// shutdown control, use NetServer instead.
 func (s *Server) Serve(ln net.Listener) error {
 	if err := s.NetServer(ServeOptions{}).Serve(ln); err != nil && err != wire.ErrServerClosed {
 		return fmt.Errorf("repro: serve: %w", err)
@@ -326,7 +335,31 @@ func (c *Client) CacheUsed() int { return c.inner.Cache().Used() }
 func (c *Client) CacheIndexBytes() int { return c.inner.Cache().IndexBytes() }
 
 // Dial connects to a cmd/prodb server over TCP and returns a Transport.
+// It negotiates the compact binary protocol (pipelined: concurrent
+// RoundTrip calls share the connection with many requests in flight) and
+// falls back to the serial gob protocol when the server predates the binary
+// codec. The returned Transport is safe for concurrent use either way.
 func Dial(addr string) (Transport, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("repro: dial %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	bc, err := wire.NewBinaryClientConn(conn)
+	if err == nil {
+		conn.SetDeadline(time.Time{})
+		return bc, nil
+	}
+	// A gob-only server chokes on the binary preamble and hangs up, which
+	// surfaces here as a handshake error; redial and speak gob.
+	conn.Close()
+	return DialGob(addr)
+}
+
+// DialGob connects with the serial gob protocol, skipping binary
+// negotiation. Useful against old servers or for comparing the two paths;
+// new code should prefer Dial.
+func DialGob(addr string) (Transport, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("repro: dial %s: %w", addr, err)
