@@ -43,6 +43,13 @@ func benchScale() sim.Scale {
 	return sc
 }
 
+// execAndRelease runs one request and returns the response to the server's
+// response pool, mirroring the NetServer serving path (encode, then release).
+func execAndRelease(srv *server.Server, req *wire.Request) {
+	resp, _ := srv.Execute(req)
+	srv.ReleaseResponse(resp)
+}
+
 var printOnce sync.Map
 
 func printFirst(key string, print func()) {
@@ -335,14 +342,103 @@ func BenchmarkServerExecuteParallel(b *testing.B) {
 
 	var nextClient atomic.Uint32
 	var cursor atomic.Uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		id := wire.ClientID(nextClient.Add(1))
+		req := &wire.Request{Client: id}
 		for pb.Next() {
-			q := pool[cursor.Add(1)%uint64(len(pool))]
-			srv.Execute(&wire.Request{Client: id, Q: q})
+			req.Q = pool[cursor.Add(1)%uint64(len(pool))]
+			execAndRelease(srv, req)
 		}
 	})
+}
+
+// --------------------------------------------------------------------------
+// Warm serving hot path: one server, forest and pools warm, repeated
+// Execute calls. These are the allocation-budget benchmarks tracked by
+// scripts/bench.sh / BENCH_*.json; docs/PERF.md documents the per-request
+// allocation ceiling they enforce.
+
+// warmServer builds a server over the bench environment and runs a few
+// queries so lazy structures (partition forest, pools) are warm.
+func warmServer(b *testing.B) *server.Server {
+	env := benchEnvironment()
+	srv := server.New(env.Tree, env.DS.SizeOf, server.Config{})
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 64; i++ {
+		p := geom.Pt(r.Float64(), r.Float64())
+		execAndRelease(srv, &wire.Request{Client: 1, Q: query.NewRange(geom.RectFromCenter(p, 0.01, 0.01))})
+		execAndRelease(srv, &wire.Request{Client: 1, Q: query.NewKNN(p, 5)})
+	}
+	return srv
+}
+
+// benchmarkWarmExecute measures steady-state Execute over a fixed request
+// pool (the serving path after the NetServer has decoded a request).
+func benchmarkWarmExecute(b *testing.B, reqs []*wire.Request) {
+	srv := warmServer(b)
+	for _, req := range reqs[:min(len(reqs), 8)] {
+		execAndRelease(srv, req) // touch every query shape once pre-timer
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		execAndRelease(srv, reqs[i%len(reqs)])
+	}
+}
+
+func warmRequests(n int, mk func(r *rand.Rand) query.Query) []*wire.Request {
+	r := rand.New(rand.NewSource(21))
+	reqs := make([]*wire.Request, n)
+	for i := range reqs {
+		reqs[i] = &wire.Request{Client: 1, Q: mk(r)}
+	}
+	return reqs
+}
+
+// BenchmarkWarmRangeExecute is the headline allocation benchmark: a warm
+// range query on the server should be effectively allocation-free.
+func BenchmarkWarmRangeExecute(b *testing.B) {
+	benchmarkWarmExecute(b, warmRequests(512, func(r *rand.Rand) query.Query {
+		return query.NewRange(geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01))
+	}))
+}
+
+func BenchmarkWarmKNNExecute(b *testing.B) {
+	benchmarkWarmExecute(b, warmRequests(512, func(r *rand.Rand) query.Query {
+		return query.NewKNN(geom.Pt(r.Float64(), r.Float64()), 5)
+	}))
+}
+
+func BenchmarkWarmJoinExecute(b *testing.B) {
+	benchmarkWarmExecute(b, warmRequests(512, func(r *rand.Rand) query.Query {
+		return query.NewJoin(geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.004, 0.004), 5e-5)
+	}))
+}
+
+// BenchmarkAPROBuild isolates the supporting-index construction (partition
+// forest navigation + cut assembly) that rides on every indexed response:
+// the remainder query resumes from a handed-over H instead of the root, so
+// the engine does little work and index building dominates.
+func BenchmarkAPROBuild(b *testing.B) {
+	srv := warmServer(b)
+	r := rand.New(rand.NewSource(22))
+	reqs := make([]*wire.Request, 128)
+	for i := range reqs {
+		p := geom.Pt(r.Float64(), r.Float64())
+		q := query.NewKNN(p, 5)
+		reqs[i] = &wire.Request{
+			Client: 1,
+			Q:      q,
+			H:      query.SeedRoot(q, srv.RootRef()),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		execAndRelease(srv, reqs[i%len(reqs)])
+	}
 }
 
 func BenchmarkClientWarmKNN(b *testing.B) {

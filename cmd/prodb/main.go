@@ -17,6 +17,9 @@
 //	prodb -max-conns 8192 -inflight 64    # tune concurrency limits
 //	prodb -pipeline 128                   # deeper per-connection pipelining
 //	prodb -stats 10s                      # periodic serving stats
+//	prodb -pprof localhost:6060           # expose net/http/pprof for profiling
+//
+// See docs/PERF.md for a two-minute profiling recipe against -pprof.
 package main
 
 import (
@@ -24,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,8 +51,26 @@ func main() {
 		readTO   = flag.Duration("read-timeout", 0, "idle connection deadline (0 = default 5m)")
 		statsEv  = flag.Duration("stats", 0, "print serving stats at this interval (0 = off)")
 		drainTO  = flag.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
+		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
+
+	if *pprofAt != "" {
+		// The pprof handlers live on http.DefaultServeMux via the blank
+		// import; serve them on a side listener so profiling never shares
+		// a port with the query protocol.
+		pln, err := net.Listen("tcp", *pprofAt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prodb: pprof listen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "prodb: pprof: %v\n", err)
+			}
+		}()
+	}
 
 	// Validate flags before paying for dataset generation.
 	var indexForm repro.IndexForm

@@ -131,18 +131,7 @@ func (c Cut) Contains(code Code) bool {
 
 // FullCut returns the finest cut: every leaf position (the paper's full form).
 func (t *Tree) FullCut() Cut {
-	var cut Cut
-	var walk func(p *PNode)
-	walk = func(p *PNode) {
-		if p.Leaf() {
-			cut = append(cut, p.Code)
-			return
-		}
-		walk(p.Left)
-		walk(p.Right)
-	}
-	walk(t.Root)
-	return cut.normalize()
+	return t.FullCutInto(nil)
 }
 
 // RootCut returns the coarsest cut: the root alone (the whole node as one
@@ -178,24 +167,71 @@ func (t *Tree) ExpandCut(cut Cut, d int) Cut {
 	if d <= 0 {
 		return append(Cut(nil), cut...)
 	}
-	var out Cut
-	var descend func(p *PNode, depth int)
-	descend = func(p *PNode, depth int) {
-		if p.Leaf() || depth == 0 {
-			out = append(out, p.Code)
-			return
-		}
-		descend(p.Left, depth-1)
-		descend(p.Right, depth-1)
+	// Normalize because, unlike ExpandCutInto, this entry point accepts an
+	// arbitrarily ordered cut.
+	return t.ExpandCutInto(nil, cut, d).normalize()
+}
+
+// --------------------------------------------------------------------------
+// Scratch-buffer cut construction. The serving hot path builds one cut per
+// visited node per request; the *Into variants append into a caller-owned
+// buffer instead of allocating, and skip normalization: a left-to-right
+// depth-first walk of the partition tree emits codes in lexicographic order
+// already (for an antichain, order is decided before any extension), so the
+// result equals the normalized form of the allocating methods.
+
+// FullCutInto appends the finest cut (every leaf position) to dst and
+// returns it. The result is sorted; dst's contents are preserved.
+func (t *Tree) FullCutInto(dst Cut) Cut {
+	return appendLeafCodes(dst, t.Root)
+}
+
+func appendLeafCodes(dst Cut, p *PNode) Cut {
+	if p.Leaf() {
+		return append(dst, p.Code)
+	}
+	dst = appendLeafCodes(dst, p.Left)
+	return appendLeafCodes(dst, p.Right)
+}
+
+// FrontierInto is Frontier appending into dst; the result is sorted.
+func (t *Tree) FrontierInto(dst Cut, expanded map[Code]bool) Cut {
+	if len(expanded) == 0 || !expanded[t.Root.Code] {
+		return append(dst, t.Root.Code)
+	}
+	return appendFrontier(dst, t.Root, expanded)
+}
+
+func appendFrontier(dst Cut, p *PNode, expanded map[Code]bool) Cut {
+	if !p.Leaf() && expanded[p.Code] {
+		dst = appendFrontier(dst, p.Left, expanded)
+		return appendFrontier(dst, p.Right, expanded)
+	}
+	return append(dst, p.Code)
+}
+
+// ExpandCutInto is ExpandCut appending into dst. cut must be a sorted
+// antichain (every Cut this package produces is); the result is sorted.
+func (t *Tree) ExpandCutInto(dst Cut, cut Cut, d int) Cut {
+	if d <= 0 {
+		return append(dst, cut...)
 	}
 	for _, code := range cut {
 		p, ok := t.byCode[code]
 		if !ok {
 			continue
 		}
-		descend(p, d)
+		dst = appendDescend(dst, p, d)
 	}
-	return out.normalize()
+	return dst
+}
+
+func appendDescend(dst Cut, p *PNode, depth int) Cut {
+	if p.Leaf() || depth == 0 {
+		return append(dst, p.Code)
+	}
+	dst = appendDescend(dst, p.Left, depth-1)
+	return appendDescend(dst, p.Right, depth-1)
 }
 
 // Frontier derives the normal compact form from the set of positions a query
@@ -203,21 +239,7 @@ func (t *Tree) ExpandCut(cut Cut, d int) Cut {
 // expanded whenever the set is non-empty; an empty set yields the root cut.
 // Leaf positions are always frontier elements of their branch.
 func (t *Tree) Frontier(expanded map[Code]bool) Cut {
-	var out Cut
-	var walk func(p *PNode)
-	walk = func(p *PNode) {
-		if !p.Leaf() && expanded[p.Code] {
-			walk(p.Left)
-			walk(p.Right)
-			return
-		}
-		out = append(out, p.Code)
-	}
-	if len(expanded) == 0 || !expanded[t.Root.Code] {
-		return t.RootCut()
-	}
-	walk(t.Root)
-	return out.normalize()
+	return t.FrontierInto(nil, expanded)
 }
 
 // PartialFrontier generalizes Frontier to expansion sets that do not start

@@ -1,0 +1,56 @@
+package bpt
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// TestIntoVariantsMatchAllocating pins the contract the serving hot path
+// relies on: the scratch-buffer cut builders emit exactly the cuts of the
+// allocating methods — a left-to-right DFS already yields the normalized
+// (sorted, deduplicated) order, so skipping normalize must never change a
+// response.
+func TestIntoVariantsMatchAllocating(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(40)
+		entries := make([]rtree.Entry, n)
+		for i := range entries {
+			c := geom.Pt(r.Float64(), r.Float64())
+			entries[i] = rtree.Entry{MBR: geom.RectFromCenter(c, 0.01, 0.01), Obj: rtree.ObjectID(i + 1)}
+		}
+		pt := Build(1, entries)
+
+		if got, want := pt.FullCutInto(nil), pt.FullCut(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: FullCutInto %v != FullCut %v", trial, got, want)
+		}
+
+		// Random upward-closed expansion set, the shape markExpanded builds.
+		expanded := map[Code]bool{}
+		var descend func(p *PNode)
+		descend = func(p *PNode) {
+			if p.Leaf() || r.Intn(3) == 0 {
+				return
+			}
+			expanded[p.Code] = true
+			descend(p.Left)
+			descend(p.Right)
+		}
+		descend(pt.Root)
+
+		frontier := pt.Frontier(expanded)
+		if got := pt.FrontierInto(nil, expanded); !reflect.DeepEqual(got, frontier) {
+			t.Fatalf("trial %d: FrontierInto %v != Frontier %v (expanded %v)", trial, got, frontier, expanded)
+		}
+		for d := 0; d <= 3; d++ {
+			want := pt.ExpandCut(frontier, d)
+			if got := pt.ExpandCutInto(nil, frontier, d); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d d=%d: ExpandCutInto %v != ExpandCut %v", trial, d, got, want)
+			}
+		}
+	}
+}

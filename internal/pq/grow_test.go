@@ -1,0 +1,63 @@
+package pq
+
+import "testing"
+
+// TestGrowAmortized pins the geometric-growth contract: a loop of single-item
+// Grow calls must reallocate O(log n) times, not once per call (the old
+// behavior allocated exactly len+n each time, so every call reallocated).
+func TestGrowAmortized(t *testing.T) {
+	const n = 1024
+	allocs := testing.AllocsPerRun(10, func() {
+		var q Queue[int]
+		for j := 0; j < n; j++ {
+			q.Grow(1)
+			q.Push(float64(n-j), j)
+		}
+	})
+	// log2(1024) = 10 doublings from the 8-item floor; leave headroom.
+	if allocs > 16 {
+		t.Fatalf("1024 incremental Grow(1) calls cost %.0f allocations, want O(log n)", allocs)
+	}
+}
+
+func TestGrowToExact(t *testing.T) {
+	var q Queue[int]
+	q.GrowTo(100)
+	if cap(q.items) < 100 {
+		t.Fatalf("GrowTo(100) left capacity %d", cap(q.items))
+	}
+	q.Push(1, 1)
+	before := cap(q.items)
+	q.GrowTo(50) // already satisfied: must not shrink or reallocate
+	if cap(q.items) != before {
+		t.Fatalf("GrowTo with satisfied capacity reallocated: %d -> %d", before, cap(q.items))
+	}
+	if q.Len() != 1 {
+		t.Fatalf("GrowTo disturbed contents: len=%d", q.Len())
+	}
+}
+
+// BenchmarkGrowIncremental and BenchmarkGrowTo bracket the amortization win:
+// before the fix, the incremental variant reallocated the heap on every
+// iteration; now both run in a handful of allocations per queue.
+func BenchmarkGrowIncremental(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var q Queue[int]
+		for j := 0; j < 1024; j++ {
+			q.Grow(1)
+			q.Push(float64(1024-j), j)
+		}
+	}
+}
+
+func BenchmarkGrowTo(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var q Queue[int]
+		q.GrowTo(1024)
+		for j := 0; j < 1024; j++ {
+			q.Push(float64(1024-j), j)
+		}
+	}
+}

@@ -58,12 +58,27 @@ func (q *Queue[T]) Reset() {
 
 // Grow ensures capacity for at least n items beyond the current length,
 // saving the incremental reallocations of a growing heap when the caller
-// can estimate the working-set size up front.
+// can estimate the working-set size up front. Capacity grows geometrically
+// (at least doubling), so a loop of small Grow calls costs O(log total)
+// reallocations, not one per call.
 func (q *Queue[T]) Grow(n int) {
-	if cap(q.items)-len(q.items) >= n {
+	q.GrowTo(len(q.items) + n)
+}
+
+// GrowTo ensures capacity for at least total items, growing geometrically
+// like Grow.
+func (q *Queue[T]) GrowTo(total int) {
+	if cap(q.items) >= total {
 		return
 	}
-	items := make([]item[T], len(q.items), len(q.items)+n)
+	newCap := 2 * cap(q.items)
+	if newCap < total {
+		newCap = total
+	}
+	if newCap < 8 {
+		newCap = 8
+	}
+	items := make([]item[T], len(q.items), newCap)
 	copy(items, q.items)
 	q.items = items
 }

@@ -1,8 +1,9 @@
 package query
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/pq"
 	"repro/internal/rtree"
@@ -18,6 +19,11 @@ type Provider interface {
 	// for a node, its entries (or the elements of its cached cut); for a
 	// super entry, the two children of its partition-tree position.
 	// ok = false marks the reference as missing.
+	//
+	// The returned slice is only valid until the next Expand call on the
+	// same provider: implementations may reuse one scratch buffer across
+	// calls to keep the hot path allocation-free. The engine copies when it
+	// must hold children across a second expansion (join pairs).
 	Expand(ref Ref) (children []Ref, ok bool)
 
 	// HaveObject reports whether the object's payload is available locally.
@@ -67,16 +73,47 @@ type Outcome struct {
 // SeedRoot builds the initial queue contents for a fresh query rooted at the
 // given reference (a pair seed for joins).
 func SeedRoot(q Query, root Ref) []QueuedElem {
+	return AppendSeedRoot(nil, q, root)
+}
+
+// AppendSeedRoot is SeedRoot appending into a caller-owned buffer, for hot
+// paths that seed a fresh query per request.
+func AppendSeedRoot(dst []QueuedElem, q Query, root Ref) []QueuedElem {
 	if q.Kind == Join {
 		if !q.acceptsPair(root.MBR, root.MBR) {
-			return nil
+			return dst
 		}
-		return []QueuedElem{{Key: q.pairKey(root.MBR, root.MBR), Elem: PairOf(root, root)}}
+		return append(dst, QueuedElem{Key: q.pairKey(root.MBR, root.MBR), Elem: PairOf(root, root)})
 	}
 	if !q.accepts(root.MBR) {
-		return nil
+		return dst
 	}
-	return []QueuedElem{{Key: q.key(root.MBR), Elem: Single(root)}}
+	return append(dst, QueuedElem{Key: q.key(root.MBR), Elem: Single(root)})
+}
+
+// Runner owns the reusable execution state of Algorithm 1: the best-first
+// priority queue, the stuck-element accumulator, and the result buffers. A
+// warm Runner executes a query without allocating; the server keeps Runners
+// in a sync.Pool so each request borrows one.
+//
+// A Runner is not safe for concurrent use. The Outcome returned by Run
+// aliases the Runner's internal buffers: it is valid only until the next Run
+// or Reset, and callers that retain results across runs must copy them.
+type Runner struct {
+	h           pq.Queue[Elem]
+	stuck       []QueuedElem
+	results     []Ref
+	pairs       [][2]Ref
+	pairScratch []Ref // holds one side of a double-descend join expansion
+}
+
+// Reset clears the runner for the next query, retaining all backing storage.
+func (r *Runner) Reset() {
+	r.h.Reset()
+	r.stuck = r.stuck[:0]
+	r.results = r.results[:0]
+	r.pairs = r.pairs[:0]
+	r.pairScratch = r.pairScratch[:0]
 }
 
 // Run executes q over the provider starting from the seeded queue state.
@@ -84,21 +121,18 @@ func SeedRoot(q Query, root Ref) []QueuedElem {
 // kinds: missing elements accumulate outside the queue, kNN terminates when
 // confirmed results plus missing leaf elements reach K, and the remainder is
 // the pruned union of missing and unexplored elements.
-func Run(q Query, prov Provider, seed []QueuedElem) Outcome {
-	var (
-		h     pq.Queue[Elem]
-		stuck []QueuedElem
-		out   Outcome
-	)
+func (r *Runner) Run(q Query, prov Provider, seed []QueuedElem) Outcome {
+	r.Reset()
+	var out Outcome
 	minMissingNonLeaf := math.Inf(1)
 	m := 0            // confirmed results
 	nMissingLeaf := 0 // popped object elements that could not be confirmed
 
 	// Pre-grow past the handful of doubling reallocations every non-trivial
 	// query pays; warm-cache heaps routinely exceed 64 elements.
-	h.Grow(len(seed) + 64)
+	r.h.Grow(len(seed) + 64)
 	for _, qe := range seed {
-		h.Push(qe.Key, qe.Elem)
+		r.h.Push(qe.Key, qe.Elem)
 		out.Stats.Pushes++
 	}
 
@@ -106,63 +140,78 @@ func Run(q Query, prov Provider, seed []QueuedElem) Outcome {
 		if q.Kind == KNN && m+nMissingLeaf >= q.K {
 			break
 		}
-		if h.Len() == 0 {
+		if r.h.Len() == 0 {
 			break
 		}
-		key, elem := h.Pop()
+		key, elem := r.h.Pop()
 		out.Stats.Pops++
 
 		if elem.IsObjectElem() {
 			available := prov.HaveObject(elem.A.Obj) && (!elem.Pair || prov.HaveObject(elem.B.Obj))
 			switch {
 			case !available:
-				stuck = append(stuck, QueuedElem{Key: key, Elem: elem})
+				r.stuck = append(r.stuck, QueuedElem{Key: key, Elem: elem})
 				nMissingLeaf++
 			case q.Kind == KNN && minMissingNonLeaf <= key:
 				// A missing non-leaf element precedes this object in H, so
 				// it cannot be confirmed as the next nearest neighbor.
-				stuck = append(stuck, QueuedElem{Key: key, Elem: elem, Deferred: true})
+				r.stuck = append(r.stuck, QueuedElem{Key: key, Elem: elem, Deferred: true})
 				nMissingLeaf++
 			default:
 				if elem.Pair {
-					out.Pairs = append(out.Pairs, [2]Ref{elem.A, elem.B})
+					r.pairs = append(r.pairs, [2]Ref{elem.A, elem.B})
 				} else {
-					out.Results = append(out.Results, elem.A)
+					r.results = append(r.results, elem.A)
 				}
 				m++
 			}
 			continue
 		}
 
-		if !expandElem(q, prov, elem, &h, &out.Stats) {
-			stuck = append(stuck, QueuedElem{Key: key, Elem: elem})
+		if !r.expandElem(q, prov, elem, &out.Stats) {
+			r.stuck = append(r.stuck, QueuedElem{Key: key, Elem: elem})
 			if key < minMissingNonLeaf {
 				minMissingNonLeaf = key
 			}
 		}
 	}
 
-	needRemainder := len(stuck) > 0
+	out.Results = r.results
+	out.Pairs = r.pairs
+
+	needRemainder := len(r.stuck) > 0
 	if q.Kind == KNN {
-		needRemainder = m < q.K && len(stuck) > 0
+		needRemainder = m < q.K && len(r.stuck) > 0
 	}
 	if !needRemainder {
 		out.Complete = true
 		return out
 	}
 
-	remainder := stuck
-	for h.Len() > 0 {
-		key, elem := h.Pop()
+	remainder := r.stuck
+	for r.h.Len() > 0 {
+		key, elem := r.h.Pop()
 		remainder = append(remainder, QueuedElem{Key: key, Elem: elem})
 	}
-	sort.SliceStable(remainder, func(i, j int) bool { return remainder[i].Key < remainder[j].Key })
+	r.stuck = remainder // keep the grown buffer for the next run
+	// Stable, and allocation-free unlike sort.SliceStable's reflect path.
+	slices.SortStableFunc(remainder, func(a, b QueuedElem) int {
+		return cmp.Compare(a.Key, b.Key)
+	})
 
 	if q.Kind == KNN {
 		remainder = pruneKNNRemainder(remainder, q.K-m)
 	}
 	out.Remainder = remainder
 	return out
+}
+
+// Run executes q with a fresh Runner. It is the compatibility entry point for
+// one-shot callers (clients, simulations); the returned Outcome owns its
+// buffers.
+func Run(q Query, prov Provider, seed []QueuedElem) Outcome {
+	var r Runner
+	return r.Run(q, prov, seed)
 }
 
 // pruneKNNRemainder drops every element farther than the want-th object
@@ -192,7 +241,7 @@ func pruneKNNRemainder(rem []QueuedElem, want int) []QueuedElem {
 // straight into the priority queue (no intermediate slice — expansion is
 // the engine's hottest allocation site). It reports false when the element
 // is missing from the provider.
-func expandElem(q Query, prov Provider, elem Elem, h *pq.Queue[Elem], stats *Stats) bool {
+func (r *Runner) expandElem(q Query, prov Provider, elem Elem, stats *Stats) bool {
 	if !elem.Pair {
 		children, ok := prov.Expand(elem.A)
 		if !ok {
@@ -202,31 +251,33 @@ func expandElem(q Query, prov Provider, elem Elem, h *pq.Queue[Elem], stats *Sta
 		stats.Evals += len(children)
 		for _, c := range children {
 			if q.accepts(c.MBR) {
-				h.Push(q.key(c.MBR), Single(c))
+				r.h.Push(q.key(c.MBR), Single(c))
 				stats.Pushes++
 			}
 		}
 		return true
 	}
-	return expandPair(q, prov, elem, h, stats)
+	return r.expandPair(q, prov, elem, stats)
+}
+
+// emitPair evaluates one candidate child pair and pushes it if accepted.
+func (r *Runner) emitPair(q Query, x, y Ref, stats *Stats) {
+	stats.Evals++
+	if x.Same(y) && x.IsObject() {
+		return // a distance self-join never pairs an object with itself
+	}
+	if !q.acceptsPair(x.MBR, y.MBR) {
+		return
+	}
+	r.h.Push(q.pairKey(x.MBR, y.MBR), PairOf(x, y))
+	stats.Pushes++
 }
 
 // expandPair expands a join pair by descending every expandable side.
 // A pair is missing when any side it must descend is missing (footnote 3 of
 // the paper).
-func expandPair(q Query, prov Provider, elem Elem, h *pq.Queue[Elem], stats *Stats) bool {
+func (r *Runner) expandPair(q Query, prov Provider, elem Elem, stats *Stats) bool {
 	a, b := elem.A, elem.B
-	emit := func(x, y Ref) {
-		stats.Evals++
-		if x.Same(y) && x.IsObject() {
-			return // a distance self-join never pairs an object with itself
-		}
-		if !q.acceptsPair(x.MBR, y.MBR) {
-			return
-		}
-		h.Push(q.pairKey(x.MBR, y.MBR), PairOf(x, y))
-		stats.Pushes++
-	}
 
 	switch {
 	case a.IsObject(): // descend b only
@@ -236,7 +287,7 @@ func expandPair(q Query, prov Provider, elem Elem, h *pq.Queue[Elem], stats *Sta
 		}
 		stats.Expands++
 		for _, c := range children {
-			emit(a, c)
+			r.emitPair(q, a, c, stats)
 		}
 		return true
 
@@ -247,7 +298,7 @@ func expandPair(q Query, prov Provider, elem Elem, h *pq.Queue[Elem], stats *Sta
 		}
 		stats.Expands++
 		for _, c := range children {
-			emit(c, b)
+			r.emitPair(q, c, b, stats)
 		}
 		return true
 
@@ -259,7 +310,7 @@ func expandPair(q Query, prov Provider, elem Elem, h *pq.Queue[Elem], stats *Sta
 		stats.Expands++
 		for i := range children {
 			for j := i; j < len(children); j++ {
-				emit(children[i], children[j])
+				r.emitPair(q, children[i], children[j], stats)
 			}
 		}
 		return true
@@ -269,14 +320,17 @@ func expandPair(q Query, prov Provider, elem Elem, h *pq.Queue[Elem], stats *Sta
 		if !okA {
 			return false
 		}
+		// The provider may reuse its scratch buffer on the next Expand, so
+		// copy side a before descending side b.
+		r.pairScratch = append(r.pairScratch[:0], ca...)
 		cb, okB := prov.Expand(b)
 		if !okB {
 			return false
 		}
 		stats.Expands += 2
-		for _, x := range ca {
+		for _, x := range r.pairScratch {
 			for _, y := range cb {
-				emit(x, y)
+				r.emitPair(q, x, y, stats)
 			}
 		}
 		return true

@@ -44,15 +44,15 @@ func BulkLoad(p Params, items []Item, fill float64) *Tree {
 		nodeIDs := t.packLevel(entries, level, perNode)
 		if len(nodeIDs) == 1 {
 			// Replace the initial empty root with the packed root.
-			delete(t.nodes, t.root)
+			t.freeNode(t.root)
 			t.root = nodeIDs[0]
-			t.nodes[t.root].Parent = InvalidNode
+			t.node(t.root).Parent = InvalidNode
 			t.height = level + 1
 			return t
 		}
 		next := make([]Entry, len(nodeIDs))
 		for i, id := range nodeIDs {
-			next[i] = Entry{MBR: t.nodes[id].MBR(), Child: id}
+			next[i] = Entry{MBR: t.node(id).MBR(), Child: id}
 		}
 		entries = next
 		level++
@@ -88,11 +88,12 @@ func (t *Tree) packLevel(entries []Entry, level, perNode int) []NodeID {
 				oend = len(slab)
 			}
 			node := t.newNode(level)
-			node.Entries = append([]Entry(nil), slab[o:oend]...)
+			node.Entries = append(node.Entries, slab[o:oend]...)
 			t.touch(node.ID)
 			if level > 0 {
+				id := node.ID
 				for _, e := range node.Entries {
-					t.nodes[e.Child].Parent = node.ID
+					t.node(e.Child).Parent = id
 				}
 			}
 			ids = append(ids, node.ID)

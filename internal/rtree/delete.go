@@ -7,7 +7,7 @@ import "repro/internal/geom"
 // their entries re-inserted (the condense-tree step), and the root collapses
 // when it has a single child.
 func (t *Tree) Delete(obj ObjectID, mbr geom.Rect) bool {
-	leaf := t.findLeaf(t.nodes[t.root], obj, mbr)
+	leaf := t.findLeaf(t.node(t.root), obj, mbr)
 	if leaf == nil {
 		return false
 	}
@@ -35,7 +35,7 @@ func (t *Tree) findLeaf(n *Node, obj ObjectID, mbr geom.Rect) *Node {
 	}
 	for _, e := range n.Entries {
 		if e.MBR.Contains(mbr) {
-			if found := t.findLeaf(t.nodes[e.Child], obj, mbr); found != nil {
+			if found := t.findLeaf(t.node(e.Child), obj, mbr); found != nil {
 				return found
 			}
 		}
@@ -53,7 +53,7 @@ func (t *Tree) condense(n *Node) {
 	var orphans []orphan
 
 	for n.ID != t.root {
-		parent := t.nodes[n.Parent]
+		parent := t.node(n.Parent)
 		if len(n.Entries) < t.params.MinEntries {
 			i := parentEntryIndex(parent, n.ID)
 			parent.Entries = append(parent.Entries[:i], parent.Entries[i+1:]...)
@@ -61,8 +61,9 @@ func (t *Tree) condense(n *Node) {
 			for _, e := range n.Entries {
 				orphans = append(orphans, orphan{e, n.Level})
 			}
-			delete(t.nodes, n.ID)
-			t.touch(n.ID)
+			id := n.ID
+			t.freeNode(id) // invalidates n; parent slot is untouched
+			t.touch(id)
 		} else {
 			t.adjustPathMBRs(n)
 		}
@@ -76,11 +77,12 @@ func (t *Tree) condense(n *Node) {
 	}
 
 	// Shrink the root while it is a single-child intermediate node.
-	root := t.nodes[t.root]
+	root := t.node(t.root)
 	for !root.Leaf() && len(root.Entries) == 1 {
-		child := t.nodes[root.Entries[0].Child]
-		delete(t.nodes, root.ID)
-		t.touch(root.ID)
+		child := t.node(root.Entries[0].Child)
+		id := root.ID
+		t.freeNode(id) // invalidates root; child slot is untouched
+		t.touch(id)
 		child.Parent = InvalidNode
 		t.root = child.ID
 		t.height--

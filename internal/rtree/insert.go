@@ -21,7 +21,7 @@ func (t *Tree) insertEntry(e Entry, level int, reinserted []bool) {
 	n.Entries = append(n.Entries, e)
 	t.touch(n.ID)
 	if e.Child != InvalidNode {
-		t.nodes[e.Child].Parent = n.ID
+		t.node(e.Child).Parent = n.ID
 	}
 	t.adjustPathMBRs(n)
 	if len(n.Entries) > t.params.MaxEntries {
@@ -33,7 +33,7 @@ func (t *Tree) insertEntry(e Entry, level int, reinserted []bool) {
 // the R* criteria: minimum overlap enlargement when the children are leaves,
 // minimum area enlargement otherwise (ties broken by smaller area).
 func (t *Tree) chooseSubtree(mbr geom.Rect, level int) *Node {
-	n := t.nodes[t.root]
+	n := t.node(t.root)
 	for n.Level > level {
 		var best int
 		if n.Level == 1 {
@@ -41,7 +41,7 @@ func (t *Tree) chooseSubtree(mbr geom.Rect, level int) *Node {
 		} else {
 			best = chooseLeastAreaEnlargement(n.Entries, mbr)
 		}
-		n = t.nodes[n.Entries[best].Child]
+		n = t.node(n.Entries[best].Child)
 	}
 	return n
 }
@@ -133,39 +133,45 @@ func (t *Tree) reinsert(n *Node, reinserted []bool) {
 	}
 }
 
-// splitNode splits an overflowing node and propagates upward.
+// splitNode splits an overflowing node and propagates upward. Node pointers
+// are re-fetched by id after every newNode call: growing the arena may
+// relocate the whole node slice.
 func (t *Tree) splitNode(n *Node, reinserted []bool) {
 	left, right := SplitEntries(n.Entries, t.params.MinEntries)
 
+	nID, level := n.ID, n.Level
 	n.Entries = left
-	nn := t.newNode(n.Level)
+	nnID := t.newNode(level).ID
+	n = t.node(nID)
+	nn := t.node(nnID)
 	nn.Entries = right
-	t.touch(n.ID)
-	t.touch(nn.ID)
-	if n.Level > 0 {
+	t.touch(nID)
+	t.touch(nnID)
+	if level > 0 {
 		for _, e := range nn.Entries {
-			t.nodes[e.Child].Parent = nn.ID
+			t.node(e.Child).Parent = nnID
 		}
 	}
 
-	if n.ID == t.root {
-		newRoot := t.newNode(n.Level + 1)
-		newRoot.Entries = []Entry{
-			{MBR: n.MBR(), Child: n.ID},
-			{MBR: nn.MBR(), Child: nn.ID},
+	if nID == t.root {
+		rootID := t.newNode(level + 1).ID
+		n, nn = t.node(nID), t.node(nnID)
+		t.node(rootID).Entries = []Entry{
+			{MBR: n.MBR(), Child: nID},
+			{MBR: nn.MBR(), Child: nnID},
 		}
-		n.Parent = newRoot.ID
-		nn.Parent = newRoot.ID
-		t.root = newRoot.ID
+		n.Parent = rootID
+		nn.Parent = rootID
+		t.root = rootID
 		t.height++
-		t.touch(newRoot.ID)
+		t.touch(rootID)
 		return
 	}
 
-	parent := t.nodes[n.Parent]
-	i := parentEntryIndex(parent, n.ID)
+	parent := t.node(n.Parent)
+	i := parentEntryIndex(parent, nID)
 	parent.Entries[i].MBR = n.MBR()
-	parent.Entries = append(parent.Entries, Entry{MBR: nn.MBR(), Child: nn.ID})
+	parent.Entries = append(parent.Entries, Entry{MBR: nn.MBR(), Child: nnID})
 	t.touch(parent.ID)
 	nn.Parent = parent.ID
 	t.adjustPathMBRs(parent)

@@ -9,6 +9,14 @@
 // margin/overlap-driven splits); bulk construction uses Sort-Tile-Recursive
 // packing with a configurable fill factor so index sizes match the paper's
 // reported R*-tree sizes.
+//
+// Nodes live by value in a dense slice arena indexed by NodeID, so a
+// root-to-leaf descent walks contiguous memory instead of chasing heap
+// pointers through a map, and the GC never scans per-node allocations.
+// NodeIDs are never reused: a deleted page leaves a tombstone slot whose
+// lookup fails forever (the liveness check clients' dangling references
+// depend on), while its entry storage goes on a free list for the next
+// created node to recycle.
 package rtree
 
 import (
@@ -104,12 +112,19 @@ func (p Params) normalized() Params {
 
 // Tree is an R*-tree. It is not safe for concurrent mutation; concurrent
 // reads are safe once construction is complete.
+//
+// Node pointers returned by Node, Nodes, or internal lookups point into the
+// arena and stay valid only until the next mutation (Insert, Delete,
+// BulkLoad); creating a node may grow the arena and relocate every Node.
+// Mutating code must therefore re-fetch by id after any call that can
+// allocate a node.
 type Tree struct {
 	params Params
-	nodes  map[NodeID]*Node
+	nodes  []Node   // arena indexed by NodeID; slot 0 is the InvalidNode sentinel
+	free   []NodeID // tombstone slots whose entry storage newNode recycles
+	live   int      // number of live nodes
 	root   NodeID
 	height int // number of levels; 1 = root is a leaf
-	nextID NodeID
 	size   int // number of stored objects
 
 	// onTouch, when set, observes every node whose entry list or entry
@@ -131,7 +146,7 @@ func (t *Tree) touch(id NodeID) {
 func New(p Params) *Tree {
 	t := &Tree{
 		params: p.normalized(),
-		nodes:  make(map[NodeID]*Node),
+		nodes:  make([]Node, 1, 64), // slot 0 reserved for InvalidNode
 	}
 	root := t.newNode(0)
 	t.root = root.ID
@@ -139,11 +154,36 @@ func New(p Params) *Tree {
 	return t
 }
 
+// newNode allocates the next arena slot. Entry storage is recycled from the
+// free list when a deleted page left some behind. The returned pointer is
+// valid until the next newNode call.
 func (t *Tree) newNode(level int) *Node {
-	t.nextID++
-	n := &Node{ID: t.nextID, Level: level}
-	t.nodes[n.ID] = n
-	return n
+	var recycled []Entry
+	if k := len(t.free); k > 0 {
+		dead := t.free[k-1]
+		t.free = t.free[:k-1]
+		recycled = t.nodes[dead].Entries[:0]
+		t.nodes[dead].Entries = nil
+	}
+	id := NodeID(len(t.nodes))
+	t.nodes = append(t.nodes, Node{ID: id, Level: level, Entries: recycled})
+	t.live++
+	return &t.nodes[id]
+}
+
+// freeNode tombstones a slot: the id never resolves again, and the entry
+// storage is parked on the free list for the next newNode. The caller must
+// have copied out any entries it still needs.
+func (t *Tree) freeNode(id NodeID) {
+	t.nodes[id] = Node{Entries: t.nodes[id].Entries[:0]}
+	t.free = append(t.free, id)
+	t.live--
+}
+
+// node returns the arena slot for a live id. It is the trusted internal
+// lookup: the id must be valid.
+func (t *Tree) node(id NodeID) *Node {
+	return &t.nodes[id]
 }
 
 // Root returns the id of the root node.
@@ -153,7 +193,7 @@ func (t *Tree) Root() NodeID { return t.root }
 // query processing seeds its priority queue. The MBR covers the whole tree;
 // for an empty tree it is the zero Rect.
 func (t *Tree) RootEntry() Entry {
-	root := t.nodes[t.root]
+	root := t.node(t.root)
 	e := Entry{Child: t.root}
 	if len(root.Entries) > 0 {
 		e.MBR = root.MBR()
@@ -162,9 +202,18 @@ func (t *Tree) RootEntry() Entry {
 }
 
 // Node returns the node with the given id, or false when no such page exists.
+// Deleted ids keep failing forever (ids are never reused), which is the
+// staleness check remainder queries over dangling client references rely on.
+// The pointer is valid until the next tree mutation.
 func (t *Tree) Node(id NodeID) (*Node, bool) {
-	n, ok := t.nodes[id]
-	return n, ok
+	if id == InvalidNode || int(id) >= len(t.nodes) {
+		return nil, false
+	}
+	n := &t.nodes[id]
+	if n.ID != id { // tombstone
+		return nil, false
+	}
+	return n, true
 }
 
 // Height returns the number of levels (1 when the root is a leaf).
@@ -173,15 +222,24 @@ func (t *Tree) Height() int { return t.height }
 // Len returns the number of stored objects.
 func (t *Tree) Len() int { return t.size }
 
-// NodeCount returns the number of index nodes.
-func (t *Tree) NodeCount() int { return len(t.nodes) }
+// NodeCount returns the number of live index nodes.
+func (t *Tree) NodeCount() int { return t.live }
+
+// NodeSpan returns an exclusive upper bound on all NodeIDs ever issued.
+// Callers use it to size dense per-node scratch structures (visited bitsets)
+// indexed by NodeID.
+func (t *Tree) NodeSpan() NodeID { return NodeID(len(t.nodes)) }
 
 // Params returns the tree's normalized parameters.
 func (t *Tree) Params() Params { return t.params }
 
-// Nodes iterates over all nodes in unspecified order.
+// Nodes iterates over all live nodes in unspecified order.
 func (t *Tree) Nodes(fn func(*Node) bool) {
-	for _, n := range t.nodes {
+	for i := 1; i < len(t.nodes); i++ {
+		n := &t.nodes[i]
+		if n.ID == InvalidNode {
+			continue // tombstone
+		}
 		if !fn(n) {
 			return
 		}
@@ -202,7 +260,7 @@ func parentEntryIndex(parent *Node, child NodeID) int {
 // root after n's entries changed.
 func (t *Tree) adjustPathMBRs(n *Node) {
 	for n.Parent != InvalidNode {
-		parent := t.nodes[n.Parent]
+		parent := t.node(n.Parent)
 		i := parentEntryIndex(parent, n.ID)
 		if i < 0 {
 			panic(fmt.Sprintf("rtree: node %d missing from parent %d", n.ID, parent.ID))

@@ -10,7 +10,7 @@ import (
 // cache-aware evaluation lives in package query.
 func (t *Tree) RangeQuery(window geom.Rect) []Entry {
 	var out []Entry
-	t.searchNode(t.nodes[t.root], window, &out)
+	t.searchNode(t.node(t.root), window, &out)
 	return out
 }
 
@@ -22,7 +22,7 @@ func (t *Tree) searchNode(n *Node, window geom.Rect, out *[]Entry) {
 		if n.Leaf() {
 			*out = append(*out, e)
 		} else {
-			t.searchNode(t.nodes[e.Child], window, out)
+			t.searchNode(t.node(e.Child), window, out)
 		}
 	}
 }
@@ -43,7 +43,7 @@ func (t *Tree) KNN(p geom.Point, k int) []Entry {
 			out = append(out, e)
 			continue
 		}
-		node := t.nodes[e.Child]
+		node := t.node(e.Child)
 		for _, c := range node.Entries {
 			h.Push(geom.MinDist(p, c.MBR), c)
 		}
@@ -66,7 +66,7 @@ func (t *Tree) DistanceWithin(p geom.Point, dist float64) []Entry {
 			out = append(out, e)
 			continue
 		}
-		node := t.nodes[e.Child]
+		node := t.node(e.Child)
 		for _, c := range node.Entries {
 			if md := geom.MinDist(p, c.MBR); md <= dist {
 				h.Push(md, c)

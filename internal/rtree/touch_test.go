@@ -7,12 +7,13 @@ import (
 	"repro/internal/geom"
 )
 
-// snapshotEntries deep-copies every node's entry list.
+// snapshotEntries deep-copies every live node's entry list.
 func snapshotEntries(t *Tree) map[NodeID][]Entry {
-	snap := make(map[NodeID][]Entry, len(t.nodes))
-	for id, n := range t.nodes {
-		snap[id] = append([]Entry(nil), n.Entries...)
-	}
+	snap := make(map[NodeID][]Entry, t.NodeCount())
+	t.Nodes(func(n *Node) bool {
+		snap[n.ID] = append([]Entry(nil), n.Entries...)
+		return true
+	})
 	return snap
 }
 
@@ -60,7 +61,7 @@ func TestTouchHookCoversAllMutations(t *testing.T) {
 
 		// Changed, created, or removed nodes must all be in the touched set.
 		for id, oldEntries := range before {
-			n, exists := tr.nodes[id]
+			n, exists := tr.Node(id)
 			switch {
 			case !exists:
 				if !touched[id] {
@@ -72,11 +73,12 @@ func TestTouchHookCoversAllMutations(t *testing.T) {
 				}
 			}
 		}
-		for id := range tr.nodes {
-			if _, existed := before[id]; !existed && !touched[id] {
-				t.Fatalf("op %d: new node %d not touched", op, id)
+		tr.Nodes(func(n *Node) bool {
+			if _, existed := before[n.ID]; !existed && !touched[n.ID] {
+				t.Fatalf("op %d: new node %d not touched", op, n.ID)
 			}
-		}
+			return true
+		})
 	}
 }
 

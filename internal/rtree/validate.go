@@ -8,7 +8,7 @@ import "fmt"
 // fill on non-root nodes (bulk-loaded trees may legitimately violate it on
 // their trailing pages).
 func (t *Tree) Validate(strictFill bool) error {
-	root, ok := t.nodes[t.root]
+	root, ok := t.Node(t.root)
 	if !ok {
 		return fmt.Errorf("rtree: root %d not registered", t.root)
 	}
@@ -19,7 +19,7 @@ func (t *Tree) Validate(strictFill bool) error {
 		return fmt.Errorf("rtree: root level %d but height %d", root.Level, t.height)
 	}
 
-	seen := make(map[NodeID]bool, len(t.nodes))
+	seen := make(map[NodeID]bool, t.live)
 	objects := 0
 	var walk func(n *Node) error
 	walk = func(n *Node) error {
@@ -47,7 +47,7 @@ func (t *Tree) Validate(strictFill bool) error {
 			if e.Child == InvalidNode {
 				return fmt.Errorf("rtree: intermediate node %d holds object entry", n.ID)
 			}
-			child, ok := t.nodes[e.Child]
+			child, ok := t.Node(e.Child)
 			if !ok {
 				return fmt.Errorf("rtree: node %d references missing child %d", n.ID, e.Child)
 			}
@@ -72,8 +72,8 @@ func (t *Tree) Validate(strictFill bool) error {
 	if err := walk(root); err != nil {
 		return err
 	}
-	if len(seen) != len(t.nodes) {
-		return fmt.Errorf("rtree: %d nodes registered but %d reachable", len(t.nodes), len(seen))
+	if len(seen) != t.live {
+		return fmt.Errorf("rtree: %d nodes registered but %d reachable", t.live, len(seen))
 	}
 	if objects != t.size {
 		return fmt.Errorf("rtree: size %d but %d leaf entries", t.size, objects)
@@ -95,7 +95,7 @@ type Stats struct {
 func (t *Tree) Stats() Stats {
 	s := Stats{Height: t.height, Objects: t.size, NodesPerLevel: make([]int, t.height)}
 	var entries int
-	for _, n := range t.nodes {
+	t.Nodes(func(n *Node) bool {
 		s.Nodes++
 		if n.Leaf() {
 			s.Leaves++
@@ -104,7 +104,8 @@ func (t *Tree) Stats() Stats {
 			s.NodesPerLevel[n.Level]++
 		}
 		entries += len(n.Entries)
-	}
+		return true
+	})
 	if s.Nodes > 0 {
 		s.AvgFill = float64(entries) / float64(s.Nodes) / float64(t.params.MaxEntries)
 	}

@@ -12,29 +12,66 @@ import (
 // positions were expanded so Ir can ship exactly the explored frontier.
 // In flat mode (full-form index or index-less baselines) node expansion
 // returns entries directly.
+//
+// A provider is reusable request-to-request: reset clears the per-request
+// state while keeping every backing structure (the visited bitset, the
+// visit-order list, the expanded-position maps, and the Expand scratch
+// buffer), so a warm provider serves a request without allocating. It lives
+// inside the server's pooled execState and is never shared between
+// concurrent requests.
 type provider struct {
 	s           *Server
 	partitioned bool
 
-	visited    []rtree.NodeID
-	visitedSet map[rtree.NodeID]bool
+	visitedCount int            // traversal counter behind ExecInfo.VisitedNodes
+	visited      []rtree.NodeID // first-visit order (buildIndex and bitset reset)
+	visitedBits  []uint64       // bitset indexed by NodeID over the tree's NodeSpan
+
 	expanded   map[rtree.NodeID]map[bpt.Code]bool
+	spareCodes []map[bpt.Code]bool // cleared inner maps ready for reuse
+
+	scratch []query.Ref // Expand result buffer; valid until the next Expand
 }
 
-func newProvider(s *Server, partitioned bool) *provider {
-	return &provider{
-		s:           s,
-		partitioned: partitioned,
-		visitedSet:  make(map[rtree.NodeID]bool),
-		expanded:    make(map[rtree.NodeID]map[bpt.Code]bool),
+// reset prepares the provider for one request. The caller must hold the
+// server's read lock: the bitset is sized to the tree's current NodeSpan.
+func (p *provider) reset(s *Server, partitioned bool) {
+	p.s = s
+	p.partitioned = partitioned
+
+	words := (int(s.tree.NodeSpan()) + 63) / 64
+	if cap(p.visitedBits) < words {
+		p.visitedBits = make([]uint64, words)
+	} else {
+		p.visitedBits = p.visitedBits[:words]
+		// Clearing only previously set bits keeps reset O(visited nodes),
+		// not O(index size).
+		for _, id := range p.visited {
+			p.visitedBits[id>>6] &^= 1 << (id & 63)
+		}
 	}
+	p.visitedCount = 0
+	p.visited = p.visited[:0]
+
+	for id, m := range p.expanded {
+		clear(m)
+		p.spareCodes = append(p.spareCodes, m)
+		delete(p.expanded, id)
+	}
+	if p.expanded == nil {
+		p.expanded = make(map[rtree.NodeID]map[bpt.Code]bool)
+	}
+	p.scratch = p.scratch[:0]
 }
 
 func (p *provider) visit(id rtree.NodeID) {
-	if !p.visitedSet[id] {
-		p.visitedSet[id] = true
-		p.visited = append(p.visited, id)
+	w, bit := id>>6, uint64(1)<<(id&63)
+	if p.visitedBits[w]&bit != 0 {
+		return
 	}
+	p.visitedBits[w] |= bit
+	p.visitedCount++
+	p.visited = append(p.visited, id)
 }
 
 // markExpanded records that a partition-tree position was expanded, closing
@@ -50,7 +87,12 @@ func (p *provider) visit(id rtree.NodeID) {
 func (p *provider) markExpanded(id rtree.NodeID, code bpt.Code) {
 	m, ok := p.expanded[id]
 	if !ok {
-		m = make(map[bpt.Code]bool)
+		if k := len(p.spareCodes); k > 0 {
+			m = p.spareCodes[k-1]
+			p.spareCodes = p.spareCodes[:k-1]
+		} else {
+			m = make(map[bpt.Code]bool)
+		}
 		p.expanded[id] = m
 	}
 	if m[code] {
@@ -67,7 +109,8 @@ func (p *provider) markExpanded(id rtree.NodeID, code bpt.Code) {
 }
 
 // Expand implements query.Provider. The server never reports missing
-// targets; a dangling reference returns an empty expansion.
+// targets; a dangling reference returns an empty expansion. The returned
+// slice is the provider's scratch buffer: valid until the next Expand call.
 func (p *provider) Expand(ref query.Ref) ([]query.Ref, bool) {
 	switch ref.Kind {
 	case query.RefNode:
@@ -80,15 +123,16 @@ func (p *provider) Expand(ref query.Ref) ([]query.Ref, bool) {
 			return nil, true
 		}
 		if !p.partitioned {
-			out := make([]query.Ref, len(n.Entries))
-			for i, e := range n.Entries {
-				out[i] = query.FromEntry(e)
+			p.scratch = p.scratch[:0]
+			for _, e := range n.Entries {
+				p.scratch = append(p.scratch, query.FromEntry(e))
 			}
-			return out, true
+			return p.scratch, true
 		}
 		pt := p.s.forest.Get(n)
 		p.markExpanded(n.ID, pt.Root.Code)
-		return pnodeChildren(n.ID, pt.Root), true
+		p.scratch = appendPNodeChildren(p.scratch[:0], n.ID, pt.Root)
+		return p.scratch, true
 
 	case query.RefSuper:
 		n, ok := p.s.tree.Node(ref.Node)
@@ -102,7 +146,8 @@ func (p *provider) Expand(ref query.Ref) ([]query.Ref, bool) {
 			return nil, true
 		}
 		p.markExpanded(n.ID, ref.Code)
-		return pnodeChildren(n.ID, pn), true
+		p.scratch = appendPNodeChildren(p.scratch[:0], n.ID, pn)
+		return p.scratch, true
 
 	default:
 		return nil, true
@@ -112,19 +157,19 @@ func (p *provider) Expand(ref query.Ref) ([]query.Ref, bool) {
 // HaveObject implements query.Provider; the server holds every object.
 func (p *provider) HaveObject(rtree.ObjectID) bool { return true }
 
-// pnodeChildren converts a partition node's children into engine references:
-// leaves become real entries, internal positions become super entries.
-func pnodeChildren(node rtree.NodeID, pn *bpt.PNode) []query.Ref {
+// appendPNodeChildren converts a partition node's children into engine
+// references: leaves become real entries, internal positions become super
+// entries.
+func appendPNodeChildren(dst []query.Ref, node rtree.NodeID, pn *bpt.PNode) []query.Ref {
 	if pn.Leaf() {
-		return []query.Ref{query.FromEntry(pn.Entry)}
+		return append(dst, query.FromEntry(pn.Entry))
 	}
-	out := make([]query.Ref, 0, 2)
-	for _, c := range []*bpt.PNode{pn.Left, pn.Right} {
+	for _, c := range [2]*bpt.PNode{pn.Left, pn.Right} {
 		if c.Leaf() {
-			out = append(out, query.FromEntry(c.Entry))
+			dst = append(dst, query.FromEntry(c.Entry))
 		} else {
-			out = append(out, query.SuperRef(node, c.Code, c.MBR))
+			dst = append(dst, query.SuperRef(node, c.Code, c.MBR))
 		}
 	}
-	return out
+	return dst
 }

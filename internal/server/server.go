@@ -6,10 +6,12 @@
 package server
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 	"sync"
 
 	"repro/internal/bpt"
+	"repro/internal/geom"
 	"repro/internal/query"
 	"repro/internal/rtree"
 	"repro/internal/wire"
@@ -106,6 +108,13 @@ type Server struct {
 	sizes  ObjectSizer
 	cfg    Config
 	shards [clientShardCount]clientShard
+
+	// execPool recycles per-request execution state (provider, engine
+	// runner, scratch sets); respPool recycles responses returned to the
+	// server through ReleaseResponse. Both make a warm Execute effectively
+	// allocation-free.
+	execPool sync.Pool
+	respPool sync.Pool
 
 	// Update/invalidation state (see update.go), guarded by mu.
 	epoch      uint64
@@ -221,9 +230,101 @@ func (s *Server) applyFeedback(st *clientState, fmr float64) {
 	st.lastFMR = fmr
 }
 
+// execState is the pooled per-request execution state: the query provider,
+// the engine runner, and every scratch structure Execute needs. A warm state
+// serves a request without allocating. States are owned by exactly one
+// request at a time (sync.Pool) and never shared.
+type execState struct {
+	prov     provider
+	runner   query.Runner
+	seen     map[rtree.ObjectID]bool // result dedup
+	noPay    map[rtree.ObjectID]bool // objects whose payload the client holds
+	seed     []query.QueuedElem      // rekeyed / root-seeded queue
+	nodesBuf []*rtree.Node           // buildIndex ordering scratch
+	cutBuf   bpt.Cut                 // frontier scratch
+	cutBuf2  bpt.Cut                 // refined-cut scratch
+}
+
+// scratchMapLimit bounds retained scratch-set capacity: a pathological
+// request (huge CachedIDs list, giant result set) must not pin its buckets
+// in the pool forever.
+const scratchMapLimit = 4096
+
+func resetScratchMap(m map[rtree.ObjectID]bool) map[rtree.ObjectID]bool {
+	if m == nil || len(m) > scratchMapLimit {
+		return make(map[rtree.ObjectID]bool)
+	}
+	clear(m)
+	return m
+}
+
+// getExec borrows a request state from the pool. The caller must hold the
+// server's read lock (provider reset sizes the visited bitset to the tree).
+func (s *Server) getExec(partitioned bool) *execState {
+	st, _ := s.execPool.Get().(*execState)
+	if st == nil {
+		st = &execState{}
+	}
+	st.prov.reset(s, partitioned)
+	st.seen = resetScratchMap(st.seen)
+	st.noPay = resetScratchMap(st.noPay)
+	st.seed = st.seed[:0]
+	st.nodesBuf = st.nodesBuf[:0]
+	st.cutBuf = st.cutBuf[:0]
+	st.cutBuf2 = st.cutBuf2[:0]
+	return st
+}
+
+func (s *Server) putExec(st *execState) {
+	st.runner.Reset() // drop element refs now rather than at next borrow
+	// Node pointers reach into the tree arena; a pooled state must not pin
+	// a superseded arena generation (the tree may grow between requests).
+	// Clear the full capacity: this request may have used fewer slots than
+	// an earlier one.
+	clear(st.nodesBuf[:cap(st.nodesBuf)])
+	s.execPool.Put(st)
+}
+
+// acquireResponse returns a zeroed response, recycled when a previous one
+// was released.
+func (s *Server) acquireResponse() *wire.Response {
+	resp, _ := s.respPool.Get().(*wire.Response)
+	if resp == nil {
+		resp = &wire.Response{}
+	}
+	return resp
+}
+
+// ReleaseResponse returns a response obtained from Execute to the server's
+// response pool, retaining its backing slices (including per-NodeRep element
+// arrays) for the next request. Callers that release must not touch the
+// response afterwards; callers that do not release (in-process simulations
+// that integrate the response into a cache) simply leave it to the garbage
+// collector. The serving layer releases after encoding a response to the
+// wire.
+func (s *Server) ReleaseResponse(resp *wire.Response) {
+	if resp == nil {
+		return
+	}
+	resp.Objects = resp.Objects[:0]
+	resp.Pairs = resp.Pairs[:0]
+	resp.Index = resp.Index[:0] // NodeRep.Elems capacity survives past len
+	resp.K = 0
+	resp.RootID = rtree.InvalidNode
+	resp.RootMBR = geom.Rect{}
+	resp.Epoch = 0
+	resp.FlushAll = false
+	resp.InvalidNodes = nil // invalidation reports are per-request slices
+	resp.InvalidObjs = nil
+	s.respPool.Put(resp)
+}
+
 // Execute processes one request and builds the response. It is safe to call
 // from many goroutines at once: requests share the index read lock, so
 // queries never block each other — only index mutations exclude them.
+//
+// The returned response may be recycled via ReleaseResponse once the caller
+// is done with it; see there for the ownership contract.
 func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
 	d := s.feedbackAndD(req)
 
@@ -232,85 +333,80 @@ func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
 
 	if req.Catalog {
 		root := s.rootRefLocked()
-		resp := &wire.Response{RootID: root.Node, RootMBR: root.MBR}
+		resp := s.acquireResponse()
+		resp.RootID, resp.RootMBR = root.Node, root.MBR
 		s.attachInvalidations(req, resp)
 		return resp, ExecInfo{D: d}
 	}
 
 	partitioned := s.cfg.Form != FullForm && !req.NoIndex
-	prov := newProvider(s, partitioned)
+	st := s.getExec(partitioned)
+	defer s.putExec(st)
 
-	resp := &wire.Response{K: req.Q.K}
+	resp := s.acquireResponse()
+	resp.K = req.Q.K
 	info := ExecInfo{D: d}
 
-	// Objects the client already holds: no payload bytes for those. Lazily
-	// allocated — lookups on the nil map are fine and most fresh requests
-	// carry neither cached ids nor deferred elements.
-	var noPayload map[rtree.ObjectID]bool
-	markNoPayload := func(id rtree.ObjectID) {
-		if noPayload == nil {
-			noPayload = make(map[rtree.ObjectID]bool, len(req.CachedIDs)+1)
-		}
-		noPayload[id] = true
-	}
+	// Objects the client already holds: no payload bytes for those.
 	for _, id := range req.CachedIDs {
-		markNoPayload(id)
+		st.noPay[id] = true
 	}
 	for _, qe := range req.H {
 		if qe.Deferred && qe.Elem.IsObjectElem() && !qe.Elem.Pair {
-			markNoPayload(qe.Elem.A.Obj)
+			st.noPay[qe.Elem.A.Obj] = true
 		}
 	}
 
 	switch {
 	case len(req.SemWindows) > 0 && req.Q.Kind == query.Range:
 		// Semantic-caching remainder: union of trimmed windows.
-		seen := make(map[rtree.ObjectID]bool)
 		for _, w := range req.SemWindows {
 			q := query.NewRange(w)
-			out := query.Run(q, prov, query.SeedRoot(q, s.rootRefLocked()))
+			st.seed = query.AppendSeedRoot(st.seed[:0], q, s.rootRefLocked())
+			out := st.runner.Run(q, &st.prov, st.seed)
 			info.Engine.Add(out.Stats)
 			for _, r := range out.Results {
-				if !seen[r.Obj] {
-					seen[r.Obj] = true
-					resp.Objects = append(resp.Objects, s.objectRep(r, noPayload))
+				if !st.seen[r.Obj] {
+					st.seen[r.Obj] = true
+					resp.Objects = append(resp.Objects, s.objectRep(r, st.noPay))
 				}
 			}
 		}
 	default:
 		seed := req.H
 		if len(seed) == 0 {
-			seed = query.SeedRoot(req.Q, s.rootRefLocked())
+			st.seed = query.AppendSeedRoot(st.seed[:0], req.Q, s.rootRefLocked())
+			seed = st.seed
 		} else {
-			seed = s.rekey(req.Q, seed)
+			st.seed = appendRekeyed(st.seed[:0], req.Q, seed)
+			seed = st.seed
 		}
-		out := query.Run(req.Q, prov, seed)
+		out := st.runner.Run(req.Q, &st.prov, seed)
 		info.Engine = out.Stats
-		seen := make(map[rtree.ObjectID]bool)
 		for _, r := range out.Results {
-			if !seen[r.Obj] {
-				seen[r.Obj] = true
-				resp.Objects = append(resp.Objects, s.objectRep(r, noPayload))
+			if !st.seen[r.Obj] {
+				st.seen[r.Obj] = true
+				resp.Objects = append(resp.Objects, s.objectRep(r, st.noPay))
 			}
 		}
 		for _, p := range out.Pairs {
 			resp.Pairs = append(resp.Pairs, [2]rtree.ObjectID{p[0].Obj, p[1].Obj})
 			for _, r := range p {
-				if !seen[r.Obj] {
-					seen[r.Obj] = true
-					resp.Objects = append(resp.Objects, s.objectRep(r, noPayload))
+				if !st.seen[r.Obj] {
+					st.seen[r.Obj] = true
+					resp.Objects = append(resp.Objects, s.objectRep(r, st.noPay))
 				}
 			}
 		}
 	}
 
 	if !req.NoIndex {
-		resp.Index = s.buildIndex(prov, d)
+		s.buildIndexInto(resp, st, d)
 	}
 	root := s.rootRefLocked()
 	resp.RootID, resp.RootMBR = root.Node, root.MBR
 	s.attachInvalidations(req, resp)
-	info.VisitedNodes = len(prov.visited)
+	info.VisitedNodes = st.prov.visitedCount
 	return resp, info
 }
 
@@ -323,49 +419,65 @@ func (s *Server) objectRep(r query.Ref, noPayload map[rtree.ObjectID]bool) wire.
 	}
 }
 
-// rekey recomputes priorities of handed-over elements from their MBRs (the
-// client's keys are not trusted) and drops deferred flags into fresh copies.
-func (s *Server) rekey(q query.Query, h []query.QueuedElem) []query.QueuedElem {
-	out := make([]query.QueuedElem, len(h))
-	for i, qe := range h {
+// appendRekeyed recomputes priorities of handed-over elements from their
+// MBRs (the client's keys are not trusted) and copies them, with deferred
+// flags, into the request's seed buffer.
+func appendRekeyed(dst []query.QueuedElem, q query.Query, h []query.QueuedElem) []query.QueuedElem {
+	for _, qe := range h {
 		var key float64
 		if qe.Elem.Pair {
 			key = q.PairKeyFor(qe.Elem.A.MBR, qe.Elem.B.MBR)
 		} else {
 			key = q.KeyFor(qe.Elem.A.MBR)
 		}
-		out[i] = query.QueuedElem{Key: key, Elem: qe.Elem, Deferred: qe.Deferred}
+		dst = append(dst, query.QueuedElem{Key: key, Elem: qe.Elem, Deferred: qe.Deferred})
 	}
-	return out
+	return dst
 }
 
-// buildIndex assembles Ir: one representation per node the remainder query
-// accessed, parents before children, in the configured form.
-func (s *Server) buildIndex(p *provider, d int) []wire.NodeRep {
-	nodes := make([]*rtree.Node, 0, len(p.visited))
+// buildIndexInto assembles Ir directly into resp.Index: one representation
+// per node the remainder query accessed, parents before children, in the
+// configured form. Reps and their element slices reuse the pooled response's
+// capacity.
+func (s *Server) buildIndexInto(resp *wire.Response, st *execState, d int) {
+	p := &st.prov
+	nodes := st.nodesBuf
 	for _, id := range p.visited {
 		if n, ok := s.tree.Node(id); ok {
 			nodes = append(nodes, n)
 		}
 	}
-	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].Level > nodes[j].Level })
+	st.nodesBuf = nodes
+	slices.SortStableFunc(nodes, func(a, b *rtree.Node) int { return cmp.Compare(b.Level, a.Level) })
 
-	reps := make([]wire.NodeRep, 0, len(nodes))
+	reps := resp.Index
 	for _, n := range nodes {
 		if len(n.Entries) == 0 {
 			continue
 		}
 		pt := s.forest.Get(n)
-		var cut bpt.Cut
+		cut := st.cutBuf[:0]
 		switch s.cfg.Form {
 		case FullForm:
-			cut = pt.FullCut()
+			cut = pt.FullCutInto(cut)
 		case CompactForm:
-			cut = pt.Frontier(p.expanded[n.ID])
+			cut = pt.FrontierInto(cut, p.expanded[n.ID])
 		default: // AdaptiveForm
-			cut = pt.ExpandCut(pt.Frontier(p.expanded[n.ID]), d)
+			st.cutBuf2 = pt.FrontierInto(st.cutBuf2[:0], p.expanded[n.ID])
+			cut = pt.ExpandCutInto(cut, st.cutBuf2, d)
 		}
-		rep := wire.NodeRep{ID: n.ID, Level: n.Level}
+		st.cutBuf = cut
+
+		// Extend reps in place so a recycled NodeRep's element array is
+		// reused instead of reallocated.
+		if len(reps) < cap(reps) {
+			reps = reps[:len(reps)+1]
+		} else {
+			reps = append(reps, wire.NodeRep{})
+		}
+		rep := &reps[len(reps)-1]
+		rep.ID, rep.Level = n.ID, n.Level
+		rep.Elems = rep.Elems[:0]
 		for _, code := range cut {
 			pn, ok := pt.Node(code)
 			if !ok {
@@ -380,7 +492,6 @@ func (s *Server) buildIndex(p *provider, d int) []wire.NodeRep {
 			}
 			rep.Elems = append(rep.Elems, elem)
 		}
-		reps = append(reps, rep)
 	}
-	return reps
+	resp.Index = reps
 }

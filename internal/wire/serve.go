@@ -44,6 +44,10 @@ const (
 // ErrServerClosed is returned by NetServer.Serve after Shutdown or Close.
 var ErrServerClosed = errors.New("wire: server closed")
 
+// respBodyPool recycles binary response encode buffers: a frame body is
+// dead as soon as writeFrame copies it into the connection's bufio writer.
+var respBodyPool = sync.Pool{New: func() any { return new([]byte) }}
+
 // ServeConfig parameterizes a NetServer.
 type ServeConfig struct {
 	// MaxConns is the maximum number of concurrently open connections;
@@ -65,6 +69,11 @@ type ServeConfig struct {
 	ReadTimeout time.Duration
 	// Stats receives serving counters; nil allocates a private one.
 	Stats *metrics.ServerStats
+	// Release, when set, is called with each response after its bytes are
+	// on the wire, letting a pooling handler (server.ReleaseResponse)
+	// recycle response memory. The server must not touch a response after
+	// releasing it.
+	Release func(*Response)
 }
 
 // NetServer is a concurrent wire-protocol server. Create one with
@@ -364,7 +373,13 @@ func (s *NetServer) serveBinary(conn net.Conn, cc countingConn, br *bufio.Reader
 				writeResp(frameError, id, []byte(err.Error()))
 				return
 			}
-			writeResp(frameResponse, id, EncodeResponse(nil, resp))
+			body := respBodyPool.Get().(*[]byte)
+			*body = EncodeResponse((*body)[:0], resp)
+			if s.cfg.Release != nil {
+				s.cfg.Release(resp)
+			}
+			writeResp(frameResponse, id, *body)
+			respBodyPool.Put(body)
 		}(id, req)
 	}
 }
@@ -427,7 +442,11 @@ func (s *NetServer) serveGob(conn net.Conn, cc countingConn, br *bufio.Reader) {
 			// or graceful Shutdown degrades to a force close.
 			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		}
-		if err := enc.Encode(out); err != nil {
+		encErr := enc.Encode(out)
+		if resp != nil && s.cfg.Release != nil {
+			s.cfg.Release(resp)
+		}
+		if encErr != nil {
 			return
 		}
 		if s.shuttingDown() {

@@ -237,6 +237,9 @@ func (s *Server) NetServer(opts ServeOptions) *wire.NetServer {
 		MaxPipeline: opts.MaxPipeline,
 		ReadTimeout: opts.ReadTimeout,
 		Stats:       &s.stats,
+		// Responses are recycled once their bytes are on the wire, keeping
+		// the warm serving path allocation-free end to end.
+		Release: s.inner.ReleaseResponse,
 	})
 }
 

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the serving hot-path benchmarks and emit a JSON snapshot.
+#
+# Usage:
+#   scripts/bench.sh                  # print JSON to stdout
+#   scripts/bench.sh BENCH_4.json     # write the snapshot for PR 4
+#   BENCHTIME=3s scripts/bench.sh     # longer runs for quieter numbers
+#
+# The tracked benchmarks are the per-request allocation budget of the warm
+# serving path (docs/PERF.md). Compare a fresh run against the newest
+# checked-in BENCH_*.json before merging a PR that touches the query engine,
+# the R*-tree, or the server: allocs/op is expected to stay at its floor and
+# ns/op should not regress materially.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-}"
+BENCHTIME="${BENCHTIME:-1s}"
+PATTERN='^(BenchmarkServerExecuteParallel|BenchmarkWarmRangeExecute|BenchmarkWarmKNNExecute|BenchmarkWarmJoinExecute|BenchmarkAPROBuild)$'
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" . | tee "$RAW" >&2
+
+JSON="$(awk -v go_version="$(go version | awk '{print $3}')" -v benchtime="$BENCHTIME" '
+BEGIN {
+    printf "{\n  \"go\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": {\n", go_version, benchtime
+    first = 1
+}
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "    \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", name, ns, bytes, allocs
+}
+END { printf "\n  }\n}\n" }
+' "$RAW")"
+
+if [ -n "$OUT" ]; then
+    printf '%s' "$JSON" > "$OUT"
+    echo "wrote $OUT" >&2
+else
+    printf '%s' "$JSON"
+fi
