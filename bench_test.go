@@ -11,6 +11,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/bpt"
 	"repro/internal/core"
@@ -438,6 +439,180 @@ func BenchmarkAPROBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		execAndRelease(srv, reqs[i%len(reqs)])
+	}
+}
+
+// --------------------------------------------------------------------------
+// Mixed read/write path: queries against a snapshot-isolated server while a
+// sustained MoveObject stream publishes new snapshots. These benchmarks own
+// a private tree (the update stream mutates the index, so the shared
+// benchEnvironment must not be used). BenchmarkMixedQueryUnderUpdates is
+// expected to stay within ~20% of BenchmarkMixedQueryBaseline: queries pin
+// snapshots lock-free and never wait for the writer.
+
+// benchMutableServer builds a private server plus a churn flock the update
+// stream moves around, warmed so pools, forest, and writer buffers are hot.
+func benchMutableServer(b *testing.B, churn int) (*server.Server, []geom.Rect, []wire.UpdateOp) {
+	b.Helper()
+	r := rand.New(rand.NewSource(55))
+	n := 20_000
+	if testing.Short() {
+		n = 4_000
+	}
+	items := make([]rtree.Item, n)
+	for i := range items {
+		items[i] = rtree.Item{
+			Obj: rtree.ObjectID(i + 1),
+			MBR: geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.001, 0.001),
+		}
+	}
+	tree := rtree.BulkLoad(rtree.Params{MaxEntries: 64}, items, 0.7)
+	srv := server.New(tree, func(rtree.ObjectID) int { return 1024 }, server.Config{})
+	b.Cleanup(srv.Close)
+
+	rects := make([]geom.Rect, churn)
+	ops := make([]wire.UpdateOp, 0, churn)
+	for i := range rects {
+		rects[i] = geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.001, 0.001)
+		ops = append(ops, wire.UpdateOp{
+			Kind: wire.UpdateInsert, Obj: rtree.ObjectID(1_000_000 + i), To: rects[i], Size: 256,
+		})
+	}
+	srv.ApplyUpdates(ops, nil) // also warms the writer's buffer rotation
+	for i := 0; i < 64; i++ {
+		execAndRelease(srv, &wire.Request{Client: 1, Q: query.NewRange(geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01))})
+	}
+	return srv, rects, ops[:0]
+}
+
+// moveStreamInterval paces the benchmark's update stream at 20 batches of 64
+// moves per second — a sustained 1280 moves/s feed, heavy for the paper's
+// moving-object setting but far from saturating the writer, so the benchmark
+// measures what a realistic stream costs readers rather than how fast one
+// core can checkpoint.
+const moveStreamInterval = 50 * time.Millisecond
+
+// runMoveStream streams batches of 64 moves through ApplyUpdates until stop
+// closes, returning a channel that reports the total applied operations.
+func runMoveStream(srv *server.Server, rects []geom.Rect, ops []wire.UpdateOp, stop <-chan struct{}) <-chan int64 {
+	total := make(chan int64, 1)
+	go func() {
+		r := rand.New(rand.NewSource(56))
+		var applied int64
+		next := 0
+		var res []bool
+		tick := time.NewTicker(moveStreamInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				total <- applied
+				return
+			case <-tick.C:
+			}
+			ops = ops[:0]
+			for k := 0; k < 64; k++ {
+				i := next % len(rects)
+				next++
+				to := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.001, 0.001)
+				ops = append(ops, wire.UpdateOp{
+					Kind: wire.UpdateMove, Obj: rtree.ObjectID(1_000_000 + i), From: rects[i], To: to,
+				})
+				rects[i] = to
+			}
+			res = srv.ApplyUpdates(ops, res)
+			applied += int64(len(res))
+		}
+	}()
+	return total
+}
+
+func benchmarkMixedQueries(b *testing.B, withUpdates bool) {
+	srv, rects, ops := benchMutableServer(b, 4096)
+	r := rand.New(rand.NewSource(57))
+	pool := make([]query.Query, 1024)
+	for i := range pool {
+		p := geom.Pt(r.Float64(), r.Float64())
+		if i%2 == 0 {
+			pool[i] = query.NewRange(geom.RectFromCenter(p, 0.01, 0.01))
+		} else {
+			pool[i] = query.NewKNN(p, 5)
+		}
+	}
+	var stop chan struct{}
+	var total <-chan int64
+	if withUpdates {
+		stop = make(chan struct{})
+		total = runMoveStream(srv, rects, ops, stop)
+	}
+	var nextClient atomic.Uint32
+	var cursor atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := nowSeconds()
+	b.RunParallel(func(pb *testing.PB) {
+		id := wire.ClientID(nextClient.Add(1))
+		req := &wire.Request{Client: id}
+		for pb.Next() {
+			req.Q = pool[cursor.Add(1)%uint64(len(pool))]
+			resp, _ := srv.Execute(req)
+			req.Epoch = resp.Epoch // live clients track the server epoch
+			srv.ReleaseResponse(resp)
+		}
+	})
+	b.StopTimer()
+	if withUpdates {
+		close(stop)
+		applied := <-total
+		if dt := nowSeconds() - start; dt > 0 {
+			b.ReportMetric(float64(applied)/dt, "moves/s")
+		}
+	}
+}
+
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+// BenchmarkMixedQueryBaseline is the control: parallel queries on the
+// private mutable server with no update stream.
+func BenchmarkMixedQueryBaseline(b *testing.B) { benchmarkMixedQueries(b, false) }
+
+// BenchmarkMixedQueryUnderUpdates runs the same query workload while a
+// writer goroutine streams 64-move batches; the gap to the baseline is the
+// total cost updates impose on readers under snapshot isolation.
+func BenchmarkMixedQueryUnderUpdates(b *testing.B) { benchmarkMixedQueries(b, true) }
+
+// BenchmarkUpdateThroughput measures the write path alone: batched moves
+// through the single-writer queue, one published snapshot per batch, ns/op
+// is per move.
+func BenchmarkUpdateThroughput(b *testing.B) {
+	srv, rects, ops := benchMutableServer(b, 4096)
+	r := rand.New(rand.NewSource(58))
+	var res []bool
+	next := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		batch := 64
+		if b.N-done < batch {
+			batch = b.N - done
+		}
+		ops = ops[:0]
+		for k := 0; k < batch; k++ {
+			i := next % len(rects)
+			next++
+			to := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.001, 0.001)
+			ops = append(ops, wire.UpdateOp{
+				Kind: wire.UpdateMove, Obj: rtree.ObjectID(1_000_000 + i), From: rects[i], To: to,
+			})
+			rects[i] = to
+		}
+		res = srv.ApplyUpdates(ops, res)
+		for k, ok := range res {
+			if !ok {
+				b.Fatalf("move %d rejected", done+k)
+			}
+		}
+		done += batch
 	}
 }
 

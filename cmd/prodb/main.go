@@ -16,6 +16,7 @@
 //	prodb -form compact                   # CPRO-style index shipping
 //	prodb -max-conns 8192 -inflight 64    # tune concurrency limits
 //	prodb -pipeline 128                   # deeper per-connection pipelining
+//	prodb -updates=false                  # read-only: reject wire updates
 //	prodb -stats 10s                      # periodic serving stats
 //	prodb -pprof localhost:6060           # expose net/http/pprof for profiling
 //
@@ -49,6 +50,7 @@ func main() {
 		inflight = flag.Int("inflight", 0, "max concurrently executing requests (0 = 4*GOMAXPROCS)")
 		pipeline = flag.Int("pipeline", 0, "max requests in flight per binary connection (0 = default 64)")
 		readTO   = flag.Duration("read-timeout", 0, "idle connection deadline (0 = default 5m)")
+		updates  = flag.Bool("updates", true, "accept batched index updates from wire clients (netclient -updates)")
 		statsEv  = flag.Duration("stats", 0, "print serving stats at this interval (0 = off)")
 		drainTO  = flag.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
@@ -103,9 +105,14 @@ func main() {
 
 	start := time.Now()
 	srv := repro.NewServer(objects, repro.ServerConfig{Form: indexForm})
+	srv.SetRemoteUpdates(*updates)
 	st := srv.IndexStats()
-	fmt.Printf("index: %d nodes, height %d, %.0f%% fill, built in %v\n",
-		st.Nodes, st.Height, st.AvgFill*100, time.Since(start).Round(time.Millisecond))
+	mode := "updates enabled"
+	if !*updates {
+		mode = "read-only"
+	}
+	fmt.Printf("index: %d nodes, height %d, %.0f%% fill, built in %v (%s)\n",
+		st.Nodes, st.Height, st.AvgFill*100, time.Since(start).Round(time.Millisecond), mode)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -162,6 +169,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	srv.Close() // stop the update writer after the serving layer drained
 	fmt.Printf("final %s\n", srv.Stats())
 	os.Exit(exitCode)
 }

@@ -1,0 +1,88 @@
+package bpt
+
+import (
+	"sync/atomic"
+
+	"repro/internal/rtree"
+)
+
+// Lock-free partition-forest cache for the snapshot-isolated server.
+//
+// Forest (bpt.go) guards its map with an RWMutex and relies on explicit
+// Invalidate calls under the index write lock — exactly the coupling the
+// snapshot refactor removes. ForestArena instead keys each cached partition
+// tree by the R-tree page's generation counter (rtree.Node.Gen, bumped on
+// every content change): a lookup is one atomic load plus a generation
+// compare, with no lock, no invalidation traffic, and no coordination with
+// the writer. Readers pinned to different snapshots can share one arena
+// because a (NodeID, Gen) pair names immutable page content.
+
+// genTree is one cached partition tree stamped with the page generation it
+// was built from.
+type genTree struct {
+	gen  uint32
+	tree *Tree
+}
+
+// ForestArena is the writer-owned cache: a dense slot array indexed by
+// NodeID. The writer grows it (EnsureSpan) before publishing a snapshot
+// whose arena issued new ids; readers go through the ForestView captured in
+// their snapshot.
+type ForestArena struct {
+	slots []atomic.Pointer[genTree]
+}
+
+// NewForestArena returns an arena sized for the given id span.
+func NewForestArena(span rtree.NodeID) *ForestArena {
+	return &ForestArena{slots: make([]atomic.Pointer[genTree], span)}
+}
+
+// EnsureSpan grows the slot array to cover ids below span. Only the writer
+// may call it, and only between publishes: views handed to earlier snapshots
+// keep the old array (their trees never contain the new ids), and cached
+// entries are carried over. A CAS racing into the old array during the copy
+// is lost, which costs one rebuild, never correctness.
+func (f *ForestArena) EnsureSpan(span rtree.NodeID) {
+	if int(span) <= len(f.slots) {
+		return
+	}
+	grown := make([]atomic.Pointer[genTree], span)
+	for i := range f.slots {
+		grown[i].Store(f.slots[i].Load())
+	}
+	f.slots = grown
+}
+
+// View captures the current slot array for publication inside a snapshot.
+func (f *ForestArena) View() ForestView { return ForestView{slots: f.slots} }
+
+// ForestView is the read-side handle published with each snapshot.
+type ForestView struct {
+	slots []atomic.Pointer[genTree]
+}
+
+// Get returns the partition tree for page n, building it when the cached one
+// is missing or from a different generation. A build triggered by a current
+// snapshot (the cached generation is older or absent) is published for later
+// readers with a CAS; a build triggered by a reader pinned to a retired
+// snapshot (the cached generation is newer) is used once and dropped, so the
+// cache always converges toward the newest published content. The warm path
+// — page unchanged since last queried — is one atomic load.
+func (v ForestView) Get(n *rtree.Node) *Tree {
+	if int(n.ID) >= len(v.slots) {
+		return Build(n.ID, n.Entries)
+	}
+	slot := &v.slots[n.ID]
+	p := slot.Load()
+	if p != nil && p.gen == n.Gen {
+		return p.tree
+	}
+	t := Build(n.ID, n.Entries)
+	if p == nil || genBefore(p.gen, n.Gen) {
+		slot.CompareAndSwap(p, &genTree{gen: n.Gen, tree: t})
+	}
+	return t
+}
+
+// genBefore reports whether a precedes b in wraparound-safe generation order.
+func genBefore(a, b uint32) bool { return int32(b-a) > 0 }

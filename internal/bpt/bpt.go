@@ -71,16 +71,22 @@ type Tree struct {
 // Build constructs the partition tree over the given entries (the entry list
 // of R-tree node nodeID). It panics on an empty entry list: partition trees
 // exist only for non-empty nodes.
+//
+// Construction is the hot cost of index updates (every touched page's tree
+// is rebuilt), so the recursive splitting runs in place over one private
+// copy of the entries with shared split scratch, instead of copying the two
+// halves at every level.
 func Build(nodeID rtree.NodeID, entries []rtree.Entry) *Tree {
 	if len(entries) == 0 {
 		panic("bpt: cannot build partition tree over zero entries")
 	}
 	t := &Tree{NodeID: nodeID, byCode: make(map[Code]*PNode, 2*len(entries))}
-	t.Root = t.build("", entries)
+	work := append(make([]rtree.Entry, 0, len(entries)), entries...)
+	t.Root = t.build("", work, rtree.NewSplitScratch(len(entries)))
 	return t
 }
 
-func (t *Tree) build(code Code, entries []rtree.Entry) *PNode {
+func (t *Tree) build(code Code, entries []rtree.Entry, scratch *rtree.SplitScratch) *PNode {
 	p := &PNode{Code: code, Count: len(entries)}
 	t.byCode[code] = p
 	if len(t.byCode) > 0 && len(code) > t.Height {
@@ -91,9 +97,9 @@ func (t *Tree) build(code Code, entries []rtree.Entry) *PNode {
 		p.MBR = entries[0].MBR
 		return p
 	}
-	left, right := rtree.SplitEntries(entries, 1)
-	p.Left = t.build(code.Child(false), left)
-	p.Right = t.build(code.Child(true), right)
+	k := scratch.Split(entries, 1)
+	p.Left = t.build(code.Child(false), entries[:k], scratch)
+	p.Right = t.build(code.Child(true), entries[k:], scratch)
 	p.MBR = p.Left.MBR.Union(p.Right.MBR)
 	return p
 }

@@ -51,9 +51,15 @@ func (e Entry) IsLeafEntry() bool { return e.Child == InvalidNode }
 // objects; higher levels reference child nodes. The node's own MBR is not
 // stored but derived from its entries (see Node.MBR).
 type Node struct {
-	ID      NodeID
-	Level   int
-	Parent  NodeID // InvalidNode for the root
+	ID     NodeID
+	Level  int
+	Parent NodeID // InvalidNode for the root
+	// Gen counts content changes of this page: it is bumped on every touch
+	// (entry list or entry-MBR mutation). Two snapshots of the same tree hold
+	// the same (ID, Gen) pair exactly when the page content is identical, so
+	// per-node derived structures (partition trees) can be cached keyed by
+	// generation and shared across snapshots without invalidation traffic.
+	Gen     uint32
 	Entries []Entry
 }
 
@@ -137,6 +143,7 @@ type Tree struct {
 func (t *Tree) SetTouchHook(fn func(NodeID)) { t.onTouch = fn }
 
 func (t *Tree) touch(id NodeID) {
+	t.nodes[id].Gen++
 	if t.onTouch != nil {
 		t.onTouch(id)
 	}

@@ -1,0 +1,207 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// treeFingerprint captures everything CatchUp promises to reproduce: per-page
+// identity, level, parentage, generation, and entry lists, plus the tree
+// metadata.
+type nodeFP struct {
+	level, parent int
+	gen           uint32
+	entries       []Entry
+}
+
+func fingerprint(t *Tree) (map[NodeID]nodeFP, [4]int) {
+	m := make(map[NodeID]nodeFP)
+	t.Nodes(func(n *Node) bool {
+		m[n.ID] = nodeFP{
+			level:   n.Level,
+			parent:  int(n.Parent),
+			gen:     n.Gen,
+			entries: append([]Entry(nil), n.Entries...),
+		}
+		return true
+	})
+	return m, [4]int{int(t.Root()), t.Height(), t.Len(), t.NodeCount()}
+}
+
+func assertTreesEqual(t *testing.T, want, got *Tree) {
+	t.Helper()
+	wm, wmeta := fingerprint(want)
+	gm, gmeta := fingerprint(got)
+	if wmeta != gmeta {
+		t.Fatalf("metadata differs: want %v, got %v", wmeta, gmeta)
+	}
+	if len(wm) != len(gm) {
+		t.Fatalf("live node count differs: want %d, got %d", len(wm), len(gm))
+	}
+	for id, wn := range wm {
+		gn, ok := gm[id]
+		if !ok {
+			t.Fatalf("node %d missing from caught-up tree", id)
+		}
+		if wn.level != gn.level || wn.parent != gn.parent || wn.gen != gn.gen {
+			t.Fatalf("node %d header differs: want %+v, got %+v", id, wn, gn)
+		}
+		if len(wn.entries) != len(gn.entries) {
+			t.Fatalf("node %d entry count differs: want %d, got %d", id, len(wn.entries), len(gn.entries))
+		}
+		for i := range wn.entries {
+			if wn.entries[i] != gn.entries[i] {
+				t.Fatalf("node %d entry %d differs: want %+v, got %+v", id, i, wn.entries[i], gn.entries[i])
+			}
+		}
+	}
+	if err := got.Validate(false); err != nil {
+		t.Fatalf("caught-up tree invalid: %v", err)
+	}
+}
+
+func randomItems(r *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Obj: ObjectID(i + 1),
+			MBR: geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01),
+		}
+	}
+	return items
+}
+
+func TestCloneDeepCopies(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	src := BulkLoad(Params{MaxEntries: 8}, randomItems(r, 500), 0.7)
+	c := src.Clone()
+	assertTreesEqual(t, src, c)
+
+	// Mutating the clone must not leak into the source.
+	before, beforeMeta := fingerprint(src)
+	for i := 0; i < 50; i++ {
+		c.Insert(ObjectID(10_000+i), geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01))
+	}
+	after, afterMeta := fingerprint(src)
+	if beforeMeta != afterMeta || len(before) != len(after) {
+		t.Fatal("mutating the clone changed the source tree")
+	}
+	for id, b := range before {
+		a := after[id]
+		if a.gen != b.gen || len(a.entries) != len(b.entries) {
+			t.Fatalf("node %d of the source changed under clone mutation", id)
+		}
+		for i := range b.entries {
+			if a.entries[i] != b.entries[i] {
+				t.Fatalf("node %d entry %d of the source changed under clone mutation", id, i)
+			}
+		}
+	}
+}
+
+// TestCatchUpReplaysMutations is the buffer-rotation contract: a lagging
+// clone, given only the first-touch page sets of the operations it missed,
+// becomes identical to the mutated source — including parent pointers of
+// re-homed children (splits, condenses, root changes), tombstones, and the
+// free list.
+func TestCatchUpReplaysMutations(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	src := BulkLoad(Params{MaxEntries: 8}, randomItems(r, 800), 0.7)
+	live := make(map[ObjectID]geom.Rect)
+	src.Nodes(func(n *Node) bool {
+		if n.Leaf() {
+			for _, e := range n.Entries {
+				live[e.Obj] = e.MBR
+			}
+		}
+		return true
+	})
+
+	lag := src.Clone()
+	next := ObjectID(100_000)
+
+	seen := make(map[NodeID]bool)
+	var dirty []NodeID
+	src.SetTouchHook(func(id NodeID) {
+		if !seen[id] {
+			seen[id] = true
+			dirty = append(dirty, id)
+		}
+	})
+	defer src.SetTouchHook(nil)
+
+	for round := 0; round < 30; round++ {
+		// A burst of mutations between catch-ups, heavy enough to force
+		// splits, condenses, and root growth/shrink.
+		for op := 0; op < 40; op++ {
+			switch r.Intn(3) {
+			case 0:
+				mbr := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01)
+				src.Insert(next, mbr)
+				live[next] = mbr
+				next++
+			case 1:
+				for id, mbr := range live {
+					if !src.Delete(id, mbr) {
+						t.Fatalf("delete of live object %d failed", id)
+					}
+					delete(live, id)
+					break
+				}
+			default:
+				for id, mbr := range live {
+					if !src.Delete(id, mbr) {
+						t.Fatalf("move-delete of live object %d failed", id)
+					}
+					to := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.01, 0.01)
+					src.Insert(id, to)
+					live[id] = to
+					break
+				}
+			}
+		}
+		lag.CatchUp(src, dirty)
+		dirty = dirty[:0]
+		clear(seen)
+		assertTreesEqual(t, src, lag)
+	}
+}
+
+// TestCatchUpAlternating rotates two buffers like the writer does: each
+// buffer misses every other burst and catches up on the union of the touch
+// sets it missed.
+func TestCatchUpAlternating(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	a := BulkLoad(Params{MaxEntries: 8}, randomItems(r, 400), 0.7)
+	b := a.Clone()
+	trees := [2]*Tree{a, b}
+	pending := [2][]NodeID{}
+
+	next := ObjectID(200_000)
+	for round := 0; round < 20; round++ {
+		wi := round % 2
+		write, read := trees[wi], trees[1-wi]
+
+		// Catch the write buffer up on everything it missed.
+		write.CatchUp(read, pending[wi])
+		pending[wi] = pending[wi][:0]
+		assertTreesEqual(t, read, write)
+
+		seen := make(map[NodeID]bool)
+		var burst []NodeID
+		write.SetTouchHook(func(id NodeID) {
+			if !seen[id] {
+				seen[id] = true
+				burst = append(burst, id)
+			}
+		})
+		for op := 0; op < 25; op++ {
+			write.Insert(next, geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.005, 0.005))
+			next++
+		}
+		write.SetTouchHook(nil)
+		pending[1-wi] = append(pending[1-wi], burst...)
+	}
+}

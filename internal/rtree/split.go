@@ -1,8 +1,9 @@
 package rtree
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/geom"
 )
@@ -16,6 +17,41 @@ import (
 // binary partition trees of Section 4.2 ("the partitioning uses the R-tree
 // node splitting algorithm to assure minimal overlap"), where minFill is 1.
 func SplitEntries(entries []Entry, minFill int) (left, right []Entry) {
+	sorted := append([]Entry(nil), entries...)
+	k := NewSplitScratch(len(entries)).Split(sorted, minFill)
+	// Fresh arrays for both halves: callers treat the groups as independent
+	// entry storage for two nodes.
+	left = sorted[:k:k]
+	right = append([]Entry(nil), sorted[k:]...)
+	return left, right
+}
+
+// SplitScratch holds the reusable buffers of the R*-tree split computation,
+// letting a caller that splits many entry lists in a row (partition-tree
+// construction, which recursively splits down to single entries) run the
+// whole recursion with two rectangle buffers and one backup list instead of
+// five fresh allocations per split.
+type SplitScratch struct {
+	prefix []geom.Rect
+	suffix []geom.Rect
+	orig   []Entry
+}
+
+// NewSplitScratch returns scratch sized for splitting up to n entries.
+func NewSplitScratch(n int) *SplitScratch {
+	return &SplitScratch{
+		prefix: make([]geom.Rect, n),
+		suffix: make([]geom.Rect, n),
+		orig:   make([]Entry, n),
+	}
+}
+
+// Split reorders entries in place so that entries[:k] and entries[k:] are
+// the two groups the R*-tree split algorithm chooses, and returns k. The
+// result is exactly SplitEntries' grouping: each axis evaluation stably
+// sorts the ORIGINAL entry order (restored from the scratch backup), so tie
+// handling matches the copying implementation bit for bit.
+func (s *SplitScratch) Split(entries []Entry, minFill int) int {
 	n := len(entries)
 	if n < 2 {
 		panic("rtree: SplitEntries needs at least two entries")
@@ -26,29 +62,34 @@ func SplitEntries(entries []Entry, minFill int) (left, right []Entry) {
 	if minFill > n/2 {
 		minFill = n / 2
 	}
+	if len(s.orig) < n {
+		*s = *NewSplitScratch(n)
+	}
+	prefix, suffix := s.prefix[:n], s.suffix[:n]
+	copy(s.orig, entries)
 
-	sorted := make([]Entry, n)
-
-	// chooseAxis evaluates one axis: entries sorted by (min, max) along the
-	// axis, margin summed over all legal distributions. Returns the margin
-	// sum and leaves `sorted` holding the axis ordering.
+	// evalAxis evaluates one axis: entries sorted by (min, max) along the
+	// axis, margin summed over all legal distributions. It leaves entries in
+	// the axis ordering and prefix/suffix holding its running MBRs.
 	evalAxis := func(byX bool) float64 {
-		copy(sorted, entries)
-		sort.SliceStable(sorted, func(i, j int) bool {
-			a, b := sorted[i].MBR, sorted[j].MBR
-			if byX {
-				if a.MinX != b.MinX {
-					return a.MinX < b.MinX
+		copy(entries, s.orig[:n])
+		if byX {
+			slices.SortStableFunc(entries, func(a, b Entry) int {
+				if c := cmp.Compare(a.MBR.MinX, b.MBR.MinX); c != 0 {
+					return c
 				}
-				return a.MaxX < b.MaxX
-			}
-			if a.MinY != b.MinY {
-				return a.MinY < b.MinY
-			}
-			return a.MaxY < b.MaxY
-		})
+				return cmp.Compare(a.MBR.MaxX, b.MBR.MaxX)
+			})
+		} else {
+			slices.SortStableFunc(entries, func(a, b Entry) int {
+				if c := cmp.Compare(a.MBR.MinY, b.MBR.MinY); c != 0 {
+					return c
+				}
+				return cmp.Compare(a.MBR.MaxY, b.MBR.MaxY)
+			})
+		}
+		runningMBRsInto(prefix, suffix, entries)
 		var marginSum float64
-		prefix, suffix := runningMBRs(sorted)
 		for k := minFill; k <= n-minFill; k++ {
 			marginSum += prefix[k-1].Margin() + suffix[k].Margin()
 		}
@@ -62,7 +103,6 @@ func SplitEntries(entries []Entry, minFill int) (left, right []Entry) {
 	}
 
 	// Choose the split index on the winning axis ordering.
-	prefix, suffix := runningMBRs(sorted)
 	bestK := minFill
 	bestOverlap := math.Inf(1)
 	bestArea := math.Inf(1)
@@ -74,18 +114,13 @@ func SplitEntries(entries []Entry, minFill int) (left, right []Entry) {
 			bestK, bestOverlap, bestArea = k, overlap, area
 		}
 	}
-
-	left = append([]Entry(nil), sorted[:bestK]...)
-	right = append([]Entry(nil), sorted[bestK:]...)
-	return left, right
+	return bestK
 }
 
-// runningMBRs returns prefix[i] = MBR of entries[0..i] and
+// runningMBRsInto fills prefix[i] = MBR of entries[0..i] and
 // suffix[i] = MBR of entries[i..n-1].
-func runningMBRs(entries []Entry) (prefix, suffix []geom.Rect) {
+func runningMBRsInto(prefix, suffix []geom.Rect, entries []Entry) {
 	n := len(entries)
-	prefix = make([]geom.Rect, n)
-	suffix = make([]geom.Rect, n)
 	prefix[0] = entries[0].MBR
 	for i := 1; i < n; i++ {
 		prefix[i] = prefix[i-1].Union(entries[i].MBR)
@@ -94,5 +129,4 @@ func runningMBRs(entries []Entry) (prefix, suffix []geom.Rect) {
 	for i := n - 2; i >= 0; i-- {
 		suffix[i] = suffix[i+1].Union(entries[i].MBR)
 	}
-	return prefix, suffix
 }

@@ -20,7 +20,8 @@ import (
 // inside the server's pooled execState and is never shared between
 // concurrent requests.
 type provider struct {
-	s           *Server
+	tree        *rtree.Tree
+	forest      bpt.ForestView
 	partitioned bool
 
 	visitedCount int            // traversal counter behind ExecInfo.VisitedNodes
@@ -33,13 +34,15 @@ type provider struct {
 	scratch []query.Ref // Expand result buffer; valid until the next Expand
 }
 
-// reset prepares the provider for one request. The caller must hold the
-// server's read lock: the bitset is sized to the tree's current NodeSpan.
-func (p *provider) reset(s *Server, partitioned bool) {
-	p.s = s
+// reset binds the provider to a pinned snapshot for one request. The bitset
+// is sized to the snapshot arena's NodeSpan; the caller must keep the
+// snapshot pinned for the provider's whole lifetime.
+func (p *provider) reset(v *snapshot, partitioned bool) {
+	p.tree = v.tree
+	p.forest = v.forest
 	p.partitioned = partitioned
 
-	words := (int(s.tree.NodeSpan()) + 63) / 64
+	words := (int(v.tree.NodeSpan()) + 63) / 64
 	if cap(p.visitedBits) < words {
 		p.visitedBits = make([]uint64, words)
 	} else {
@@ -114,7 +117,7 @@ func (p *provider) markExpanded(id rtree.NodeID, code bpt.Code) {
 func (p *provider) Expand(ref query.Ref) ([]query.Ref, bool) {
 	switch ref.Kind {
 	case query.RefNode:
-		n, ok := p.s.tree.Node(ref.Node)
+		n, ok := p.tree.Node(ref.Node)
 		if !ok {
 			return nil, true
 		}
@@ -129,18 +132,18 @@ func (p *provider) Expand(ref query.Ref) ([]query.Ref, bool) {
 			}
 			return p.scratch, true
 		}
-		pt := p.s.forest.Get(n)
+		pt := p.forest.Get(n)
 		p.markExpanded(n.ID, pt.Root.Code)
 		p.scratch = appendPNodeChildren(p.scratch[:0], n.ID, pt.Root)
 		return p.scratch, true
 
 	case query.RefSuper:
-		n, ok := p.s.tree.Node(ref.Node)
+		n, ok := p.tree.Node(ref.Node)
 		if !ok {
 			return nil, true
 		}
 		p.visit(n.ID)
-		pt := p.s.forest.Get(n)
+		pt := p.forest.Get(n)
 		pn, ok := pt.Node(ref.Code)
 		if !ok || pn.Leaf() {
 			return nil, true

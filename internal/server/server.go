@@ -9,6 +9,7 @@ import (
 	"cmp"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bpt"
 	"repro/internal/geom"
@@ -44,6 +45,16 @@ type Config struct {
 	// UpdateLogLimit bounds the invalidation log; clients whose epoch falls
 	// off the horizon are told to flush. Default 4096 update records.
 	UpdateLogLimit int
+	// MaxSnapshots caps the tree buffers in the writer's rotation (the
+	// published snapshot plus spares being caught up or drained). More
+	// buffers let the writer keep publishing while slow readers pin old
+	// snapshots, at the cost of one index copy each. Default 3, minimum 2.
+	MaxSnapshots int
+	// UpdateQueueLen is the capacity of the writer's batch queue. Default 256.
+	UpdateQueueLen int
+	// UpdateBatchOps caps how many queued operations the writer coalesces
+	// into one published snapshot. Default 512.
+	UpdateBatchOps int
 }
 
 func (c Config) normalized() Config {
@@ -64,6 +75,18 @@ func (c Config) normalized() Config {
 	}
 	if c.UpdateLogLimit <= 0 {
 		c.UpdateLogLimit = 4096
+	}
+	if c.MaxSnapshots <= 0 {
+		c.MaxSnapshots = 3
+	}
+	if c.MaxSnapshots < 2 {
+		c.MaxSnapshots = 2
+	}
+	if c.UpdateQueueLen <= 0 {
+		c.UpdateQueueLen = 256
+	}
+	if c.UpdateBatchOps <= 0 {
+		c.UpdateBatchOps = 512
 	}
 	return c
 }
@@ -93,21 +116,29 @@ type clientShard struct {
 // Server owns the R*-tree, the binary partition forest, and per-client
 // adaptive state.
 //
-// A Server is safe for concurrent use. Execute (and the read-only accessors)
-// may be called from any number of goroutines; the index mutators
-// (InsertObject, DeleteObject, MoveObject) take a write lock and exclude
-// queries for their duration. Per-client adaptive state lives in a sharded
-// map so feedback from distinct clients never serializes on one lock.
+// A Server is safe for concurrent use, and queries never lock the index:
+// Execute pins the currently published snapshot (an atomic load plus a
+// reader count, see snapshot.go) and runs entirely against that immutable
+// version, while all mutation — InsertObject, DeleteObject, MoveObject,
+// ApplyUpdates — flows through a single writer goroutine that batches
+// operations and publishes a fresh snapshot per batch. Mutators block until
+// their batch is published (read-your-writes) but never stall queries.
+// Per-client adaptive state lives in a sharded map so feedback from distinct
+// clients never serializes on one lock.
 type Server struct {
-	// mu guards the tree, the forest's underlying nodes, the update log,
-	// and extraSizes. Query execution holds the read side; index mutation
-	// holds the write side.
-	mu     sync.RWMutex
-	tree   *rtree.Tree
-	forest *bpt.Forest
-	sizes  ObjectSizer
+	// cur is the published snapshot queries pin. Only the writer stores it.
+	cur    atomic.Pointer[snapshot]
+	forest *bpt.ForestArena
 	cfg    Config
 	shards [clientShardCount]clientShard
+
+	// baseSizes reports build-time object sizes; objects inserted after the
+	// build overlay it through extraSizes (lock-free reads, writer stores).
+	// hasExtras gates the overlay lookup so the common no-insert deployment
+	// never pays the sync.Map key boxing on the hot path.
+	baseSizes  ObjectSizer
+	extraSizes sync.Map // rtree.ObjectID -> int
+	hasExtras  atomic.Bool
 
 	// execPool recycles per-request execution state (provider, engine
 	// runner, scratch sets); respPool recycles responses returned to the
@@ -116,11 +147,11 @@ type Server struct {
 	execPool sync.Pool
 	respPool sync.Pool
 
-	// Update/invalidation state (see update.go), guarded by mu.
-	epoch      uint64
-	logFloor   uint64
-	updates    []updateRecord
-	extraSizes map[rtree.ObjectID]int // sizes of objects inserted post-build
+	// Writer lifecycle (see snapshot.go): started lazily on first update,
+	// stopped by Close.
+	wmu    sync.Mutex
+	wr     *writer
+	closed bool
 }
 
 // clientState is the adaptive refinement state of one client, guarded by its
@@ -131,41 +162,50 @@ type clientState struct {
 	hasLast bool
 }
 
-// New constructs a server over an existing index.
+// New constructs a server over an existing index. Ownership of the tree
+// transfers to the server: once the first update is applied, the tree
+// becomes one buffer of the writer's snapshot rotation and is mutated by the
+// writer goroutine (use View for safe access to the live index).
 func New(tree *rtree.Tree, sizes ObjectSizer, cfg Config) *Server {
 	s := &Server{
-		tree:       tree,
-		forest:     bpt.NewForest(),
-		cfg:        cfg.normalized(),
-		extraSizes: make(map[rtree.ObjectID]int),
+		forest: bpt.NewForestArena(tree.NodeSpan()),
+		cfg:    cfg.normalized(),
 	}
 	for i := range s.shards {
 		s.shards[i].m = make(map[wire.ClientID]*clientState)
 	}
-	s.sizes = func(id rtree.ObjectID) int {
-		if sz, ok := s.extraSizes[id]; ok {
-			return sz
-		}
-		return sizes(id)
-	}
+	s.baseSizes = sizes
+	s.cur.Store(newSnapshot(tree, s.forest.View(), 0, 0, nil))
 	return s
 }
 
-// Tree exposes the underlying index. Callers must treat it as read-only and
-// must not hold the result across calls to the index mutators.
-func (s *Server) Tree() *rtree.Tree { return s.tree }
+// sizeOf reports an object's payload size, preferring the post-build overlay.
+func (s *Server) sizeOf(id rtree.ObjectID) int {
+	if s.hasExtras.Load() {
+		if sz, ok := s.extraSizes.Load(id); ok {
+			return sz.(int)
+		}
+	}
+	return s.baseSizes(id)
+}
+
+// Tree exposes the currently published index version. Callers must treat it
+// as read-only and must not hold the result across index mutations: once the
+// snapshot it belongs to is retired and drained, the writer reuses the
+// buffer. Prefer View for anything that overlaps updates.
+func (s *Server) Tree() *rtree.Tree { return s.cur.Load().tree }
 
 // RootRef returns the reference query processing starts from; clients use it
 // as their catalog entry for the index root.
 func (s *Server) RootRef() query.Ref {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.rootRefLocked()
+	v := s.pinSnapshot()
+	defer v.unpin()
+	return rootRef(v)
 }
 
-// rootRefLocked is RootRef for callers already holding mu.
-func (s *Server) rootRefLocked() query.Ref {
-	return query.FromEntry(s.tree.RootEntry())
+// rootRef builds the root reference of a pinned snapshot.
+func rootRef(v *snapshot) query.Ref {
+	return query.FromEntry(v.tree.RootEntry())
 }
 
 // shard returns the lock domain owning a client's state.
@@ -239,6 +279,8 @@ type execState struct {
 	runner   query.Runner
 	seen     map[rtree.ObjectID]bool // result dedup
 	noPay    map[rtree.ObjectID]bool // objects whose payload the client holds
+	seenN    map[rtree.NodeID]bool   // invalidation-report node dedup
+	seenO    map[rtree.ObjectID]bool // invalidation-report object dedup
 	seed     []query.QueuedElem      // rekeyed / root-seeded queue
 	nodesBuf []*rtree.Node           // buildIndex ordering scratch
 	cutBuf   bpt.Cut                 // frontier scratch
@@ -250,28 +292,34 @@ type execState struct {
 // in the pool forever.
 const scratchMapLimit = 4096
 
-func resetScratchMap(m map[rtree.ObjectID]bool) map[rtree.ObjectID]bool {
+func resetScratchMap[K comparable](m map[K]bool) map[K]bool {
 	if m == nil || len(m) > scratchMapLimit {
-		return make(map[rtree.ObjectID]bool)
+		return make(map[K]bool)
 	}
 	clear(m)
 	return m
 }
 
-// getExec borrows a request state from the pool. The caller must hold the
-// server's read lock (provider reset sizes the visited bitset to the tree).
-func (s *Server) getExec(partitioned bool) *execState {
+// getExec borrows a request state from the pool, bound to the pinned
+// snapshot v. forQuery resets the provider and query scratch (the visited
+// bitset is sized to v's arena span); catalog and update requests skip that
+// and only use the invalidation scratch.
+func (s *Server) getExec(v *snapshot, partitioned, forQuery bool) *execState {
 	st, _ := s.execPool.Get().(*execState)
 	if st == nil {
 		st = &execState{}
 	}
-	st.prov.reset(s, partitioned)
-	st.seen = resetScratchMap(st.seen)
-	st.noPay = resetScratchMap(st.noPay)
-	st.seed = st.seed[:0]
-	st.nodesBuf = st.nodesBuf[:0]
-	st.cutBuf = st.cutBuf[:0]
-	st.cutBuf2 = st.cutBuf2[:0]
+	if forQuery {
+		st.prov.reset(v, partitioned)
+		st.seen = resetScratchMap(st.seen)
+		st.noPay = resetScratchMap(st.noPay)
+		st.seed = st.seed[:0]
+		st.nodesBuf = st.nodesBuf[:0]
+		st.cutBuf = st.cutBuf[:0]
+		st.cutBuf2 = st.cutBuf2[:0]
+	}
+	st.seenN = resetScratchMap(st.seenN)
+	st.seenO = resetScratchMap(st.seenO)
 	return st
 }
 
@@ -314,33 +362,38 @@ func (s *Server) ReleaseResponse(resp *wire.Response) {
 	resp.RootMBR = geom.Rect{}
 	resp.Epoch = 0
 	resp.FlushAll = false
-	resp.InvalidNodes = nil // invalidation reports are per-request slices
-	resp.InvalidObjs = nil
+	resp.InvalidNodes = resp.InvalidNodes[:0] // capacity survives for the next report
+	resp.InvalidObjs = resp.InvalidObjs[:0]
+	resp.UpdateResults = resp.UpdateResults[:0]
 	s.respPool.Put(resp)
 }
 
 // Execute processes one request and builds the response. It is safe to call
-// from many goroutines at once: requests share the index read lock, so
-// queries never block each other — only index mutations exclude them.
+// from many goroutines at once and takes no lock on the index: it pins the
+// currently published snapshot (an atomic load plus a reader count) and runs
+// entirely against that immutable version, so neither other queries nor a
+// sustained update stream can stall it.
 //
 // The returned response may be recycled via ReleaseResponse once the caller
 // is done with it; see there for the ownership contract.
 func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
 	d := s.feedbackAndD(req)
 
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	v := s.pinSnapshot()
+	defer v.unpin()
 
 	if req.Catalog {
-		root := s.rootRefLocked()
+		st := s.getExec(v, false, false)
+		defer s.putExec(st)
+		root := rootRef(v)
 		resp := s.acquireResponse()
 		resp.RootID, resp.RootMBR = root.Node, root.MBR
-		s.attachInvalidations(req, resp)
+		attachInvalidations(v, st, req, resp)
 		return resp, ExecInfo{D: d}
 	}
 
 	partitioned := s.cfg.Form != FullForm && !req.NoIndex
-	st := s.getExec(partitioned)
+	st := s.getExec(v, partitioned, true)
 	defer s.putExec(st)
 
 	resp := s.acquireResponse()
@@ -362,7 +415,7 @@ func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
 		// Semantic-caching remainder: union of trimmed windows.
 		for _, w := range req.SemWindows {
 			q := query.NewRange(w)
-			st.seed = query.AppendSeedRoot(st.seed[:0], q, s.rootRefLocked())
+			st.seed = query.AppendSeedRoot(st.seed[:0], q, rootRef(v))
 			out := st.runner.Run(q, &st.prov, st.seed)
 			info.Engine.Add(out.Stats)
 			for _, r := range out.Results {
@@ -375,7 +428,7 @@ func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
 	default:
 		seed := req.H
 		if len(seed) == 0 {
-			st.seed = query.AppendSeedRoot(st.seed[:0], req.Q, s.rootRefLocked())
+			st.seed = query.AppendSeedRoot(st.seed[:0], req.Q, rootRef(v))
 			seed = st.seed
 		} else {
 			st.seed = appendRekeyed(st.seed[:0], req.Q, seed)
@@ -401,11 +454,11 @@ func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
 	}
 
 	if !req.NoIndex {
-		s.buildIndexInto(resp, st, d)
+		buildIndexInto(v, resp, st, s.cfg.Form, d)
 	}
-	root := s.rootRefLocked()
+	root := rootRef(v)
 	resp.RootID, resp.RootMBR = root.Node, root.MBR
-	s.attachInvalidations(req, resp)
+	attachInvalidations(v, st, req, resp)
 	info.VisitedNodes = st.prov.visitedCount
 	return resp, info
 }
@@ -414,7 +467,7 @@ func (s *Server) objectRep(r query.Ref, noPayload map[rtree.ObjectID]bool) wire.
 	return wire.ObjectRep{
 		ID:      r.Obj,
 		MBR:     r.MBR,
-		Size:    s.sizes(r.Obj),
+		Size:    s.sizeOf(r.Obj),
 		Payload: !noPayload[r.Obj],
 	}
 }
@@ -437,13 +490,13 @@ func appendRekeyed(dst []query.QueuedElem, q query.Query, h []query.QueuedElem) 
 
 // buildIndexInto assembles Ir directly into resp.Index: one representation
 // per node the remainder query accessed, parents before children, in the
-// configured form. Reps and their element slices reuse the pooled response's
-// capacity.
-func (s *Server) buildIndexInto(resp *wire.Response, st *execState, d int) {
+// configured form, all against the pinned snapshot. Reps and their element
+// slices reuse the pooled response's capacity.
+func buildIndexInto(v *snapshot, resp *wire.Response, st *execState, form IndexForm, d int) {
 	p := &st.prov
 	nodes := st.nodesBuf
 	for _, id := range p.visited {
-		if n, ok := s.tree.Node(id); ok {
+		if n, ok := v.tree.Node(id); ok {
 			nodes = append(nodes, n)
 		}
 	}
@@ -455,9 +508,9 @@ func (s *Server) buildIndexInto(resp *wire.Response, st *execState, d int) {
 		if len(n.Entries) == 0 {
 			continue
 		}
-		pt := s.forest.Get(n)
+		pt := v.forest.Get(n)
 		cut := st.cutBuf[:0]
-		switch s.cfg.Form {
+		switch form {
 		case FullForm:
 			cut = pt.FullCutInto(cut)
 		case CompactForm:

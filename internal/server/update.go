@@ -1,6 +1,8 @@
 package server
 
 import (
+	"sort"
+
 	"repro/internal/geom"
 	"repro/internal/rtree"
 	"repro/internal/wire"
@@ -13,6 +15,11 @@ import (
 // epoch to requests, and responses piggyback the ids invalidated since then
 // (a pull-based invalidation report in the spirit of Xu et al.'s IR
 // schemes, adapted to the unicast setting).
+//
+// All mutation flows through the single-writer queue in snapshot.go: the
+// compatibility mutators below enqueue one operation and block until its
+// snapshot is published, so their callers observe their own writes exactly
+// as under the old write lock — without ever stalling in-flight queries.
 
 // updateRecord is one epoch's worth of invalidations.
 type updateRecord struct {
@@ -21,136 +28,118 @@ type updateRecord struct {
 	objs  []rtree.ObjectID
 }
 
-// InsertObject adds an object to the index, assigns it the next epoch, and
-// logs every index node the insertion touched. Like all index mutators it
-// takes the server's write lock, excluding in-flight queries.
+// InsertObject adds an object to the index and blocks until the snapshot
+// containing it is published; its epoch logs every index node the insertion
+// touched. Queries running concurrently keep their pinned snapshots and are
+// never stalled.
 func (s *Server) InsertObject(id rtree.ObjectID, mbr geom.Rect, size int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	touched := s.capture(func() {
-		s.tree.Insert(id, mbr)
-	})
-	s.extraSizes[id] = size
-	s.logUpdate(touched, nil)
+	s.applyOne(wire.UpdateOp{Kind: wire.UpdateInsert, Obj: id, To: mbr, Size: size})
 }
 
 // DeleteObject removes an object. It reports whether the object existed.
 func (s *Server) DeleteObject(id rtree.ObjectID, mbr geom.Rect) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var ok bool
-	touched := s.capture(func() {
-		ok = s.tree.Delete(id, mbr)
-	})
-	if !ok {
-		return false
-	}
-	s.logUpdate(touched, []rtree.ObjectID{id})
-	return true
+	return s.applyOne(wire.UpdateOp{Kind: wire.UpdateDelete, Obj: id, From: mbr})
 }
 
 // MoveObject relocates an object (delete + insert under one epoch), the
 // moving-objects workload of the update experiments.
 func (s *Server) MoveObject(id rtree.ObjectID, from, to geom.Rect) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var ok bool
-	touched := s.capture(func() {
-		if ok = s.tree.Delete(id, from); ok {
-			s.tree.Insert(id, to)
-		}
-	})
-	if !ok {
-		return false
-	}
-	s.logUpdate(touched, []rtree.ObjectID{id})
-	return true
+	return s.applyOne(wire.UpdateOp{Kind: wire.UpdateMove, Obj: id, From: from, To: to})
 }
 
-// capture runs fn with the touch hook installed and returns the set of
-// mutated nodes in first-touch order. Partition trees for touched nodes are
-// invalidated so compact forms rebuild against current entries. The caller
-// must hold the server's write lock.
-func (s *Server) capture(fn func()) []rtree.NodeID {
-	seen := make(map[rtree.NodeID]bool)
-	var order []rtree.NodeID
-	s.tree.SetTouchHook(func(id rtree.NodeID) {
-		if !seen[id] {
-			seen[id] = true
-			order = append(order, id)
-		}
-	})
-	defer s.tree.SetTouchHook(nil)
-	fn()
-	for _, id := range order {
-		s.forest.Invalidate(id)
-	}
-	return order
-}
-
-// logUpdate appends one epoch's invalidation record. The caller must hold
-// the server's write lock.
-func (s *Server) logUpdate(nodes []rtree.NodeID, objs []rtree.ObjectID) {
-	s.epoch++
-	s.updates = append(s.updates, updateRecord{epoch: s.epoch, nodes: nodes, objs: objs})
-	// Bound the log; clients older than the horizon get a full flush.
-	if len(s.updates) > s.cfg.UpdateLogLimit {
-		drop := len(s.updates) - s.cfg.UpdateLogLimit
-		s.logFloor = s.updates[drop-1].epoch
-		s.updates = append(s.updates[:0], s.updates[drop:]...)
-	}
-}
-
-// Epoch returns the server's current update epoch.
+// Epoch returns the epoch of the currently published snapshot.
 func (s *Server) Epoch() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.epoch
+	return s.cur.Load().epoch
 }
 
 // invalidationsSince collects the node/object ids changed after the client's
-// epoch. The boolean reports whether the log horizon was exceeded, in which
-// case the client must drop its whole cache (FlushAll). The caller must hold
-// at least the read side of the server's lock.
+// epoch, against the currently published snapshot. The boolean reports
+// whether the log horizon was exceeded, in which case the client must drop
+// its whole cache (FlushAll). This allocating form exists for tests and
+// one-off inspection; the serving path uses appendInvalidations with pooled
+// scratch.
 func (s *Server) invalidationsSince(epoch uint64) (nodes []rtree.NodeID, objs []rtree.ObjectID, flush bool) {
-	if epoch >= s.epoch {
-		return nil, nil, false
+	v := s.pinSnapshot()
+	defer v.unpin()
+	var resp wire.Response
+	st := &execState{
+		seenN: make(map[rtree.NodeID]bool),
+		seenO: make(map[rtree.ObjectID]bool),
 	}
-	if epoch < s.logFloor {
-		return nil, nil, true
+	appendInvalidations(v, st, epoch, &resp)
+	return resp.InvalidNodes, resp.InvalidObjs, resp.FlushAll
+}
+
+// reportRecordLimit caps how many log records one invalidation report may
+// scan. A client that lags further gets FlushAll instead: past this point
+// the report itself (thousands of ids, scanned and deduplicated on every
+// request the client makes) costs more than refilling the cache, and an
+// epoch-0 client hammering queries must not turn the log walk into the
+// serving bottleneck.
+const reportRecordLimit = 1024
+
+// appendInvalidations writes the invalidation report for a client at the
+// given epoch into resp (InvalidNodes, InvalidObjs, FlushAll), deduplicating
+// through the request's pooled scratch sets and appending into the response's
+// recycled slices — the warm path allocates nothing. The log is sorted by
+// epoch, so the client's window is found by binary search rather than a full
+// scan.
+func appendInvalidations(v *snapshot, st *execState, epoch uint64, resp *wire.Response) {
+	if epoch >= v.epoch {
+		return
 	}
-	seenN := make(map[rtree.NodeID]bool)
-	seenO := make(map[rtree.ObjectID]bool)
-	for _, rec := range s.updates {
-		if rec.epoch <= epoch {
-			continue
-		}
+	if epoch < v.logFloor {
+		resp.FlushAll = true
+		return
+	}
+	recs := v.updates
+	i := sort.Search(len(recs), func(i int) bool { return recs[i].epoch > epoch })
+	recs = recs[i:]
+	if len(recs) > reportRecordLimit {
+		resp.FlushAll = true
+		return
+	}
+	for _, rec := range recs {
 		for _, id := range rec.nodes {
-			if !seenN[id] {
-				seenN[id] = true
-				nodes = append(nodes, id)
+			if !st.seenN[id] {
+				st.seenN[id] = true
+				resp.InvalidNodes = append(resp.InvalidNodes, id)
 			}
 		}
 		for _, id := range rec.objs {
-			if !seenO[id] {
-				seenO[id] = true
-				objs = append(objs, id)
+			if !st.seenO[id] {
+				st.seenO[id] = true
+				resp.InvalidObjs = append(resp.InvalidObjs, id)
 			}
 		}
 	}
-	return nodes, objs, false
 }
 
-// attachInvalidations stamps the response with the current epoch and the
-// invalidation report for the requesting client. The caller must hold at
-// least the read side of the server's lock.
-func (s *Server) attachInvalidations(req *wire.Request, resp *wire.Response) {
-	resp.Epoch = s.epoch
-	if s.epoch == 0 {
+// attachInvalidations stamps the response with the snapshot's epoch and the
+// invalidation report for the requesting client.
+func attachInvalidations(v *snapshot, st *execState, req *wire.Request, resp *wire.Response) {
+	resp.Epoch = v.epoch
+	if v.epoch == 0 {
 		return
 	}
-	nodes, objs, flush := s.invalidationsSince(req.Epoch)
-	resp.FlushAll = flush
-	resp.InvalidNodes = nodes
-	resp.InvalidObjs = objs
+	appendInvalidations(v, st, req.Epoch, resp)
+}
+
+// ExecuteUpdates serves a batched update request (Request.Updates non-empty):
+// the operations go through the writer queue, and the response carries the
+// per-operation results, the post-batch epoch and root, and the invalidation
+// report the updating client is owed for its own epoch. The returned
+// response participates in the server's response pool like any other.
+func (s *Server) ExecuteUpdates(req *wire.Request) *wire.Response {
+	resp := s.acquireResponse()
+	resp.UpdateResults = s.ApplyUpdates(req.Updates, resp.UpdateResults)
+
+	v := s.pinSnapshot()
+	defer v.unpin()
+	st := s.getExec(v, false, false)
+	defer s.putExec(st)
+	root := rootRef(v)
+	resp.RootID, resp.RootMBR = root.Node, root.MBR
+	attachInvalidations(v, st, req, resp)
+	return resp
 }

@@ -83,6 +83,7 @@ const (
 	reqNoIndex byte = 1 << iota
 	reqCatalog
 	reqHasFMR
+	reqHasUpdates
 )
 
 // Query field-presence bits (zero-valued fields are elided).
@@ -104,6 +105,7 @@ const (
 const (
 	respFlushAll byte = 1 << iota
 	respHasRoot
+	respHasUpdates
 )
 
 // Cut-element flag bits.
@@ -123,6 +125,7 @@ const (
 	minCutElemBytes = 1 + 1 + minRectBytes // flags + code length + rect
 	minIDBytes      = 1
 	minPairBytes    = 2
+	minUpdateBytes  = 1 + 1 + minRectBytes // kind + object id + one rect
 )
 
 // appendF32 encodes a coordinate as IEEE-754 float32, little endian. The
@@ -232,6 +235,9 @@ func EncodeRequest(dst []byte, req *Request) []byte {
 	if req.HasFMR {
 		fl |= reqHasFMR
 	}
+	if len(req.Updates) > 0 {
+		fl |= reqHasUpdates
+	}
 	b = append(b, fl)
 	b = binary.AppendUvarint(b, req.Epoch)
 	b = appendQuery(b, req.Q)
@@ -261,6 +267,26 @@ func EncodeRequest(dst []byte, req *Request) []byte {
 	if req.HasFMR {
 		b = appendF32(b, req.FMR)
 	}
+	// The updates section is appended only when present (flagged), so
+	// query-request encodings are byte-identical to protocol version 1
+	// streams (the golden files pin this).
+	if len(req.Updates) > 0 {
+		b = binary.AppendUvarint(b, uint64(len(req.Updates)))
+		for _, u := range req.Updates {
+			b = append(b, byte(u.Kind))
+			b = binary.AppendUvarint(b, uint64(u.Obj))
+			switch u.Kind {
+			case UpdateInsert:
+				b = appendRect(b, u.To)
+				b = binary.AppendVarint(b, int64(u.Size))
+			case UpdateMove:
+				b = appendRect(b, u.From)
+				b = appendRect(b, u.To)
+			default: // UpdateDelete and unknown kinds ship one rectangle
+				b = appendRect(b, u.From)
+			}
+		}
+	}
 	return b
 }
 
@@ -274,6 +300,9 @@ func EncodeResponse(dst []byte, resp *Response) []byte {
 	hasRoot := resp.RootID != rtree.InvalidNode || resp.RootMBR != (geom.Rect{})
 	if hasRoot {
 		fl |= respHasRoot
+	}
+	if len(resp.UpdateResults) > 0 {
+		fl |= respHasUpdates
 	}
 	b := append(dst, fl)
 	b = binary.AppendVarint(b, int64(resp.K))
@@ -330,6 +359,16 @@ func EncodeResponse(dst []byte, resp *Response) []byte {
 	b = binary.AppendUvarint(b, uint64(len(resp.InvalidObjs)))
 	for _, id := range resp.InvalidObjs {
 		b = binary.AppendUvarint(b, uint64(id))
+	}
+	if len(resp.UpdateResults) > 0 {
+		b = binary.AppendUvarint(b, uint64(len(resp.UpdateResults)))
+		for _, ok := range resp.UpdateResults {
+			var v byte
+			if ok {
+				v = 1
+			}
+			b = append(b, v)
+		}
 	}
 	return b
 }
@@ -545,6 +584,27 @@ func DecodeRequest(body []byte) (*Request, error) {
 	if req.HasFMR {
 		req.FMR = d.f32()
 	}
+	if fl&reqHasUpdates != 0 {
+		if n := d.count(minUpdateBytes); n > 0 {
+			req.Updates = make([]UpdateOp, 0, n)
+			for i := 0; i < n && d.err == nil; i++ {
+				u := UpdateOp{Kind: UpdateKind(d.u8()), Obj: rtree.ObjectID(d.uvarint())}
+				switch u.Kind {
+				case UpdateInsert:
+					u.To = d.rect()
+					u.Size = int(d.varint())
+				case UpdateMove:
+					u.From = d.rect()
+					u.To = d.rect()
+				case UpdateDelete:
+					u.From = d.rect()
+				default:
+					d.fail("unknown update kind %d", u.Kind)
+				}
+				req.Updates = append(req.Updates, u)
+			}
+		}
+	}
 	if err := d.done(); err != nil {
 		return nil, err
 	}
@@ -620,6 +680,14 @@ func DecodeResponse(body []byte) (*Response, error) {
 		resp.InvalidObjs = make([]rtree.ObjectID, 0, n)
 		for i := 0; i < n && d.err == nil; i++ {
 			resp.InvalidObjs = append(resp.InvalidObjs, rtree.ObjectID(d.uvarint()))
+		}
+	}
+	if fl&respHasUpdates != 0 {
+		if n := d.count(1); n > 0 {
+			resp.UpdateResults = make([]bool, 0, n)
+			for i := 0; i < n && d.err == nil; i++ {
+				resp.UpdateResults = append(resp.UpdateResults, d.u8()&1 != 0)
+			}
 		}
 	}
 	if err := d.done(); err != nil {

@@ -55,6 +55,22 @@ func canonRequest(req *Request) *Request {
 	for _, w := range req.SemWindows {
 		out.SemWindows = append(out.SemWindows, q32r(w))
 	}
+	out.Updates = nil
+	for _, u := range req.Updates {
+		u.From = q32r(u.From)
+		u.To = q32r(u.To)
+		// The codec ships only the rectangles the kind uses.
+		switch u.Kind {
+		case UpdateInsert:
+			u.From = geom.Rect{}
+		case UpdateDelete:
+			u.To = geom.Rect{}
+			u.Size = 0
+		case UpdateMove:
+			u.Size = 0
+		}
+		out.Updates = append(out.Updates, u)
+	}
 	return &out
 }
 
@@ -132,6 +148,15 @@ func testRequests() map[string]*Request {
 			SemWindows: []geom.Rect{geom.R(0, 0, 0.25, 0.5), geom.R(0.25, 0, 0.5, 0.125)},
 			NoIndex:    true,
 		},
+		"update-batch": {
+			Client: 11,
+			Epoch:  64,
+			Updates: []UpdateOp{
+				{Kind: UpdateInsert, Obj: 90001, To: geom.R(0.5, 0.5, 0.625, 0.625), Size: 2048},
+				{Kind: UpdateDelete, Obj: 42, From: geom.R(0, 0, 0.125, 0.125)},
+				{Kind: UpdateMove, Obj: 7, From: geom.R(0.25, 0.25, 0.375, 0.375), To: geom.R(0.75, 0.75, 0.875, 0.875)},
+			},
+		},
 	}
 }
 
@@ -167,6 +192,13 @@ func testResponses() map[string]*Response {
 		},
 		"flush-all": {Epoch: 1000, FlushAll: true},
 		"empty":     {},
+		"update-ack": {
+			Epoch:         128,
+			RootID:        1,
+			RootMBR:       geom.R(0, 0, 1, 1),
+			InvalidObjs:   []rtree.ObjectID{42},
+			UpdateResults: []bool{true, false, true},
+		},
 	}
 }
 

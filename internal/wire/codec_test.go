@@ -40,6 +40,25 @@ func randRequest(r *rand.Rand) *Request {
 		req.HasFMR = true
 		req.FMR = r.Float64()
 	}
+	if r.Intn(3) == 0 {
+		for i := 0; i < 1+r.Intn(4); i++ {
+			u := UpdateOp{Obj: rtree.ObjectID(r.Uint32())}
+			switch r.Intn(3) {
+			case 0:
+				u.Kind = UpdateInsert
+				u.To = geom.R(0, 0, r.Float64(), r.Float64())
+				u.Size = r.Intn(10000)
+			case 1:
+				u.Kind = UpdateDelete
+				u.From = geom.R(0, 0, r.Float64(), r.Float64())
+			default:
+				u.Kind = UpdateMove
+				u.From = geom.R(0, 0, r.Float64(), r.Float64())
+				u.To = geom.R(0, 0, r.Float64(), r.Float64())
+			}
+			req.Updates = append(req.Updates, u)
+		}
+	}
 	return req
 }
 
@@ -78,6 +97,9 @@ func randResponse(r *rand.Rand) *Response {
 	for i := 0; i < r.Intn(3); i++ {
 		resp.InvalidNodes = append(resp.InvalidNodes, rtree.NodeID(r.Uint32()))
 		resp.InvalidObjs = append(resp.InvalidObjs, rtree.ObjectID(r.Uint32()))
+	}
+	for i := 0; i < r.Intn(4); i++ {
+		resp.UpdateResults = append(resp.UpdateResults, r.Intn(2) == 0)
 	}
 	return resp
 }

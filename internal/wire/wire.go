@@ -68,6 +68,38 @@ type Request struct {
 	// (the periodic feedback of the adaptive scheme, Section 4.3).
 	FMR    float64
 	HasFMR bool
+
+	// Updates, when non-empty, turns the request into a batched index-update
+	// message: the server applies the operations through its single-writer
+	// update queue and answers with per-operation results instead of query
+	// results (Q, H, and the caching fields are ignored). Shipping many
+	// operations per frame is how a moving-object feed amortizes framing and
+	// queueing costs — the writer coalesces whole batches into one published
+	// snapshot.
+	Updates []UpdateOp
+}
+
+// UpdateKind selects an index mutation.
+type UpdateKind uint8
+
+const (
+	// UpdateInsert adds an object (To rectangle, Size payload bytes).
+	UpdateInsert UpdateKind = iota + 1
+	// UpdateDelete removes an object identified by its current From rectangle.
+	UpdateDelete
+	// UpdateMove relocates an object from its From to its To rectangle.
+	UpdateMove
+)
+
+// UpdateOp is one index mutation in a batched update request. Rectangles are
+// matched exactly against the stored entry (the R-tree delete contract), so
+// clients must echo rectangles at wire precision — see docs/UPDATES.md.
+type UpdateOp struct {
+	Kind UpdateKind
+	Obj  rtree.ObjectID
+	From geom.Rect // delete/move: the object's current rectangle
+	To   geom.Rect // insert/move: the object's new rectangle
+	Size int       // insert: payload bytes
 }
 
 // CutElem is one element of a shipped node representation: a real entry
@@ -141,6 +173,12 @@ type Response struct {
 	FlushAll     bool
 	InvalidNodes []rtree.NodeID
 	InvalidObjs  []rtree.ObjectID
+
+	// UpdateResults answers a batched update request: one entry per
+	// Request.Updates operation, true when it was applied (a delete or move
+	// whose From rectangle matched nothing reports false). Epoch above is the
+	// epoch after the batch was published.
+	UpdateResults []bool
 }
 
 // SizeModel assigns wire sizes in bytes. The defaults model the paper's
@@ -190,6 +228,15 @@ func (m SizeModel) RequestBytes(r *Request) int {
 	if r.HasFMR {
 		n += m.Feedback
 	}
+	for _, u := range r.Updates {
+		n += 1 + m.ID + 16 // kind + object id + one rectangle
+		if u.Kind == UpdateMove {
+			n += 16 // second rectangle
+		}
+		if u.Kind == UpdateInsert {
+			n += 4 // payload size
+		}
+	}
 	return n
 }
 
@@ -214,6 +261,7 @@ func (m SizeModel) ResponseBytes(r *Response) int {
 	n += len(r.Pairs) * m.PairID
 	n += m.IndexBytes(r)
 	n += (len(r.InvalidNodes) + len(r.InvalidObjs)) * m.ID
+	n += len(r.UpdateResults) // one status byte per acknowledged operation
 	return n
 }
 

@@ -27,8 +27,10 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -62,6 +64,15 @@ type (
 	Transport = wire.Transport
 	// IndexForm selects how the server represents shipped index nodes.
 	IndexForm = server.IndexForm
+	// UpdateOp is one index mutation in a batched update request.
+	UpdateOp = wire.UpdateOp
+)
+
+// Batched update operation kinds (Request.Updates).
+const (
+	UpdateInsert = wire.UpdateInsert
+	UpdateDelete = wire.UpdateDelete
+	UpdateMove   = wire.UpdateMove
 )
 
 // Replacement policies (Section 5).
@@ -113,19 +124,24 @@ type ServerConfig struct {
 
 // Server owns a spatial dataset, its R*-tree, and the proactive-caching
 // remainder-query processor. Query execution (Transport, Serve, NetServer)
-// is safe for any number of concurrent clients; the index mutators
-// (InsertObject, DeleteObject, MoveObject) briefly exclude queries and must
-// not race with each other.
+// is safe for any number of concurrent clients and never locks the index:
+// queries pin an immutable snapshot while a single writer goroutine batches
+// updates and publishes fresh snapshots (see docs/UPDATES.md). The facade
+// mutators (InsertObject, DeleteObject, MoveObject) are safe to call
+// concurrently with queries, but must not race with each other or with
+// wire-level batched updates — they track object rectangles in an auxiliary
+// map that assumes one updater. Remote clients can ship batched updates over
+// the wire (Request.Updates); SetRemoteUpdates gates that path.
 type Server struct {
 	inner *server.Server
-	tree  *rtree.Tree
 	// sizes is the build-time size map; it is never written after
-	// NewServer (post-build sizes live inside the inner server, guarded by
-	// its lock), so concurrent queries may read it freely.
+	// NewServer (post-build sizes live inside the inner server), so
+	// concurrent queries may read it freely.
 	sizes map[ObjectID]int
 	// mbrs tracks current object rectangles; only the mutators touch it.
-	mbrs  map[ObjectID]Rect
-	stats metrics.ServerStats
+	mbrs          map[ObjectID]Rect
+	stats         metrics.ServerStats
+	remoteUpdates atomic.Bool
 }
 
 // NewServer indexes the objects and stands up a server.
@@ -152,8 +168,21 @@ func NewServer(objects []Object, cfg ServerConfig) *Server {
 		Form:        cfg.Form,
 		Sensitivity: cfg.Sensitivity,
 	})
-	return &Server{inner: inner, tree: tree, sizes: sizes, mbrs: mbrs}
+	s := &Server{inner: inner, sizes: sizes, mbrs: mbrs}
+	s.remoteUpdates.Store(true)
+	return s
 }
+
+// SetRemoteUpdates enables or disables wire-level batched updates
+// (Request.Updates). Enabled by default; a read-only deployment (cmd/prodb
+// -updates=false) rejects update requests with an error response while local
+// mutators keep working.
+func (s *Server) SetRemoteUpdates(on bool) { s.remoteUpdates.Store(on) }
+
+// Close stops the server's background update writer, waiting for queued
+// update batches to be applied. Call it after the serving layer has drained;
+// queries remain answerable afterwards, further updates are dropped.
+func (s *Server) Close() { s.inner.Close() }
 
 // InsertObject adds a new object to the live index. Connected clients learn
 // about it through the epoch-based invalidation protocol.
@@ -198,13 +227,33 @@ func (s *Server) Transport() Transport {
 	return wire.TransportFunc(s.Handler())
 }
 
+// ErrUpdatesDisabled is returned to wire clients shipping batched updates to
+// a server running with remote updates disabled.
+var ErrUpdatesDisabled = errors.New("repro: remote updates disabled")
+
 // Handler returns the server's request handler for use with a custom
-// wire.NetServer.
+// wire.NetServer. A request carrying Updates is routed through the batched
+// single-writer update path; everything else executes as a query.
 func (s *Server) Handler() wire.Handler {
 	return func(req *wire.Request) (*wire.Response, error) {
+		if len(req.Updates) > 0 {
+			if !s.remoteUpdates.Load() {
+				return nil, ErrUpdatesDisabled
+			}
+			return s.inner.ExecuteUpdates(req), nil
+		}
 		resp, _ := s.inner.Execute(req)
 		return resp, nil
 	}
+}
+
+// ApplyUpdates applies a batch of index updates through the single-writer
+// queue, blocking until the batch's snapshot is published. It returns one
+// applied/failed flag per operation. Unlike the single-object facade
+// mutators it does not maintain the rectangle-tracking map, so it composes
+// with wire-fed updates but not with DeleteObject/MoveObject bookkeeping.
+func (s *Server) ApplyUpdates(ops []wire.UpdateOp) []bool {
+	return s.inner.ApplyUpdates(ops, nil)
 }
 
 // ServeOptions tunes the network serving layer (see wire.ServeConfig for
@@ -258,8 +307,13 @@ func (s *Server) Serve(ln net.Listener) error {
 // requests served, and request latency quantiles.
 func (s *Server) Stats() metrics.ServerSnapshot { return s.stats.Snapshot() }
 
-// IndexStats describes the server-side R*-tree.
-func (s *Server) IndexStats() rtree.Stats { return s.tree.Stats() }
+// IndexStats describes the server-side R*-tree, measured against a pinned
+// snapshot so it is safe to call while updates are streaming in.
+func (s *Server) IndexStats() rtree.Stats {
+	var st rtree.Stats
+	s.inner.View(func(t *rtree.Tree, _ uint64) { st = t.Stats() })
+	return st
+}
 
 // ClientConfig parameterizes NewClient.
 type ClientConfig struct {

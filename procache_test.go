@@ -85,6 +85,65 @@ func TestFacadeTCP(t *testing.T) {
 	}
 }
 
+// TestWireUpdatesOverTCP ships a batched update request through the full
+// stack — binary codec, pipelined server, single-writer queue — and checks
+// read-your-writes from a second connection, plus the read-only rejection
+// path.
+func TestWireUpdatesOverTCP(t *testing.T) {
+	srv := NewServer(testObjects()[:500], ServerConfig{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.Serve(ln) }()
+
+	up, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q32 := func(v float64) float64 { return float64(float32(v)) }
+	target := R(q32(0.91), q32(0.91), q32(0.915), q32(0.915))
+	resp, err := up.RoundTrip(&wire.Request{Updates: []UpdateOp{
+		{Kind: UpdateInsert, Obj: 77_001, To: target, Size: 512},
+		{Kind: UpdateDelete, Obj: 999_999, From: R(0, 0, 0.1, 0.1)}, // a miss
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.UpdateResults) != 2 || !resp.UpdateResults[0] || resp.UpdateResults[1] {
+		t.Fatalf("update results = %v", resp.UpdateResults)
+	}
+	if resp.Epoch != 1 {
+		t.Fatalf("update ack epoch = %d", resp.Epoch)
+	}
+
+	// A different connection sees the insert immediately.
+	reader, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qresp, err := reader.RoundTrip(&wire.Request{Client: 2, Q: NewKNN(Pt(0.91, 0.91), 1), NoIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qresp.Objects) != 1 || qresp.Objects[0].ID != 77_001 || qresp.Objects[0].Size != 512 {
+		t.Fatalf("inserted object not served over the wire: %+v", qresp.Objects)
+	}
+
+	// Read-only mode rejects the update but keeps serving queries.
+	srv.SetRemoteUpdates(false)
+	if _, err := up.RoundTrip(&wire.Request{Updates: []UpdateOp{
+		{Kind: UpdateDelete, Obj: 77_001, From: target},
+	}}); err == nil {
+		t.Fatal("read-only server accepted an update")
+	}
+	if _, err := reader.RoundTrip(&wire.Request{Client: 2, Q: NewKNN(Pt(0.91, 0.91), 1)}); err != nil {
+		t.Fatalf("query after rejected update: %v", err)
+	}
+}
+
 // oldEnvelope mirrors the gob message shape of pre-binary servers (gob
 // matches struct fields by name, so the type name is irrelevant).
 type oldEnvelope struct {

@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-}"
 BENCHTIME="${BENCHTIME:-1s}"
-PATTERN='^(BenchmarkServerExecuteParallel|BenchmarkWarmRangeExecute|BenchmarkWarmKNNExecute|BenchmarkWarmJoinExecute|BenchmarkAPROBuild)$'
+PATTERN='^(BenchmarkServerExecuteParallel|BenchmarkWarmRangeExecute|BenchmarkWarmKNNExecute|BenchmarkWarmJoinExecute|BenchmarkAPROBuild|BenchmarkMixedQueryBaseline|BenchmarkMixedQueryUnderUpdates|BenchmarkUpdateThroughput)$'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
