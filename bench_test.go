@@ -6,6 +6,7 @@ package repro
 // cmd/procsim -full for paper-scale runs.
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"sync"
@@ -676,5 +677,77 @@ func BenchmarkEngineJoin(b *testing.B) {
 		w := geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.004, 0.004)
 		req := &wire.Request{Q: query.NewJoin(w, 5e-5)}
 		srv.Execute(req)
+	}
+}
+
+// --- Cluster routing benchmarks (PR 5) -----------------------------------
+//
+// BenchmarkClusterRange/KNN measure the scatter-gather router against the
+// same workload at 1 and 4 shards. Range windows are tiny, so at 4 shards
+// almost every query routes to a single shard — the fan-out-free fast path
+// whose allocation budget (<= 2 allocs/op, enforced by
+// TestClusterRouteAllocBudget in internal/cluster) scripts/bench.sh tracks
+// in BENCH_<pr>.json. Fresh kNN queries probe every shard, so the 4-shard
+// kNN row prices the full best-first scatter with its merge and re-issue
+// protocol.
+
+var clusterBenchServers sync.Map // int -> *ClusterServer
+
+func benchClusterServer(b *testing.B, shards int) *ClusterServer {
+	if cs, ok := clusterBenchServers.Load(shards); ok {
+		return cs.(*ClusterServer)
+	}
+	cs, err := NewClusterServer(GenerateNE(20_000, 77), ClusterConfig{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	clusterBenchServers.Store(shards, cs)
+	return cs
+}
+
+func benchmarkClusterQueries(b *testing.B, shards int, mk func(r *rand.Rand) query.Query) {
+	cs := benchClusterServer(b, shards)
+	handle := cs.Handler()
+	r := rand.New(rand.NewSource(31))
+	reqs := make([]*wire.Request, 512)
+	for i := range reqs {
+		reqs[i] = &wire.Request{Client: 1, Q: mk(r)}
+	}
+	run := func(req *wire.Request) {
+		resp, err := handle(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cs.ReleaseResponse(resp)
+	}
+	// One full pass pre-timer: every node the pool touches gets its lazy
+	// partition tree built, so the timed loop measures steady state.
+	for _, req := range reqs {
+		run(req)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(reqs[i%len(reqs)])
+	}
+}
+
+func BenchmarkClusterRange(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchmarkClusterQueries(b, shards, func(r *rand.Rand) query.Query {
+				return query.NewRange(geom.RectFromCenter(geom.Pt(r.Float64(), r.Float64()), 0.002, 0.002))
+			})
+		})
+	}
+}
+
+func BenchmarkClusterKNN(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchmarkClusterQueries(b, shards, func(r *rand.Rand) query.Query {
+				return query.NewKNN(geom.Pt(r.Float64(), r.Float64()), 5)
+			})
+		})
 	}
 }

@@ -36,6 +36,7 @@ func main() {
 		ds      = flag.String("dataset", "ne", "dataset: ne or rd")
 		window  = flag.Int("window", 0, "Figure 11 window size (default queries/20)")
 		clients = flag.Int("clients", 8, "throughput mode: max concurrent clients (swept in powers of two)")
+		shards  = flag.Int("cluster", 1, "throughput mode: spatial shards behind the scatter-gather router (1 = single node)")
 	)
 	flag.Parse()
 
@@ -64,7 +65,7 @@ func main() {
 
 	run := func(name string) {
 		t0 := time.Now()
-		if err := runFigure(name, env, sc, *window, *clients); err != nil {
+		if err := runFigure(name, env, sc, *window, *clients, *shards); err != nil {
 			fmt.Fprintf(os.Stderr, "procsim: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -82,7 +83,7 @@ func main() {
 	run(*fig)
 }
 
-func runFigure(name string, env *sim.Environment, sc sim.Scale, window, clients int) error {
+func runFigure(name string, env *sim.Environment, sc sim.Scale, window, clients, shards int) error {
 	w := os.Stdout
 	switch name {
 	case "throughput":
@@ -98,7 +99,7 @@ func runFigure(name string, env *sim.Environment, sc sim.Scale, window, clients 
 		if perClient < 1 {
 			perClient = 1
 		}
-		rows, err := sim.ThroughputSweep(env, counts, perClient, sc.Seed)
+		rows, err := sim.ThroughputSweepSharded(env, shards, counts, perClient, sc.Seed)
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@
 //
 //	prodb -addr :7001 -n 50000            # synthetic NE data
 //	prodb -addr :7001 -load ne.gob        # dataset from datagen
+//	prodb -cluster 4                      # 4 in-process spatial shards
 //	prodb -form compact                   # CPRO-style index shipping
 //	prodb -max-conns 8192 -inflight 64    # tune concurrency limits
 //	prodb -pipeline 128                   # deeper per-connection pipelining
@@ -37,6 +38,8 @@ import (
 
 	"repro"
 	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -51,6 +54,7 @@ func main() {
 		pipeline = flag.Int("pipeline", 0, "max requests in flight per binary connection (0 = default 64)")
 		readTO   = flag.Duration("read-timeout", 0, "idle connection deadline (0 = default 5m)")
 		updates  = flag.Bool("updates", true, "accept batched index updates from wire clients (netclient -updates)")
+		clusterN = flag.Int("cluster", 1, "spatial shards served behind one scatter-gather router (1 = single node, see docs/CLUSTER.md)")
 		statsEv  = flag.Duration("stats", 0, "print serving stats at this interval (0 = off)")
 		drainTO  = flag.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
@@ -104,27 +108,53 @@ func main() {
 	}
 
 	start := time.Now()
-	srv := repro.NewServer(objects, repro.ServerConfig{Form: indexForm})
-	srv.SetRemoteUpdates(*updates)
-	st := srv.IndexStats()
 	mode := "updates enabled"
 	if !*updates {
 		mode = "read-only"
 	}
-	fmt.Printf("index: %d nodes, height %d, %.0f%% fill, built in %v (%s)\n",
-		st.Nodes, st.Height, st.AvgFill*100, time.Since(start).Round(time.Millisecond), mode)
+	opts := repro.ServeOptions{
+		MaxConns:    *maxConns,
+		MaxInflight: *inflight,
+		MaxPipeline: *pipeline,
+		ReadTimeout: *readTO,
+	}
+	// Both deployment shapes serve the identical wire protocol; clients
+	// cannot tell a cluster router from a single node.
+	var (
+		net1         *wire.NetServer
+		statsFn      func() metrics.ServerSnapshot
+		clusterStats func() metrics.ClusterSnapshot
+		closeFn      func()
+	)
+	if *clusterN > 1 {
+		cs, err := repro.NewClusterServer(objects, repro.ClusterConfig{Shards: *clusterN, Form: indexForm})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prodb: %v\n", err)
+			os.Exit(1)
+		}
+		cs.SetRemoteUpdates(*updates)
+		fmt.Printf("cluster: %d shards owning %v objects, built in %v (%s)\n",
+			cs.Shards(), cs.ShardObjects(), time.Since(start).Round(time.Millisecond), mode)
+		net1 = cs.NetServer(opts)
+		statsFn = cs.Stats
+		clusterStats = cs.ClusterStats
+		closeFn = cs.Close
+	} else {
+		srv := repro.NewServer(objects, repro.ServerConfig{Form: indexForm})
+		srv.SetRemoteUpdates(*updates)
+		st := srv.IndexStats()
+		fmt.Printf("index: %d nodes, height %d, %.0f%% fill, built in %v (%s)\n",
+			st.Nodes, st.Height, st.AvgFill*100, time.Since(start).Round(time.Millisecond), mode)
+		net1 = srv.NetServer(opts)
+		statsFn = srv.Stats
+		closeFn = srv.Close
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "prodb: %v\n", err)
 		os.Exit(1)
 	}
-	net1 := srv.NetServer(repro.ServeOptions{
-		MaxConns:    *maxConns,
-		MaxInflight: *inflight,
-		MaxPipeline: *pipeline,
-		ReadTimeout: *readTO,
-	})
 	fmt.Printf("serving proactive spatial queries on %s (form=%s)\n", ln.Addr(), *form)
 
 	statsDone := make(chan struct{})
@@ -135,7 +165,10 @@ func main() {
 			for {
 				select {
 				case <-ticker.C:
-					fmt.Printf("stats: %s\n", srv.Stats())
+					fmt.Printf("stats: %s\n", statsFn())
+					if clusterStats != nil {
+						fmt.Printf("stats: %s\n", clusterStats())
+					}
 				case <-statsDone:
 					return
 				}
@@ -169,7 +202,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	srv.Close() // stop the update writer after the serving layer drained
-	fmt.Printf("final %s\n", srv.Stats())
+	closeFn() // stop the update writers after the serving layer drained
+	fmt.Printf("final %s\n", statsFn())
+	if clusterStats != nil {
+		fmt.Printf("final %s\n", clusterStats())
+	}
 	os.Exit(exitCode)
 }

@@ -1,0 +1,375 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// The cluster's correctness contract: over the same dataset and the same
+// update history, the router's merged responses carry exactly the objects
+// and pairs a single-node server returns — for every query kind, with the
+// index re-keyed but the results identical. These tests build both backends
+// side by side, stream identical updates into each, and compare normalized
+// results round after round.
+
+const testMaxEntries = 16 // small pages: more tree structure per object
+
+func buildServer(objs []dataset.Object, sizes map[rtree.ObjectID]int) *server.Server {
+	items := make([]rtree.Item, len(objs))
+	for i, o := range objs {
+		items[i] = rtree.Item{Obj: o.ID, MBR: o.MBR}
+	}
+	tree := rtree.BulkLoad(rtree.Params{MaxEntries: testMaxEntries}, items, 0.7)
+	return server.New(tree, func(id rtree.ObjectID) int { return sizes[id] }, server.Config{})
+}
+
+// buildBoth stands up a single-node server and an n-shard cluster (via the
+// shared NewInProcess builder) over the same objects.
+func buildBoth(t testing.TB, objs []dataset.Object, n int) (*server.Server, *Router, func()) {
+	t.Helper()
+	sizes := make(map[rtree.ObjectID]int, len(objs))
+	for _, o := range objs {
+		sizes[o.ID] = o.Size
+	}
+	single := buildServer(objs, sizes)
+	p, err := NewInProcess(objs, InProcessConfig{
+		Shards: n,
+		Tree:   rtree.Params{MaxEntries: testMaxEntries},
+		Sizer:  func(id rtree.ObjectID) int { return sizes[id] },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return single, p.Router, func() {
+		single.Close()
+		p.Close()
+	}
+}
+
+type objKey struct {
+	id      rtree.ObjectID
+	mbr     geom.Rect
+	size    int
+	payload bool
+}
+
+func normObjects(resp *wire.Response) []objKey {
+	out := make([]objKey, 0, len(resp.Objects))
+	for _, o := range resp.Objects {
+		out = append(out, objKey{o.ID, o.MBR, o.Size, o.Payload})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func normPairs(resp *wire.Response) [][2]rtree.ObjectID {
+	out := make([][2]rtree.ObjectID, 0, len(resp.Pairs))
+	for _, p := range resp.Pairs {
+		if p[1] < p[0] {
+			p[0], p[1] = p[1], p[0]
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func compareRange(t *testing.T, tag string, want, got *wire.Response) {
+	t.Helper()
+	w, g := normObjects(want), normObjects(got)
+	if len(w) != len(g) {
+		t.Fatalf("%s: %d objects, want %d", tag, len(g), len(w))
+	}
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("%s: object %d = %+v, want %+v", tag, i, g[i], w[i])
+		}
+	}
+}
+
+// compareKNN checks count and the exact multiset of result distances, and
+// id-for-id equality below the k-th distance (ties at the boundary may be
+// broken differently by the two backends).
+func compareKNN(t *testing.T, tag string, q query.Query, want, got *wire.Response) {
+	t.Helper()
+	if len(want.Objects) != len(got.Objects) {
+		t.Fatalf("%s: %d results, want %d", tag, len(got.Objects), len(want.Objects))
+	}
+	n := len(want.Objects)
+	if n == 0 {
+		return
+	}
+	wd := make([]float64, n)
+	gd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		wd[i] = q.KeyFor(want.Objects[i].MBR)
+		gd[i] = q.KeyFor(got.Objects[i].MBR)
+	}
+	sort.Float64s(wd)
+	sort.Float64s(gd)
+	for i := range wd {
+		if wd[i] != gd[i] {
+			t.Fatalf("%s: distance[%d] = %v, want %v", tag, i, gd[i], wd[i])
+		}
+	}
+	boundary := wd[n-1]
+	wids := map[rtree.ObjectID]bool{}
+	gids := map[rtree.ObjectID]bool{}
+	for i := 0; i < n; i++ {
+		if q.KeyFor(want.Objects[i].MBR) < boundary {
+			wids[want.Objects[i].ID] = true
+		}
+		if q.KeyFor(got.Objects[i].MBR) < boundary {
+			gids[got.Objects[i].ID] = true
+		}
+	}
+	for id := range wids {
+		if !gids[id] {
+			t.Fatalf("%s: inner result %d missing from cluster", tag, id)
+		}
+	}
+	// The cluster must also return its kNN objects in ascending distance.
+	for i := 1; i < n; i++ {
+		if q.KeyFor(got.Objects[i].MBR) < q.KeyFor(got.Objects[i-1].MBR) {
+			t.Fatalf("%s: cluster results out of distance order at %d", tag, i)
+		}
+	}
+}
+
+func compareJoin(t *testing.T, tag string, want, got *wire.Response) {
+	t.Helper()
+	wp, gp := normPairs(want), normPairs(got)
+	if len(wp) != len(gp) {
+		t.Fatalf("%s: %d pairs, want %d", tag, len(gp), len(wp))
+	}
+	for i := range wp {
+		if wp[i] != gp[i] {
+			t.Fatalf("%s: pair %d = %v, want %v", tag, i, gp[i], wp[i])
+		}
+	}
+	compareRange(t, tag+" (pair objects)", want, got)
+}
+
+// updateStream owns a set of live object rectangles and generates identical
+// mixed update batches for both backends.
+type updateStream struct {
+	rng    *rand.Rand
+	rects  map[rtree.ObjectID]geom.Rect
+	ids    []rtree.ObjectID
+	nextID rtree.ObjectID
+}
+
+func newUpdateStream(seed int64, objs []dataset.Object) *updateStream {
+	u := &updateStream{
+		rng:    rand.New(rand.NewSource(seed)),
+		rects:  make(map[rtree.ObjectID]geom.Rect, len(objs)),
+		nextID: 1 << 20,
+	}
+	for _, o := range objs {
+		u.rects[o.ID] = o.MBR
+		u.ids = append(u.ids, o.ID)
+	}
+	return u
+}
+
+func (u *updateStream) randRect() geom.Rect {
+	c := geom.Pt(u.rng.Float64(), u.rng.Float64())
+	return geom.RectFromCenter(c, 0.002+u.rng.Float64()*0.01, 0.002+u.rng.Float64()*0.01)
+}
+
+func (u *updateStream) batch(n int) []wire.UpdateOp {
+	ops := make([]wire.UpdateOp, 0, n)
+	for i := 0; i < n; i++ {
+		switch k := u.rng.Intn(10); {
+		case k < 5 && len(u.ids) > 0: // move (the dominant op of a mobile feed)
+			id := u.ids[u.rng.Intn(len(u.ids))]
+			to := u.randRect()
+			ops = append(ops, wire.UpdateOp{Kind: wire.UpdateMove, Obj: id, From: u.rects[id], To: to})
+			u.rects[id] = to
+		case k < 7: // insert
+			id := u.nextID
+			u.nextID++
+			to := u.randRect()
+			ops = append(ops, wire.UpdateOp{Kind: wire.UpdateInsert, Obj: id, To: to, Size: 100 + u.rng.Intn(4000)})
+			u.rects[id] = to
+			u.ids = append(u.ids, id)
+		case k < 8 && len(u.ids) > 1: // delete
+			i := u.rng.Intn(len(u.ids))
+			id := u.ids[i]
+			ops = append(ops, wire.UpdateOp{Kind: wire.UpdateDelete, Obj: id, From: u.rects[id]})
+			delete(u.rects, id)
+			u.ids[i] = u.ids[len(u.ids)-1]
+			u.ids = u.ids[:len(u.ids)-1]
+		default: // a move whose From does not match: both backends must reject it
+			id := u.nextID + 1<<24 // never inserted
+			ops = append(ops, wire.UpdateOp{Kind: wire.UpdateMove, Obj: id, From: u.randRect(), To: u.randRect()})
+		}
+	}
+	return ops
+}
+
+// TestClusterEquivalence is the core property test: randomized datasets,
+// mixed range/kNN/join queries, and a live (synchronous) update stream —
+// after every batch the router's results over 4 shards must match the
+// single-node server's.
+func TestClusterEquivalence(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			nObj := 3000
+			if testing.Short() {
+				nObj = 800
+			}
+			objs := genObjects(nObj, seed)
+			single, router, cleanup := buildBoth(t, objs, 4)
+			defer cleanup()
+
+			rng := rand.New(rand.NewSource(seed * 77))
+			upd := newUpdateStream(seed*31, objs)
+
+			rounds := 6
+			if testing.Short() {
+				rounds = 3
+			}
+			for round := 0; round < rounds; round++ {
+				if round > 0 {
+					ops := upd.batch(40)
+					sResp := single.ExecuteUpdates(&wire.Request{Client: 900, Updates: ops})
+					cResp, err := router.RoundTrip(&wire.Request{Client: 900, Updates: ops})
+					if err != nil {
+						t.Fatalf("round %d: cluster updates: %v", round, err)
+					}
+					if len(sResp.UpdateResults) != len(cResp.UpdateResults) {
+						t.Fatalf("round %d: %d acks, want %d", round, len(cResp.UpdateResults), len(sResp.UpdateResults))
+					}
+					for i := range sResp.UpdateResults {
+						if sResp.UpdateResults[i] != cResp.UpdateResults[i] {
+							t.Fatalf("round %d: op %d (%+v) ack %v, want %v",
+								round, i, ops[i], cResp.UpdateResults[i], sResp.UpdateResults[i])
+						}
+					}
+				}
+				for qi := 0; qi < 15; qi++ {
+					c := geom.Pt(rng.Float64(), rng.Float64())
+					var q query.Query
+					switch qi % 3 {
+					case 0:
+						q = query.NewRange(geom.RectFromCenter(c, 0.02+rng.Float64()*0.2, 0.02+rng.Float64()*0.2))
+					case 1:
+						q = query.NewKNN(c, 1+rng.Intn(20))
+					default:
+						q = query.NewJoin(geom.RectFromCenter(c, 0.1+rng.Float64()*0.2, 0.1+rng.Float64()*0.2), 0.002+rng.Float64()*0.01)
+					}
+					tag := fmt.Sprintf("round %d query %d (%s)", round, qi, q.Kind)
+					sReq := wire.Request{Client: wire.ClientID(qi + 1), Q: q}
+					cReq := wire.Request{Client: wire.ClientID(qi + 1), Q: q}
+					sResp, _ := single.Execute(&sReq)
+					cResp, err := router.RoundTrip(&cReq)
+					if err != nil {
+						t.Fatalf("%s: %v", tag, err)
+					}
+					switch q.Kind {
+					case query.Range:
+						compareRange(t, tag, sResp, cResp)
+					case query.KNN:
+						compareKNN(t, tag, q, sResp, cResp)
+					default:
+						compareJoin(t, tag, sResp, cResp)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestClusterEquivalenceConcurrent runs the same comparison after a phase
+// of genuinely concurrent queries and update batches (exercised under
+// -race in CI): during the storm both backends serve without errors, and
+// once the stream drains their contents are identical again.
+func TestClusterEquivalenceConcurrent(t *testing.T) {
+	objs := genObjects(1500, 42)
+	single, router, cleanup := buildBoth(t, objs, 4)
+	defer cleanup()
+
+	upd := newUpdateStream(99, objs)
+	batches := make([][]wire.UpdateOp, 20)
+	for i := range batches {
+		batches[i] = upd.batch(24)
+	}
+
+	var wg sync.WaitGroup
+	// One updater streams the identical batch sequence into both backends.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, ops := range batches {
+			single.ExecuteUpdates(&wire.Request{Client: 901, Updates: ops})
+			if _, err := router.RoundTrip(&wire.Request{Client: 901, Updates: ops}); err != nil {
+				t.Errorf("cluster updates: %v", err)
+				return
+			}
+		}
+	}()
+	// Query workers hammer both backends while updates land.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 60; i++ {
+				c := geom.Pt(rng.Float64(), rng.Float64())
+				var q query.Query
+				if i%2 == 0 {
+					q = query.NewRange(geom.RectFromCenter(c, 0.05, 0.05))
+				} else {
+					q = query.NewKNN(c, 5)
+				}
+				if _, err := router.RoundTrip(&wire.Request{Client: wire.ClientID(100 + w), Q: q}); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				single.Execute(&wire.Request{Client: wire.ClientID(100 + w), Q: q})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiesced: full-space range and a spread of kNNs must agree exactly.
+	rng := rand.New(rand.NewSource(7))
+	q := query.NewRange(geom.R(0, 0, 1, 1))
+	sResp, _ := single.Execute(&wire.Request{Client: 1, Q: q})
+	cResp, err := router.RoundTrip(&wire.Request{Client: 1, Q: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRange(t, "final full range", sResp, cResp)
+	for i := 0; i < 20; i++ {
+		c := geom.Pt(rng.Float64(), rng.Float64())
+		kq := query.NewKNN(c, 8)
+		sResp, _ := single.Execute(&wire.Request{Client: 2, Q: kq})
+		cResp, err := router.RoundTrip(&wire.Request{Client: 2, Q: kq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareKNN(t, fmt.Sprintf("final knn %d", i), kq, sResp, cResp)
+	}
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/metrics"
+	"repro/internal/rtree"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// In-process clusters — N shard servers and their router inside one process
+// — are built here once, for every consumer: the repro facade
+// (NewClusterServer behind prodb -cluster), the simulation harness
+// (procsim -fig throughput -cluster), and the equivalence test suite. One
+// builder means one definition of how a dataset becomes shards.
+
+// InProcessConfig parameterizes NewInProcess.
+type InProcessConfig struct {
+	// Shards is the number of spatial shards; default 4.
+	Shards int
+	// Tree shapes each shard's R*-tree (zero MaxEntries means the
+	// paper's 204-entry pages); BulkFill is the bulk-load fill factor,
+	// default 0.7.
+	Tree     rtree.Params
+	BulkFill float64
+	// Server configures each shard server.
+	Server server.Config
+	// Sizer reports object payload sizes; it backs both the shard servers
+	// and the router's cross-shard re-inserts. Required.
+	Sizer func(rtree.ObjectID) int
+	// EpochRing, MaxClients and Stats pass through to the router Config.
+	EpochRing  int
+	MaxClients int
+	Stats      *metrics.ClusterStats
+}
+
+// InProcess is a running in-process cluster.
+type InProcess struct {
+	Router  *Router
+	Servers []*server.Server
+	Counts  []int // objects owned per shard at build time
+}
+
+// Close stops every shard's background update writer.
+func (p *InProcess) Close() {
+	for _, sh := range p.Servers {
+		sh.Close()
+	}
+}
+
+// ShardTransport wraps a single-node server as a router shard: batched
+// updates go through the writer queue, everything else executes as a
+// query, and responses recycle through the server's pool.
+func ShardTransport(sh *server.Server) Shard {
+	return Shard{
+		T: wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+			if len(req.Updates) > 0 {
+				return sh.ExecuteUpdates(req), nil
+			}
+			resp, _ := sh.Execute(req)
+			return resp, nil
+		}),
+		Release: sh.ReleaseResponse,
+	}
+}
+
+// NewInProcess KD-partitions the objects, bulk-loads one server per shard,
+// and stands up the router over them. Every shard must own at least one
+// object; datasets smaller than the shard count should shard less.
+func NewInProcess(objects []dataset.Object, cfg InProcessConfig) (*InProcess, error) {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 4
+	}
+	if cfg.BulkFill <= 0 {
+		cfg.BulkFill = 0.7
+	}
+	if cfg.Tree.MaxEntries == 0 {
+		cfg.Tree = rtree.DefaultParams()
+	}
+	if cfg.Sizer == nil {
+		return nil, fmt.Errorf("cluster: InProcessConfig.Sizer is required")
+	}
+	part, err := MakePartition(objects, n)
+	if err != nil {
+		return nil, err
+	}
+	split := part.Split(objects)
+	p := &InProcess{Counts: make([]int, n)}
+	shards := make([]Shard, n)
+	for s := range split {
+		if len(split[s]) == 0 {
+			p.Close()
+			return nil, fmt.Errorf("cluster: shard %d/%d owns no objects; use fewer shards", s, n)
+		}
+		items := make([]rtree.Item, len(split[s]))
+		for i, o := range split[s] {
+			items[i] = rtree.Item{Obj: o.ID, MBR: o.MBR}
+		}
+		sh := server.New(rtree.BulkLoad(cfg.Tree, items, cfg.BulkFill), cfg.Sizer, cfg.Server)
+		p.Servers = append(p.Servers, sh)
+		p.Counts[s] = len(split[s])
+		shards[s] = ShardTransport(sh)
+	}
+	p.Router, err = New(shards, Config{
+		Part:       part,
+		Sizer:      cfg.Sizer,
+		EpochRing:  cfg.EpochRing,
+		MaxClients: cfg.MaxClients,
+		Stats:      cfg.Stats,
+	})
+	if err != nil {
+		p.Close()
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,617 @@
+package cluster
+
+import (
+	"cmp"
+	"math"
+	"slices"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+// Query scatter-gather. A client query is classified into per-shard
+// sub-queries — fresh queries seed the relevant shards from their own roots,
+// remainder queries split the handed-over priority queue H by the shard each
+// reference decodes to — then issued in waves, merged, and re-keyed into the
+// virtual namespace. Range queries touch only shards whose root rectangle
+// meets the window; kNN runs best-first over shards with per-shard distance
+// bounds and re-issues under-fetched shards; joins broadcast to overlapping
+// shards and add boundary-band candidate scans for cross-shard pairs.
+
+// pairSide is one resolved end of a handed-over join pair element.
+type pairSide struct {
+	shard    int
+	ref      query.Ref
+	portable bool // object reference: routable to any shard
+}
+
+func (r *Router) routeQuery(req *wire.Request) (*wire.Response, error) {
+	st := r.getState()
+	defer r.putState(st)
+	r.snapshotMeta(st)
+	r.loadEpochBase(st, req)
+
+	if len(req.H) == 0 {
+		r.classifyFresh(st, req)
+	} else {
+		r.classifyH(st, req)
+	}
+
+	resp := r.acquireResponse()
+	resp.K = req.Q.K
+	var err error
+	switch req.Q.Kind {
+	case query.KNN:
+		err = r.routeKNN(st, req, resp)
+	case query.Join:
+		err = r.routeJoin(st, req, resp)
+	default: // Range and unknown kinds (which match nothing anywhere)
+		err = r.routeRange(st, req, resp)
+	}
+	if err == nil && st.wantVroot && !req.NoIndex {
+		err = r.appendVroot(st, resp)
+	}
+	if err != nil {
+		r.releaseWave(st)
+		r.ReleaseResponse(resp)
+		return nil, err
+	}
+	if len(st.wave) == 1 {
+		r.stats.SingleShard.Add(1)
+	}
+	// Parents before children: levels strictly decrease downward, and the
+	// virtual root carries the highest level of all.
+	slices.SortStableFunc(resp.Index, func(a, b wire.NodeRep) int {
+		return cmp.Compare(b.Level, a.Level)
+	})
+	r.finishConsistency(st, req, resp)
+	return resp, nil
+}
+
+// rangeRelevant reports whether a shard with the given root rectangle can
+// contribute to a range request (window or semantic-remainder windows).
+func rangeRelevant(mbr geom.Rect, req *wire.Request) bool {
+	if len(req.SemWindows) > 0 {
+		for _, w := range req.SemWindows {
+			if w.Intersects(mbr) {
+				return true
+			}
+		}
+		return false
+	}
+	return req.Q.Window.Intersects(mbr)
+}
+
+// classifyFresh targets the shards a from-the-root query can touch.
+func (r *Router) classifyFresh(st *routeState, req *wire.Request) {
+	for s := range st.meta {
+		if st.meta[s].id == rtree.InvalidNode {
+			continue
+		}
+		switch req.Q.Kind {
+		case query.KNN:
+			st.selfSeed[s] = true
+			st.minKey[s] = geom.MinDist(req.Q.Center, st.meta[s].mbr)
+		case query.Join:
+			if req.Q.JoinWindow.Intersects(st.meta[s].mbr) {
+				st.selfSeed[s] = true
+			}
+		default:
+			if rangeRelevant(st.meta[s].mbr, req) {
+				st.selfSeed[s] = true
+			}
+		}
+	}
+	if req.Q.Kind == query.Join {
+		for sa := range st.meta {
+			if !st.selfSeed[sa] {
+				continue
+			}
+			for sb := sa + 1; sb < st.nsh; sb++ {
+				if !st.selfSeed[sb] {
+					continue
+				}
+				r.addCrossTask(st, req,
+					pairSide{shard: sa, ref: query.NodeRef(st.meta[sa].id, st.meta[sa].mbr)},
+					pairSide{shard: sb, ref: query.NodeRef(st.meta[sb].id, st.meta[sb].mbr)})
+			}
+		}
+	}
+	for s := range st.meta {
+		if st.selfSeed[s] {
+			st.wantVroot = true
+			break
+		}
+	}
+}
+
+// classifyH splits a handed-over priority queue by shard.
+func (r *Router) classifyH(st *routeState, req *wire.Request) {
+	for s := range st.minKey {
+		st.minKey[s] = math.Inf(1)
+	}
+	for _, qe := range req.H {
+		if qe.Elem.Pair {
+			r.classifyPair(st, req, qe)
+		} else {
+			r.classifySingle(st, req, qe)
+		}
+	}
+}
+
+// appendSub adds one element to a shard's sub-queue, tracking the smallest
+// kNN key handed to that shard.
+func (st *routeState) appendSub(q query.Query, s int, qe query.QueuedElem) {
+	st.subH[s] = append(st.subH[s], qe)
+	if q.Kind == query.KNN {
+		key := q.KeyFor(qe.Elem.A.MBR)
+		if qe.Elem.Pair {
+			key = q.PairKeyFor(qe.Elem.A.MBR, qe.Elem.B.MBR)
+		}
+		if key < st.minKey[s] {
+			st.minKey[s] = key
+		}
+	}
+}
+
+// rootTargets reports the shards a virtual-root reference fans out to for
+// this query kind.
+func (r *Router) rootRelevant(st *routeState, req *wire.Request, s int) bool {
+	if st.meta[s].id == rtree.InvalidNode {
+		return false
+	}
+	switch req.Q.Kind {
+	case query.KNN:
+		return true
+	case query.Join:
+		return req.Q.JoinWindow.Intersects(st.meta[s].mbr)
+	default:
+		return rangeRelevant(st.meta[s].mbr, req)
+	}
+}
+
+// classifySingle routes one non-pair element. Virtual-root references fan
+// out to every relevant shard's own root; references outside the namespace
+// are dropped, matching a single node's empty expansion of dangling refs.
+func (r *Router) classifySingle(st *routeState, req *wire.Request, qe query.QueuedElem) {
+	ref := qe.Elem.A
+	switch {
+	case ref.Kind == query.RefObject:
+		s := r.part.LocateRect(ref.MBR)
+		st.appendSub(req.Q, s, qe)
+	case ref.Node == VirtualRoot:
+		st.wantVroot = true
+		for s := range st.meta {
+			if r.rootRelevant(st, req, s) {
+				st.appendSub(req.Q, s, query.QueuedElem{
+					Elem: query.Single(query.NodeRef(st.meta[s].id, st.meta[s].mbr)),
+				})
+			}
+		}
+	default:
+		if s, local, ok := splitVirtual(ref.Node, st.nsh); ok {
+			lr := ref
+			lr.Node = local
+			st.appendSub(req.Q, s, query.QueuedElem{Elem: query.Single(lr), Deferred: qe.Deferred})
+		}
+	}
+}
+
+// pairSides resolves one end of a pair element into shard-local sides.
+func (r *Router) pairSides(st *routeState, req *wire.Request, ref query.Ref, dst []pairSide) []pairSide {
+	switch {
+	case ref.Kind == query.RefObject:
+		return append(dst, pairSide{shard: r.part.LocateRect(ref.MBR), ref: ref, portable: true})
+	case ref.Node == VirtualRoot:
+		st.wantVroot = true
+		for s := range st.meta {
+			if r.rootRelevant(st, req, s) {
+				dst = append(dst, pairSide{shard: s, ref: query.NodeRef(st.meta[s].id, st.meta[s].mbr)})
+			}
+		}
+		return dst
+	default:
+		if s, local, ok := splitVirtual(ref.Node, st.nsh); ok {
+			lr := ref
+			lr.Node = local
+			dst = append(dst, pairSide{shard: s, ref: lr})
+		}
+		return dst
+	}
+}
+
+// classifyPair routes one join pair element: same-shard (or object-bearing)
+// combinations become shard-local pairs, node pairs straddling two shards
+// become cross-shard candidate scans.
+func (r *Router) classifyPair(st *routeState, req *wire.Request, qe query.QueuedElem) {
+	st.sideA = r.pairSides(st, req, qe.Elem.A, st.sideA[:0])
+	st.sideB = r.pairSides(st, req, qe.Elem.B, st.sideB[:0])
+	for _, a := range st.sideA {
+		for _, b := range st.sideB {
+			switch {
+			case a.portable && b.portable:
+				st.appendSub(req.Q, a.shard, query.QueuedElem{
+					Elem: query.PairOf(a.ref, b.ref), Deferred: qe.Deferred,
+				})
+			case a.portable:
+				st.appendSub(req.Q, b.shard, query.QueuedElem{
+					Elem: query.PairOf(a.ref, b.ref), Deferred: qe.Deferred,
+				})
+			case b.portable || a.shard == b.shard:
+				st.appendSub(req.Q, a.shard, query.QueuedElem{
+					Elem: query.PairOf(a.ref, b.ref), Deferred: qe.Deferred,
+				})
+			default:
+				r.addCrossTask(st, req, a, b)
+			}
+		}
+	}
+}
+
+// addCrossTask records a deduplicated cross-shard candidate scan.
+func (r *Router) addCrossTask(st *routeState, req *wire.Request, a, b pairSide) {
+	if b.shard < a.shard {
+		a, b = b, a
+	}
+	for _, t := range st.cross {
+		if t.sa == a.shard && t.sb == b.shard && t.a.Same(a.ref) && t.b.Same(b.ref) {
+			return
+		}
+	}
+	st.cross = append(st.cross, crossTask{sa: a.shard, sb: b.shard, a: a.ref, b: b.ref})
+	r.stats.CrossPairTasks.Add(1)
+}
+
+// primaryItems appends one wave item per targeted shard, carrying the
+// shard's H split (or nothing, for root-seeded shards) plus the client's
+// pass-through fields, then catalog piggybacks for every lagging shard the
+// query skips.
+func (st *routeState) primaryItems(req *wire.Request) {
+	for s := 0; s < st.nsh; s++ {
+		if !st.selfSeed[s] && len(st.subH[s]) == 0 {
+			continue
+		}
+		st.wave = append(st.wave, waveItem{shard: s, task: -1})
+		it := &st.wave[len(st.wave)-1]
+		it.req = wire.Request{
+			Client:     req.Client,
+			Q:          req.Q,
+			CachedIDs:  req.CachedIDs,
+			SemWindows: req.SemWindows,
+			NoIndex:    req.NoIndex,
+			Epoch:      st.baseVec[s],
+			FMR:        req.FMR,
+			HasFMR:     req.HasFMR,
+		}
+		if !st.selfSeed[s] {
+			it.req.H = st.subH[s]
+		}
+	}
+	st.appendLagCatalogs(req, func(s int) bool { return st.selfSeed[s] || len(st.subH[s]) > 0 })
+}
+
+// appendLagCatalogs adds a catalog sub-request for every shard the request
+// does not otherwise touch but whose known epoch is ahead of the client's
+// coverage. A single-node response always carries the client's *full*
+// invalidation window; without this, a client querying only one region
+// could keep a stale cut of another shard forever — the stale cut prunes
+// the region, so no query ever reaches the shard that would invalidate it.
+// In the no-update steady state nothing lags, so the single-shard fast
+// path is untouched.
+func (st *routeState) appendLagCatalogs(req *wire.Request, targeted func(s int) bool) {
+	for s := 0; s < st.nsh; s++ {
+		if targeted(s) || st.meta[s].epoch <= st.baseVec[s] {
+			continue
+		}
+		st.wave = append(st.wave, waveItem{shard: s, task: -1})
+		it := &st.wave[len(st.wave)-1]
+		it.req = wire.Request{Client: req.Client, Catalog: true, Epoch: st.baseVec[s]}
+	}
+}
+
+// mergeObjects deduplicates a sub-response's result objects into the
+// merged response.
+func (st *routeState) mergeObjects(sub *wire.Response, resp *wire.Response) {
+	for _, o := range sub.Objects {
+		if !st.seenObj[o.ID] {
+			st.seenObj[o.ID] = true
+			resp.Objects = append(resp.Objects, o)
+		}
+	}
+}
+
+// routeRange scatters a range (or semantic-remainder) query to overlapping
+// shards and merges object sets, sorted by id for determinism.
+func (r *Router) routeRange(st *routeState, req *wire.Request, resp *wire.Response) error {
+	st.primaryItems(req)
+	if len(st.wave) == 0 {
+		return nil
+	}
+	if err := r.issueWave(st.wave); err != nil {
+		return err
+	}
+	for i := range st.wave {
+		it := &st.wave[i]
+		if err := r.absorb(st, it.shard, it.resp, resp); err != nil {
+			return err
+		}
+		st.mergeObjects(it.resp, resp)
+		if !req.NoIndex {
+			if err := r.mergeIndex(st, it.shard, it.resp, resp); err != nil {
+				return err
+			}
+		}
+		r.release(it.shard, it.resp)
+		it.resp = nil
+	}
+	slices.SortFunc(resp.Objects, func(a, b wire.ObjectRep) int { return cmp.Compare(a.ID, b.ID) })
+	return nil
+}
+
+// knnMerge sorts the gathered kNN candidates by (distance, id).
+type knnMerge routeState
+
+func (m *knnMerge) Len() int { return len(m.knnObjs) }
+func (m *knnMerge) Less(i, j int) bool {
+	if m.knnDists[i] != m.knnDists[j] {
+		return m.knnDists[i] < m.knnDists[j]
+	}
+	return m.knnObjs[i].ID < m.knnObjs[j].ID
+}
+func (m *knnMerge) Swap(i, j int) {
+	m.knnObjs[i], m.knnObjs[j] = m.knnObjs[j], m.knnObjs[i]
+	m.knnDists[i], m.knnDists[j] = m.knnDists[j], m.knnDists[i]
+}
+
+// routeKNN is the best-first scatter: the nearest shard is asked for the
+// full k, the rest are probed with k/n+1, and any shard whose unseen
+// objects might still beat the global k-th best distance is re-issued at
+// full k with that distance as its pruning bound (wire.Request.Bound). A
+// shard is never asked more than twice.
+func (r *Router) routeKNN(st *routeState, req *wire.Request, resp *wire.Response) error {
+	k := req.Q.K
+	if k <= 0 {
+		return nil
+	}
+	// Candidate shards and their initial lower bounds.
+	ncand, primary := 0, -1
+	for s := 0; s < st.nsh; s++ {
+		if !st.selfSeed[s] && len(st.subH[s]) == 0 {
+			st.knnLower[s] = math.Inf(1)
+			st.knnAsked[s] = k // never ask
+			continue
+		}
+		if st.selfSeed[s] {
+			st.minKey[s] = geom.MinDist(req.Q.Center, st.meta[s].mbr)
+		}
+		st.knnLower[s] = st.minKey[s]
+		st.knnAsked[s] = 0
+		ncand++
+		if primary < 0 || st.knnLower[s] < st.knnLower[primary] {
+			primary = s
+		}
+	}
+	if ncand == 0 {
+		return nil
+	}
+	probe := k
+	if ncand > 1 {
+		probe = k/ncand + 1
+	}
+
+	st.primaryItems(req)
+	for i := range st.wave {
+		it := &st.wave[i]
+		if it.req.Catalog {
+			continue // lag piggyback: consistency only, no kNN bookkeeping
+		}
+		ask := probe
+		if it.shard == primary {
+			ask = k
+		}
+		it.req.Q.K = ask
+		st.knnAsked[it.shard] = ask
+	}
+
+	wave := st.wave
+	for len(wave) > 0 {
+		if err := r.issueWave(wave); err != nil {
+			return err
+		}
+		for i := range wave {
+			it := &wave[i]
+			if err := r.absorb(st, it.shard, it.resp, resp); err != nil {
+				return err
+			}
+			if it.req.Catalog {
+				r.release(it.shard, it.resp)
+				it.resp = nil
+				continue
+			}
+			got := len(it.resp.Objects)
+			for _, o := range it.resp.Objects {
+				if !st.seenObj[o.ID] {
+					st.seenObj[o.ID] = true
+					st.knnObjs = append(st.knnObjs, o)
+					st.knnDists = append(st.knnDists, req.Q.KeyFor(o.MBR))
+				}
+			}
+			var last float64
+			if got > 0 {
+				last = req.Q.KeyFor(it.resp.Objects[got-1].MBR)
+			}
+			switch {
+			case got < st.knnAsked[it.shard] && it.req.Bound == 0:
+				st.knnLower[it.shard] = math.Inf(1) // exhausted
+			case got < st.knnAsked[it.shard]:
+				st.knnLower[it.shard] = math.Max(last, it.req.Bound)
+			default:
+				st.knnLower[it.shard] = last
+			}
+			if !req.NoIndex {
+				if err := r.mergeIndex(st, it.shard, it.resp, resp); err != nil {
+					return err
+				}
+			}
+			r.release(it.shard, it.resp)
+			it.resp = nil
+		}
+		sort.Sort((*knnMerge)(st))
+		dk := math.Inf(1)
+		if len(st.knnObjs) >= k {
+			dk = st.knnDists[k-1]
+		}
+		// Re-issue under-fetched shards that can still contribute.
+		waveStart := len(st.wave)
+		for s := 0; s < st.nsh; s++ {
+			if st.knnAsked[s] >= k || st.knnLower[s] >= dk {
+				continue
+			}
+			st.wave = append(st.wave, waveItem{shard: s, task: -1, reissue: true})
+			it := &st.wave[len(st.wave)-1]
+			it.req = wire.Request{
+				Client:    req.Client,
+				Q:         req.Q,
+				CachedIDs: req.CachedIDs,
+				NoIndex:   req.NoIndex,
+				Epoch:     st.baseVec[s],
+			}
+			if !st.selfSeed[s] {
+				it.req.H = st.subH[s]
+			}
+			if !math.IsInf(dk, 1) {
+				it.req.Bound = dk
+			}
+			st.knnAsked[s] = k
+		}
+		wave = st.wave[waveStart:]
+	}
+
+	n := min(k, len(st.knnObjs))
+	resp.Objects = append(resp.Objects, st.knnObjs[:n]...)
+	return nil
+}
+
+// inflate grows a rectangle by d on every side.
+func inflate(rc geom.Rect, d float64) geom.Rect {
+	return geom.Rect{MinX: rc.MinX - d, MinY: rc.MinY - d, MaxX: rc.MaxX + d, MaxY: rc.MaxY + d}
+}
+
+// routeJoin broadcasts the self-join to overlapping shards for intra-shard
+// pairs and runs boundary-band candidate scans for every cross-shard task:
+// side A collects the objects beneath its reference within distance reach
+// of side B's rectangle (clipped to the join window) and vice versa, then
+// the router pairs candidates with the exact join predicate.
+func (r *Router) routeJoin(st *routeState, req *wire.Request, resp *wire.Response) error {
+	st.primaryItems(req)
+	nPrimary := len(st.wave)
+
+	for ti := range st.cross {
+		t := &st.cross[ti]
+		wa, okA := inflate(t.b.MBR, req.Q.Dist).Intersection(req.Q.JoinWindow)
+		wb, okB := inflate(t.a.MBR, req.Q.Dist).Intersection(req.Q.JoinWindow)
+		if !okA || !okB {
+			continue // the bands cannot meet: no cross pairs possible
+		}
+		for side, w := range [2]geom.Rect{wa, wb} {
+			sh, ref := t.sa, t.a
+			if side == 1 {
+				sh, ref = t.sb, t.b
+			}
+			st.wave = append(st.wave, waveItem{shard: sh, task: ti, side: side})
+			it := &st.wave[len(st.wave)-1]
+			it.req = wire.Request{
+				Client:    req.Client,
+				Q:         query.NewRange(w),
+				CachedIDs: req.CachedIDs,
+				NoIndex:   req.NoIndex,
+				Epoch:     st.baseVec[sh],
+				H:         []query.QueuedElem{{Elem: query.Single(ref)}},
+			}
+		}
+	}
+	if len(st.wave) == 0 {
+		return nil
+	}
+	if err := r.issueWave(st.wave); err != nil {
+		return err
+	}
+	for i := range st.wave {
+		it := &st.wave[i]
+		if err := r.absorb(st, it.shard, it.resp, resp); err != nil {
+			return err
+		}
+		if !req.NoIndex {
+			if err := r.mergeIndex(st, it.shard, it.resp, resp); err != nil {
+				return err
+			}
+		}
+		if i < nPrimary {
+			st.mergeObjects(it.resp, resp)
+			for _, p := range it.resp.Pairs {
+				st.appendPair(resp, p)
+			}
+		} else {
+			t := &st.cross[it.task]
+			cands := append([]wire.ObjectRep(nil), it.resp.Objects...)
+			if it.side == 0 {
+				t.candsA, t.haveA = cands, true
+			} else {
+				t.candsB, t.haveB = cands, true
+			}
+		}
+		r.release(it.shard, it.resp)
+		it.resp = nil
+	}
+
+	// Pair band candidates with the exact join predicate.
+	for ti := range st.cross {
+		t := &st.cross[ti]
+		if !t.haveA || !t.haveB {
+			continue
+		}
+		for _, a := range t.candsA {
+			for _, b := range t.candsB {
+				if a.ID == b.ID || geom.RectMinDist(a.MBR, b.MBR) > req.Q.Dist {
+					continue
+				}
+				p := [2]rtree.ObjectID{a.ID, b.ID}
+				if p[1] < p[0] {
+					p[0], p[1] = p[1], p[0]
+				}
+				if !st.appendPair(resp, p) {
+					continue
+				}
+				for _, o := range [2]wire.ObjectRep{a, b} {
+					if !st.seenObj[o.ID] {
+						st.seenObj[o.ID] = true
+						resp.Objects = append(resp.Objects, o)
+					}
+				}
+			}
+		}
+	}
+
+	slices.SortFunc(resp.Objects, func(a, b wire.ObjectRep) int { return cmp.Compare(a.ID, b.ID) })
+	slices.SortFunc(resp.Pairs, func(a, b [2]rtree.ObjectID) int {
+		if c := cmp.Compare(a[0], b[0]); c != 0 {
+			return c
+		}
+		return cmp.Compare(a[1], b[1])
+	})
+	return nil
+}
+
+// appendPair deduplicates one canonical join pair into the response,
+// reporting whether it was new.
+func (st *routeState) appendPair(resp *wire.Response, p [2]rtree.ObjectID) bool {
+	if st.seenPair[p] {
+		return false
+	}
+	st.seenPair[p] = true
+	resp.Pairs = append(resp.Pairs, p)
+	return true
+}

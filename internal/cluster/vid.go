@@ -1,0 +1,62 @@
+package cluster
+
+import "repro/internal/rtree"
+
+// Virtual node namespace. Shard-local NodeIDs are re-keyed arithmetically
+// into the client-visible namespace: the shard ordinal (plus one) lives in
+// the high bits, the shard-local id in the low bits. The mapping is a pure
+// bit split — no per-node table, no per-client state — which is the whole
+// "re-key table" memory model: O(1) (docs/CLUSTER.md discusses the
+// trade-off against table-based re-keying).
+//
+// NodeID is 32 bits, so the split caps a cluster at MaxShards shards of
+// MaxLocalNodes index pages each (255 x ~16.7M pages ≈ 4 billion entries at
+// the paper's page size — far past the single-process datasets this layer
+// targets). The virtual root and every id below 1<<shardShift are reserved;
+// shard-local ids never reach them because shard ordinals start at 0 and
+// (shard+1)<<shardShift is always set.
+
+const (
+	// shardShift is where the shard ordinal starts inside a virtual NodeID.
+	shardShift = 24
+	// localMask extracts the shard-local id from a virtual NodeID.
+	localMask = 1<<shardShift - 1
+	// MaxShards is the largest shard count the virtual namespace can hold.
+	MaxShards = 255
+	// MaxLocalNodes is the largest shard-local NodeID the namespace can
+	// re-key. A shard that grows past it (snapshot arenas never reuse ids)
+	// fails loudly at re-key time rather than aliasing another shard.
+	MaxLocalNodes = 1<<shardShift - 1
+)
+
+// VirtualRoot is the NodeID of the cluster's synthesized root node: the one
+// index node the router owns, whose entries are the shard roots. It lives
+// below every re-keyed id, so it can never collide.
+const VirtualRoot rtree.NodeID = 1
+
+// virtualNode re-keys a shard-local node id into the virtual namespace.
+// ok is false when the local id exceeds MaxLocalNodes.
+func virtualNode(shard int, local rtree.NodeID) (rtree.NodeID, bool) {
+	if local > MaxLocalNodes {
+		return rtree.InvalidNode, false
+	}
+	if local == rtree.InvalidNode {
+		return rtree.InvalidNode, true
+	}
+	return rtree.NodeID(shard+1)<<shardShift | local, true
+}
+
+// splitVirtual decodes a virtual node id back into (shard ordinal, local
+// id). ok is false for ids outside the namespace: the virtual root, the
+// reserved low range, and shard ordinals past the cluster size.
+func splitVirtual(v rtree.NodeID, shards int) (shard int, local rtree.NodeID, ok bool) {
+	s := int(v>>shardShift) - 1
+	if s < 0 || s >= shards {
+		return 0, rtree.InvalidNode, false
+	}
+	local = v & localMask
+	if local == rtree.InvalidNode {
+		return 0, rtree.InvalidNode, false
+	}
+	return s, local, true
+}

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// ClusterStats are the live counters of a cluster router (internal/cluster):
+// how client requests fan out into shard sub-queries, how often the kNN
+// re-issue protocol fires, and how much cross-shard join work the merge
+// layer performs. All fields are atomic; one ClusterStats is shared by every
+// request the router serves.
+type ClusterStats struct {
+	// Requests counts client requests routed (queries, catalogs, updates).
+	Requests atomic.Int64
+	// SubQueries counts shard sub-requests issued (all kinds).
+	SubQueries atomic.Int64
+	// SingleShard counts client queries answered by exactly one shard —
+	// the fan-out-free fast path.
+	SingleShard atomic.Int64
+	// Reissues counts kNN sub-queries re-issued because a shard's initial
+	// probe under-fetched (its local bound still beat the global k-th best).
+	Reissues atomic.Int64
+	// CrossPairTasks counts cross-shard join candidate scans (one per shard
+	// pair whose boundary band intersected the join window).
+	CrossPairTasks atomic.Int64
+	// Flushes counts responses that told a client to drop its cache (epoch
+	// fell off the per-client table, or a shard demanded it).
+	Flushes atomic.Int64
+
+	// PerShard holds one counter block per shard, indexed by shard ordinal.
+	PerShard []ShardCounters
+}
+
+// ShardCounters are the per-shard slice of the router's counters.
+type ShardCounters struct {
+	// SubQueries counts sub-requests routed to this shard.
+	SubQueries atomic.Int64
+	// Errors counts sub-requests this shard failed.
+	Errors atomic.Int64
+}
+
+// NewClusterStats returns counters for a router over n shards.
+func NewClusterStats(n int) *ClusterStats {
+	return &ClusterStats{PerShard: make([]ShardCounters, n)}
+}
+
+// ClusterSnapshot is a point-in-time copy of ClusterStats for printing.
+type ClusterSnapshot struct {
+	Requests       int64
+	SubQueries     int64
+	SingleShard    int64
+	Reissues       int64
+	CrossPairTasks int64
+	Flushes        int64
+	PerShard       []ShardSnapshot
+}
+
+// ShardSnapshot is one shard's counter copy.
+type ShardSnapshot struct {
+	SubQueries int64
+	Errors     int64
+}
+
+// Snapshot copies the live counters.
+func (s *ClusterStats) Snapshot() ClusterSnapshot {
+	snap := ClusterSnapshot{
+		Requests:       s.Requests.Load(),
+		SubQueries:     s.SubQueries.Load(),
+		SingleShard:    s.SingleShard.Load(),
+		Reissues:       s.Reissues.Load(),
+		CrossPairTasks: s.CrossPairTasks.Load(),
+		Flushes:        s.Flushes.Load(),
+		PerShard:       make([]ShardSnapshot, len(s.PerShard)),
+	}
+	for i := range s.PerShard {
+		snap.PerShard[i] = ShardSnapshot{
+			SubQueries: s.PerShard[i].SubQueries.Load(),
+			Errors:     s.PerShard[i].Errors.Load(),
+		}
+	}
+	return snap
+}
+
+// FanOut returns the mean shard sub-queries per routed request.
+func (s ClusterSnapshot) FanOut() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.SubQueries) / float64(s.Requests)
+}
+
+// String renders a one-line summary plus a per-shard breakdown.
+func (s ClusterSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: %d reqs, %d subqueries (%.2f fan-out), %d single-shard, %d reissues, %d cross-pair scans, %d flushes; shards:",
+		s.Requests, s.SubQueries, s.FanOut(), s.SingleShard, s.Reissues, s.CrossPairTasks, s.Flushes)
+	for i, sh := range s.PerShard {
+		fmt.Fprintf(&b, " %d=%d", i, sh.SubQueries)
+		if sh.Errors > 0 {
+			fmt.Fprintf(&b, "(%derr)", sh.Errors)
+		}
+	}
+	return b.String()
+}

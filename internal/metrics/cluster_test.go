@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestClusterStatsSnapshot(t *testing.T) {
+	s := NewClusterStats(3)
+	s.Requests.Add(4)
+	s.SubQueries.Add(7)
+	s.SingleShard.Add(2)
+	s.Reissues.Add(1)
+	s.PerShard[0].SubQueries.Add(5)
+	s.PerShard[2].SubQueries.Add(2)
+	s.PerShard[2].Errors.Add(1)
+
+	snap := s.Snapshot()
+	if snap.Requests != 4 || snap.SubQueries != 7 || snap.SingleShard != 2 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if got := snap.FanOut(); got != 7.0/4.0 {
+		t.Fatalf("FanOut = %v", got)
+	}
+	if len(snap.PerShard) != 3 || snap.PerShard[0].SubQueries != 5 || snap.PerShard[2].Errors != 1 {
+		t.Fatalf("per-shard = %+v", snap.PerShard)
+	}
+	str := snap.String()
+	for _, want := range []string{"4 reqs", "7 subqueries", "1 reissues", "2=2(1err)"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestClusterStatsZero(t *testing.T) {
+	snap := NewClusterStats(1).Snapshot()
+	if snap.FanOut() != 0 {
+		t.Fatalf("zero-request FanOut = %v", snap.FanOut())
+	}
+}
+
+// TestClusterStatsConcurrent hammers the counters from many goroutines; run
+// under -race this pins the all-atomic contract.
+func TestClusterStatsConcurrent(t *testing.T) {
+	s := NewClusterStats(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Requests.Add(1)
+				s.PerShard[g%4].SubQueries.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Requests != 8000 {
+		t.Fatalf("Requests = %d", snap.Requests)
+	}
+	var sub int64
+	for _, sh := range snap.PerShard {
+		sub += sh.SubQueries
+	}
+	if sub != 8000 {
+		t.Fatalf("per-shard sum = %d", sub)
+	}
+}

@@ -122,6 +122,16 @@ func (r *Runner) Reset() {
 // confirmed results plus missing leaf elements reach K, and the remainder is
 // the pruned union of missing and unexplored elements.
 func (r *Runner) Run(q Query, prov Provider, seed []QueuedElem) Outcome {
+	return r.RunBounded(q, prov, seed, 0)
+}
+
+// RunBounded is Run with a priority-key upper bound: when bound is positive,
+// processing stops as soon as the queue head's key exceeds it. Keys are
+// lower bounds on the results beneath an element, so nothing within the
+// bound is lost; everything beyond it lands in the remainder as usual. A
+// cluster router uses this to stop a kNN sub-query at the global k-th-best
+// distance it already holds (wire.Request.Bound). Zero means unbounded.
+func (r *Runner) RunBounded(q Query, prov Provider, seed []QueuedElem, bound float64) Outcome {
 	r.Reset()
 	var out Outcome
 	minMissingNonLeaf := math.Inf(1)
@@ -142,6 +152,11 @@ func (r *Runner) Run(q Query, prov Provider, seed []QueuedElem) Outcome {
 		}
 		if r.h.Len() == 0 {
 			break
+		}
+		if bound > 0 {
+			if key, _ := r.h.Min(); key > bound {
+				break // every remaining element exceeds the bound
+			}
 		}
 		key, elem := r.h.Pop()
 		out.Stats.Pops++

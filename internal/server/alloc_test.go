@@ -10,8 +10,10 @@ import (
 // the warm serving path (see docs/PERF.md): a steady-state Execute over
 // pooled state is expected to allocate nothing, but the ceiling leaves
 // headroom for a GC emptying the sync.Pools mid-measurement (pool refills
-// then show up as allocations) so the assertion stays deterministic.
-const warmExecuteAllocCeiling = 24
+// then show up as allocations) so the assertion stays deterministic — under
+// -race with the full suite's GC pressure a refill has been observed to
+// cost 25, hence the margin above that.
+const warmExecuteAllocCeiling = 32
 
 // TestWarmExecuteAllocBudget pins the tentpole property: a warm query on the
 // server is effectively allocation-free. It fails loudly when a regression

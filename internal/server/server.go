@@ -434,7 +434,10 @@ func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
 			st.seed = appendRekeyed(st.seed[:0], req.Q, seed)
 			seed = st.seed
 		}
-		out := st.runner.Run(req.Q, &st.prov, seed)
+		// Bound is cluster shard-routing metadata: a router that already
+		// holds k candidates tells the shard the global k-th-best distance,
+		// so the sub-query stops descending past it.
+		out := st.runner.RunBounded(req.Q, &st.prov, seed, req.Bound)
 		info.Engine = out.Stats
 		for _, r := range out.Results {
 			if !st.seen[r.Obj] {

@@ -7,10 +7,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/rtree"
 	"repro/internal/server"
 	"repro/internal/wire"
 )
@@ -37,12 +39,36 @@ type ThroughputResult struct {
 // server, and reports wall-clock throughput with latency quantiles. Every
 // client owns a private cache and rng; only the server is shared.
 func Throughput(env *Environment, clients, queriesPerClient int, seed int64) (ThroughputResult, error) {
-	srv := server.New(env.Tree, env.DS.SizeOf, server.Config{})
-	transport := wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
-		resp, _ := srv.Execute(req)
-		return resp, nil
-	})
+	return ThroughputSharded(env, 1, clients, queriesPerClient, seed)
+}
+
+// ThroughputSharded is Throughput over a spatially sharded backend: with
+// shards > 1 the dataset is KD-partitioned into that many single-node
+// servers behind a cluster router (internal/cluster), and every client
+// query scatter-gathers; shards <= 1 measures the plain shared server.
+func ThroughputSharded(env *Environment, shards, clients, queriesPerClient int, seed int64) (ThroughputResult, error) {
+	var transport wire.Transport
+	if shards > 1 {
+		backend, err := clusterBackend(env, shards)
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+		defer backend.Close()
+		transport = backend.Router
+	} else {
+		srv := server.New(env.Tree, env.DS.SizeOf, server.Config{})
+		defer srv.Close()
+		transport = wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+			resp, _ := srv.Execute(req)
+			return resp, nil
+		})
+	}
 	sizes := wire.DefaultSizeModel()
+	cat, err := transport.RoundTrip(&wire.Request{Catalog: true})
+	if err != nil {
+		return ThroughputResult{}, fmt.Errorf("catalog: %w", err)
+	}
+	root := query.NodeRef(cat.RootID, cat.RootMBR)
 
 	var hist metrics.Histogram
 	errCh := make(chan error, clients)
@@ -56,7 +82,7 @@ func Throughput(env *Environment, clients, queriesPerClient int, seed int64) (Th
 			cache := core.NewCache(1<<20, core.GRD3, sizes)
 			cl := core.NewClient(core.ClientConfig{
 				ID:        wire.ClientID(c + 1),
-				Root:      srv.RootRef(),
+				Root:      root,
 				Sizes:     sizes,
 				FMRPeriod: 25,
 			}, cache, transport)
@@ -98,15 +124,31 @@ func Throughput(env *Environment, clients, queriesPerClient int, seed int64) (Th
 
 // ThroughputSweep measures Throughput at each client count.
 func ThroughputSweep(env *Environment, clientCounts []int, queriesPerClient int, seed int64) ([]ThroughputResult, error) {
+	return ThroughputSweepSharded(env, 1, clientCounts, queriesPerClient, seed)
+}
+
+// ThroughputSweepSharded sweeps client counts over a sharded backend
+// (procsim -fig throughput -cluster N).
+func ThroughputSweepSharded(env *Environment, shards int, clientCounts []int, queriesPerClient int, seed int64) ([]ThroughputResult, error) {
 	rows := make([]ThroughputResult, 0, len(clientCounts))
 	for _, c := range clientCounts {
-		r, err := Throughput(env, c, queriesPerClient, seed)
+		r, err := ThroughputSharded(env, shards, c, queriesPerClient, seed)
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, r)
 	}
 	return rows, nil
+}
+
+// clusterBackend builds an in-process sharded backend over the
+// environment's dataset, mirroring the environment's tree shape.
+func clusterBackend(env *Environment, shards int) (*cluster.InProcess, error) {
+	return cluster.NewInProcess(env.DS.Objects, cluster.InProcessConfig{
+		Shards: shards,
+		Tree:   rtree.Params{MaxEntries: env.Tree.Params().MaxEntries},
+		Sizer:  env.DS.SizeOf,
+	})
 }
 
 // FprintThroughput renders the scaling sweep, with speedup relative to the

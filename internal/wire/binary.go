@@ -84,6 +84,7 @@ const (
 	reqCatalog
 	reqHasFMR
 	reqHasUpdates
+	reqHasBound
 )
 
 // Query field-presence bits (zero-valued fields are elided).
@@ -135,6 +136,18 @@ const (
 // is ~1e-7.
 func appendF32(b []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint32(b, math.Float32bits(float32(v)))
+}
+
+// f32ceil quantizes a value to the smallest float32 not below it. The kNN
+// pruning bound must never round DOWN on the wire: a shard pruning at a
+// bound half an ulp under the router's true k-th-best distance could drop
+// a genuine nearest neighbor. Rounding up only ever under-prunes.
+func f32ceil(v float64) float64 {
+	f := float32(v)
+	if float64(f) < v {
+		f = math.Nextafter32(f, float32(math.Inf(1)))
+	}
+	return float64(f)
 }
 
 func appendRect(b []byte, r geom.Rect) []byte {
@@ -238,6 +251,9 @@ func EncodeRequest(dst []byte, req *Request) []byte {
 	if len(req.Updates) > 0 {
 		fl |= reqHasUpdates
 	}
+	if req.Bound > 0 {
+		fl |= reqHasBound
+	}
 	b = append(b, fl)
 	b = binary.AppendUvarint(b, req.Epoch)
 	b = appendQuery(b, req.Q)
@@ -286,6 +302,13 @@ func EncodeRequest(dst []byte, req *Request) []byte {
 				b = appendRect(b, u.From)
 			}
 		}
+	}
+	// The shard-routing bound is appended last and only when flagged, so
+	// every pre-cluster request encodes byte-identically to protocol
+	// version 1 streams (the golden files pin this). It quantizes upward
+	// (f32ceil), unlike geometry: a bound must never tighten in transit.
+	if req.Bound > 0 {
+		b = appendF32(b, f32ceil(req.Bound))
 	}
 	return b
 }
@@ -604,6 +627,9 @@ func DecodeRequest(body []byte) (*Request, error) {
 				req.Updates = append(req.Updates, u)
 			}
 		}
+	}
+	if fl&reqHasBound != 0 {
+		req.Bound = d.f32()
 	}
 	if err := d.done(); err != nil {
 		return nil, err

@@ -41,6 +41,10 @@ func canonRequest(req *Request) *Request {
 	if req.HasFMR {
 		out.FMR = q32(req.FMR)
 	}
+	out.Bound = 0
+	if req.Bound > 0 {
+		out.Bound = f32ceil(req.Bound) // the bound quantizes upward, never down
+	}
 	out.H = nil
 	for _, qe := range req.H {
 		qe.Key = 0
@@ -147,6 +151,12 @@ func testRequests() map[string]*Request {
 			Q:          query.NewRange(geom.R(0, 0, 0.5, 0.5)),
 			SemWindows: []geom.Rect{geom.R(0, 0, 0.25, 0.5), geom.R(0.25, 0, 0.5, 0.125)},
 			NoIndex:    true,
+		},
+		"knn-bound": {
+			Client: 5,
+			Q:      query.NewKNN(geom.Pt(0.25, 0.75), 8),
+			Epoch:  12,
+			Bound:  0.125,
 		},
 		"update-batch": {
 			Client: 11,
@@ -269,6 +279,30 @@ func TestBinaryQuantizesToFloat32(t *testing.T) {
 	}
 	if got.Q.Window.MinX != float64(float32(v)) {
 		t.Fatalf("MinX = %v, want %v", got.Q.Window.MinX, float64(float32(v)))
+	}
+}
+
+// TestBinaryBoundNeverRoundsDown: the shard-routing kNN bound must survive
+// quantization without tightening — a wire-rounded-down bound would let a
+// shard prune a genuine nearest neighbor half an ulp inside it.
+func TestBinaryBoundNeverRoundsDown(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 5000; i++ {
+		v := r.Float64() * r.Float64() // bias toward small distances
+		if v == 0 {
+			continue
+		}
+		req := &Request{Q: query.NewKNN(geom.Pt(0.5, 0.5), 3), Bound: v}
+		got, err := DecodeRequest(EncodeRequest(nil, req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Bound < v {
+			t.Fatalf("bound %v rounded down to %v on the wire", v, got.Bound)
+		}
+		if got.Bound != f32ceil(v) {
+			t.Fatalf("bound %v decoded as %v, want %v", v, got.Bound, f32ceil(v))
+		}
 	}
 }
 

@@ -41,6 +41,9 @@ func randRequest(r *rand.Rand) *Request {
 		req.FMR = r.Float64()
 	}
 	if r.Intn(3) == 0 {
+		req.Bound = r.Float64() // cluster sub-query distance bound
+	}
+	if r.Intn(3) == 0 {
 		for i := 0; i < 1+r.Intn(4); i++ {
 			u := UpdateOp{Obj: rtree.ObjectID(r.Uint32())}
 			switch r.Intn(3) {

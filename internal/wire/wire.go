@@ -77,6 +77,14 @@ type Request struct {
 	// queueing costs — the writer coalesces whole batches into one published
 	// snapshot.
 	Updates []UpdateOp
+
+	// Bound, when positive, is shard-routing metadata from a cluster router
+	// (internal/cluster): a priority-key upper bound on the query. A kNN
+	// sub-query carries the router's current global k-th-best distance, so a
+	// shard whose nearest unexplored entry already exceeds the bound stops
+	// descending instead of solving its full local top-k (docs/CLUSTER.md).
+	// Zero means unbounded; single-node clients never set it.
+	Bound float64
 }
 
 // UpdateKind selects an index mutation.
@@ -236,6 +244,9 @@ func (m SizeModel) RequestBytes(r *Request) int {
 		if u.Kind == UpdateInsert {
 			n += 4 // payload size
 		}
+	}
+	if r.Bound > 0 {
+		n += 4 // float32 shard-routing bound
 	}
 	return n
 }

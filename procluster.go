@@ -1,0 +1,151 @@
+package repro
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/rtree"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// ClusterConfig parameterizes NewClusterServer.
+type ClusterConfig struct {
+	// Shards is the number of spatial shards; default 4, max
+	// cluster.MaxShards (255).
+	Shards int
+	// Form, Sensitivity, PageBytes, BulkFill apply to every shard exactly
+	// as in ServerConfig.
+	Form        IndexForm
+	Sensitivity float64
+	PageBytes   int
+	BulkFill    float64
+}
+
+// ClusterServer is a spatially sharded spatial database behind one
+// endpoint: the dataset is KD-partitioned into N in-process single-node
+// servers, and a cluster.Router serves the whole wire protocol over them —
+// scatter-gathering queries, routing updates to owning shards, and
+// re-keying node ids and epochs into the virtual namespace clients see —
+// so proactive-caching clients drive it exactly like a single Server
+// (docs/CLUSTER.md). Start one with prodb -cluster N.
+type ClusterServer struct {
+	cluster       *cluster.InProcess
+	stats         metrics.ServerStats
+	remoteUpdates atomic.Bool
+}
+
+// NewClusterServer partitions the objects into cfg.Shards spatial shards,
+// indexes each, and stands up the scatter-gather router over them. Every
+// shard must receive at least one object; datasets smaller than the shard
+// count should shard less.
+func NewClusterServer(objects []Object, cfg ClusterConfig) (*ClusterServer, error) {
+	sizes := make(map[ObjectID]int, len(objects))
+	for _, o := range objects {
+		sizes[o.ID] = o.Size
+	}
+	pageBytes := cfg.PageBytes
+	if pageBytes <= 0 {
+		pageBytes = 4096
+	}
+	p, err := cluster.NewInProcess(objects, cluster.InProcessConfig{
+		Shards:   cfg.Shards,
+		Tree:     rtree.Params{MaxEntries: pageBytes / wire.DefaultSizeModel().Entry},
+		BulkFill: cfg.BulkFill,
+		Server: server.Config{
+			Form:        cfg.Form,
+			Sensitivity: cfg.Sensitivity,
+		},
+		Sizer: func(id ObjectID) int { return sizes[id] },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	cs := &ClusterServer{cluster: p}
+	cs.remoteUpdates.Store(true)
+	return cs, nil
+}
+
+// SetRemoteUpdates enables or disables wire-level batched updates, exactly
+// like Server.SetRemoteUpdates. Enabled by default.
+func (cs *ClusterServer) SetRemoteUpdates(on bool) { cs.remoteUpdates.Store(on) }
+
+// Handler returns the cluster's request handler: queries scatter-gather,
+// updates route to owning shards.
+func (cs *ClusterServer) Handler() wire.Handler {
+	return func(req *wire.Request) (*wire.Response, error) {
+		if len(req.Updates) > 0 && !cs.remoteUpdates.Load() {
+			return nil, ErrUpdatesDisabled
+		}
+		return cs.cluster.Router.RoundTrip(req)
+	}
+}
+
+// Transport returns an in-process transport to the cluster; it is safe for
+// concurrent use.
+func (cs *ClusterServer) Transport() Transport {
+	return wire.TransportFunc(cs.Handler())
+}
+
+// NetServer builds the concurrent TCP serving layer over the cluster, with
+// the same options and semantics as Server.NetServer.
+func (cs *ClusterServer) NetServer(opts ServeOptions) *wire.NetServer {
+	return wire.NewNetServer(cs.Handler(), wire.ServeConfig{
+		MaxConns:    opts.MaxConns,
+		MaxInflight: opts.MaxInflight,
+		MaxPipeline: opts.MaxPipeline,
+		ReadTimeout: opts.ReadTimeout,
+		Stats:       &cs.stats,
+		Release:     cs.cluster.Router.ReleaseResponse,
+	})
+}
+
+// Serve answers clients on a listener with default options until the
+// listener closes. It blocks; use NetServer for shutdown control.
+func (cs *ClusterServer) Serve(ln net.Listener) error {
+	if err := cs.NetServer(ServeOptions{}).Serve(ln); err != nil && err != wire.ErrServerClosed {
+		return fmt.Errorf("repro: cluster serve: %w", err)
+	}
+	return nil
+}
+
+// Stats returns the serving-layer counters (connections, requests,
+// latency quantiles) of the cluster endpoint.
+func (cs *ClusterServer) Stats() metrics.ServerSnapshot { return cs.stats.Snapshot() }
+
+// ClusterStats returns the router's scatter-gather counters: fan-out,
+// single-shard fast-path hits, kNN re-issues, cross-shard join scans, and
+// per-shard sub-query totals.
+func (cs *ClusterServer) ClusterStats() metrics.ClusterSnapshot {
+	return cs.cluster.Router.Stats().Snapshot()
+}
+
+// ReleaseResponse recycles a response obtained from Handler or Transport
+// into the router's pool (the serving layer does this automatically).
+func (cs *ClusterServer) ReleaseResponse(resp *wire.Response) {
+	cs.cluster.Router.ReleaseResponse(resp)
+}
+
+// Shards returns the cluster size.
+func (cs *ClusterServer) Shards() int { return len(cs.cluster.Servers) }
+
+// ShardObjects returns how many objects each shard owned at build time.
+func (cs *ClusterServer) ShardObjects() []int {
+	return append([]int(nil), cs.cluster.Counts...)
+}
+
+// Close stops every shard's background update writer, waiting for queued
+// batches to be applied.
+func (cs *ClusterServer) Close() { cs.cluster.Close() }
+
+// DialCluster connects to independently served shard processes (one prodb
+// per shard) and returns a client-side scatter-gather transport over them:
+// the cluster.Dial facade. The partition is derived from the shards' root
+// rectangles (see cluster.Dial for the exactness caveat on updates);
+// clusters served behind one prodb -cluster endpoint need plain Dial.
+func DialCluster(addrs ...string) (Transport, error) {
+	return cluster.Dial(addrs, cluster.Config{})
+}

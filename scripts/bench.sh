@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-}"
 BENCHTIME="${BENCHTIME:-1s}"
-PATTERN='^(BenchmarkServerExecuteParallel|BenchmarkWarmRangeExecute|BenchmarkWarmKNNExecute|BenchmarkWarmJoinExecute|BenchmarkAPROBuild|BenchmarkMixedQueryBaseline|BenchmarkMixedQueryUnderUpdates|BenchmarkUpdateThroughput)$'
+PATTERN='^(BenchmarkServerExecuteParallel|BenchmarkWarmRangeExecute|BenchmarkWarmKNNExecute|BenchmarkWarmJoinExecute|BenchmarkAPROBuild|BenchmarkMixedQueryBaseline|BenchmarkMixedQueryUnderUpdates|BenchmarkUpdateThroughput|BenchmarkClusterRange|BenchmarkClusterKNN)$'
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
