@@ -1,0 +1,215 @@
+// Command proload is the open-loop load generator: it drives a spatial
+// database endpoint — a live TCP cluster (one address per shard), a single
+// TCP server, or an in-process cluster it builds itself — at a target
+// arrival rate with millions of hash-derived simulated mobile users, and
+// reports SLO-style results (p50/p99/p999, achieved vs target QPS, error
+// and shed counts, byte accounting) per scenario, humanly and as JSON.
+//
+// Usage:
+//
+//	proload -inprocess 4 -scenario steady -qps 5000 -duration 5s
+//	proload -addr :7001,:7002,:7003,:7004 -scenario all -json out.json
+//	proload -check -json out.json -scenario flash-crowd    # exit 1 on SLO fail
+//	proload -validate out.json                             # schema check only
+//	proload -list                                          # print the matrix
+//
+// The scenario matrix is defined in internal/load (docs/SCENARIOS.md);
+// scripts/bench.sh merges proload JSON into the per-PR BENCH snapshot so CI
+// gates on scenario-level regressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/load"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "", "comma-separated shard addresses (one = single server, several = client-side cluster)")
+		inprocess = flag.Int("inprocess", 0, "build an in-process cluster with this many shards instead of dialing")
+		objects   = flag.Int("objects", 20000, "in-process dataset cardinality")
+		ds        = flag.String("dataset", "ne", "in-process dataset: ne or rd")
+		seed      = flag.Int64("seed", 1, "deterministic operation-stream seed")
+		scenario  = flag.String("scenario", "steady", "scenario names, comma-separated, or all")
+		qps       = flag.Float64("qps", 2000, "open-loop target arrival rate (all workers combined)")
+		duration  = flag.Duration("duration", 3*time.Second, "run length per scenario")
+		users     = flag.Int("users", 1_000_000, "simulated user population")
+		workers   = flag.Int("workers", 8, "pacing loops / connections")
+		timeout   = flag.Duration("timeout", 2*time.Second, "latency above which a completed op also counts as a timeout")
+		jsonOut   = flag.String("json", "", "write the machine-readable report to this file (- for stdout)")
+		check     = flag.Bool("check", false, "exit 1 when any scenario violates its SLO envelope")
+		validate  = flag.String("validate", "", "validate an existing proload JSON report against the schema and exit")
+		list      = flag.Bool("list", false, "print the scenario matrix and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, sp := range load.Matrix() {
+			fmt.Printf("%-20s %s\n", sp.Name, sp.Description)
+		}
+		return
+	}
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fatal(err)
+		}
+		if err := load.ValidateReport(data); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: schema ok\n", *validate)
+		return
+	}
+
+	specs, err := pickScenarios(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+
+	backend, err := connect(*addr, *inprocess, *objects, *ds, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	defer backend.close()
+
+	var results []*load.Result
+	for _, sp := range specs {
+		var events atomic.Int64
+		r, err := load.Run(load.Config{
+			Spec:         sp,
+			TargetQPS:    *qps,
+			Duration:     *duration,
+			Users:        *users,
+			Workers:      *workers,
+			Seed:         *seed,
+			Timeout:      *timeout,
+			NewTransport: backend.newTransport,
+			Release:      backend.release,
+			ShardErrors:  backend.shardErrors.Load,
+			OnEvent: func(worker int, err error) {
+				// A dead backend fails every paced op; log the first few and
+				// then sample, the counters carry the full tally.
+				if n := events.Add(1); n <= 10 || n%1000 == 0 {
+					fmt.Fprintf(os.Stderr, "proload: worker %d: %v (event %d)\n", worker, err, n)
+				}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if n := events.Load(); n > 10 {
+			fmt.Fprintf(os.Stderr, "proload: %d failure events total (log sampled)\n", n)
+		}
+		r.Fprint(os.Stdout)
+		results = append(results, r)
+	}
+
+	if *jsonOut != "" {
+		data, err := load.MarshalReports(results)
+		if err != nil {
+			fatal(err)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *check {
+		failed := 0
+		for _, r := range results {
+			if !r.Pass() {
+				failed++
+			}
+		}
+		if failed > 0 {
+			fmt.Fprintf(os.Stderr, "proload: %d/%d scenarios violated their SLO\n", failed, len(results))
+			os.Exit(1)
+		}
+	}
+}
+
+func pickScenarios(arg string) ([]load.Spec, error) {
+	if arg == "all" {
+		return load.Matrix(), nil
+	}
+	var specs []load.Spec
+	for _, name := range strings.Split(arg, ",") {
+		sp, err := load.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, sp)
+	}
+	return specs, nil
+}
+
+// backend abstracts where requests go: a freshly built in-process cluster,
+// or dialed TCP endpoints (redialed per worker on connection failure).
+type backend struct {
+	addrs       []string
+	cs          *repro.ClusterServer
+	shardErrors atomic.Int64
+}
+
+func connect(addr string, shards, objects int, ds string, seed int64) (*backend, error) {
+	b := &backend{}
+	if addr != "" {
+		b.addrs = strings.Split(addr, ",")
+		return b, nil
+	}
+	if shards <= 0 {
+		shards = 4
+	}
+	objs := repro.GenerateNE(objects, seed)
+	_ = ds // both synthetic generators share the NE skew; rd reserved
+	cs, err := repro.NewClusterServer(objs, repro.ClusterConfig{Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	b.cs = cs
+	return b, nil
+}
+
+// newTransport hands a worker its connection: the shared in-process
+// handler, one dialed server, or a client-side cluster router with shard
+// errors surfaced as counted, non-fatal events.
+func (b *backend) newTransport(worker int) (wire.Transport, error) {
+	if b.cs != nil {
+		return b.cs.Transport(), nil
+	}
+	if len(b.addrs) == 1 {
+		return repro.Dial(b.addrs[0])
+	}
+	return cluster.Dial(b.addrs, cluster.Config{
+		OnShardError: func(int, error) { b.shardErrors.Add(1) },
+	})
+}
+
+func (b *backend) release(resp *wire.Response) {
+	if b.cs != nil {
+		b.cs.ReleaseResponse(resp)
+	}
+}
+
+func (b *backend) close() {
+	if b.cs != nil {
+		b.cs.Close()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "proload:", err)
+	os.Exit(1)
+}

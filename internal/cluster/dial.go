@@ -23,6 +23,13 @@ import (
 // approximation misroutes fails its exact-match delete and reports false
 // rather than corrupting anything. Deployments that stream updates should
 // split their dataset with MakePartition and pass the same partition here.
+//
+// A shard connection that dies after Dial does not abort the router: each
+// affected query fails, the failure is counted in Stats().PerShard[s].Errors
+// and reported to cfg.OnShardError, and later queries keep scatter-gathering
+// (a redialed transport can be swapped in by reconnecting at a higher
+// layer, the way internal/load does). Only the initial dial of every
+// address is all-or-nothing.
 func Dial(addrs []string, cfg Config) (*Router, error) {
 	shards := make([]Shard, len(addrs))
 	conns := make([]wire.Transport, len(addrs))

@@ -30,10 +30,12 @@ type InProcessConfig struct {
 	// Sizer reports object payload sizes; it backs both the shard servers
 	// and the router's cross-shard re-inserts. Required.
 	Sizer func(rtree.ObjectID) int
-	// EpochRing, MaxClients and Stats pass through to the router Config.
-	EpochRing  int
-	MaxClients int
-	Stats      *metrics.ClusterStats
+	// EpochRing, MaxClients, Stats and OnShardError pass through to the
+	// router Config.
+	EpochRing    int
+	MaxClients   int
+	Stats        *metrics.ClusterStats
+	OnShardError func(shard int, err error)
 }
 
 // InProcess is a running in-process cluster.
@@ -105,11 +107,12 @@ func NewInProcess(objects []dataset.Object, cfg InProcessConfig) (*InProcess, er
 		shards[s] = ShardTransport(sh)
 	}
 	p.Router, err = New(shards, Config{
-		Part:       part,
-		Sizer:      cfg.Sizer,
-		EpochRing:  cfg.EpochRing,
-		MaxClients: cfg.MaxClients,
-		Stats:      cfg.Stats,
+		Part:         part,
+		Sizer:        cfg.Sizer,
+		EpochRing:    cfg.EpochRing,
+		MaxClients:   cfg.MaxClients,
+		Stats:        cfg.Stats,
+		OnShardError: cfg.OnShardError,
 	})
 	if err != nil {
 		p.Close()

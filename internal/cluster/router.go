@@ -42,6 +42,12 @@ type Config struct {
 	MaxClients int
 	// Stats receives routing counters; nil allocates a private block.
 	Stats *metrics.ClusterStats
+	// OnShardError observes every failed sub-query (shard index and error)
+	// before the router reports the query-level failure. Load harnesses use
+	// it to count per-shard connection trouble as non-fatal events instead
+	// of losing the detail inside the merged error. May be nil; called
+	// concurrently.
+	OnShardError func(shard int, err error)
 }
 
 // shardMeta is the router's last-known view of one shard: its current root
@@ -69,10 +75,11 @@ type rootInfo struct {
 // into the virtual namespace clients see (docs/CLUSTER.md). A Router is
 // itself a wire.Transport, safe for any number of concurrent callers.
 type Router struct {
-	shards []Shard
-	part   *Partition
-	sizer  func(rtree.ObjectID) int
-	stats  *metrics.ClusterStats
+	shards  []Shard
+	part    *Partition
+	sizer   func(rtree.ObjectID) int
+	stats   *metrics.ClusterStats
+	onError func(shard int, err error)
 
 	meta   []shardMeta
 	epochs *epochTable
@@ -103,12 +110,13 @@ func New(shards []Shard, cfg Config) (*Router, error) {
 		return nil, fmt.Errorf("cluster: shard count %d outside [1, %d]", len(shards), MaxShards)
 	}
 	r := &Router{
-		shards: shards,
-		part:   cfg.Part,
-		sizer:  cfg.Sizer,
-		stats:  cfg.Stats,
-		meta:   make([]shardMeta, len(shards)),
-		epochs: newEpochTable(len(shards), cfg.EpochRing, cfg.MaxClients),
+		shards:  shards,
+		part:    cfg.Part,
+		sizer:   cfg.Sizer,
+		stats:   cfg.Stats,
+		onError: cfg.OnShardError,
+		meta:    make([]shardMeta, len(shards)),
+		epochs:  newEpochTable(len(shards), cfg.EpochRing, cfg.MaxClients),
 	}
 	if r.stats == nil {
 		r.stats = metrics.NewClusterStats(len(shards))
@@ -365,6 +373,9 @@ func (r *Router) issueWave(items []waveItem) error {
 		it.resp, it.err = r.shards[it.shard].T.RoundTrip(&it.req)
 		if it.err != nil {
 			r.stats.PerShard[it.shard].Errors.Add(1)
+			if r.onError != nil {
+				r.onError(it.shard, it.err)
+			}
 		}
 	}
 	if len(items) == 1 {

@@ -1,0 +1,239 @@
+package load
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/wire"
+)
+
+func testCluster(t *testing.T, shards, objects int) *cluster.InProcess {
+	t.Helper()
+	ds := dataset.GenerateNE(dataset.Params{N: objects, Seed: 7})
+	cl, err := cluster.NewInProcess(ds.Objects, cluster.InProcessConfig{
+		Shards: shards,
+		Sizer:  ds.SizeOf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+// TestLoadHarnessSmoke is the ISSUE's satellite check: a short open-loop
+// run against an in-process 2-shard cluster (run under -race in CI),
+// asserting the schedule was sustained within tolerance and that not a
+// single protocol error occurred.
+func TestLoadHarnessSmoke(t *testing.T) {
+	cl := testCluster(t, 2, 4000)
+	sp, err := Lookup("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 500.0
+	res, err := Run(Config{
+		Spec:         sp,
+		TargetQPS:    target,
+		Duration:     time.Second,
+		Users:        100_000,
+		Workers:      4,
+		Seed:         42,
+		NewTransport: func(int) (wire.Transport, error) { return cl.Router, nil },
+		Release:      cl.Router.ReleaseResponse,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d protocol errors in a healthy run", res.Errors)
+	}
+	if res.Shed != 0 {
+		t.Fatalf("%d arrivals shed at a trivial rate", res.Shed)
+	}
+	// Generous tolerance: -race on shared CI hardware is slow, and the
+	// quantiles — not this smoke — are where regressions are judged.
+	if frac := res.AchievedQPS / target; frac < 0.70 || frac > 1.40 {
+		t.Fatalf("achieved %.0f qps, %.2f of the %.0f target (want 0.70..1.40)",
+			res.AchievedQPS, frac, target)
+	}
+	if res.Local == 0 || res.WireOK == 0 {
+		t.Fatalf("degenerate mix: local=%d wireOK=%d", res.Local, res.WireOK)
+	}
+	if res.PartialHit == 0 {
+		t.Error("no partial hits: rep harvesting is not feeding handovers")
+	}
+	if res.BytesUp == 0 || res.BytesDown == 0 {
+		t.Errorf("byte accounting missing: up=%d down=%d", res.BytesUp, res.BytesDown)
+	}
+	if res.P50 > res.P99 || res.P99 > res.P999 {
+		t.Errorf("quantiles out of order: %v %v %v", res.P50, res.P99, res.P999)
+	}
+}
+
+// TestLoadHarnessTCP drives the harness over a real pipelined TCP
+// connection to a served cluster endpoint — the transport cmd/proload
+// uses against live shards.
+func TestLoadHarnessTCP(t *testing.T) {
+	cl := testCluster(t, 2, 2000)
+	srv := wire.NewNetServer(func(req *wire.Request) (*wire.Response, error) {
+		return cl.Router.RoundTrip(req)
+	}, wire.ServeConfig{Release: cl.Router.ReleaseResponse})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	sp, _ := Lookup("partial-hit")
+	res, err := Run(Config{
+		Spec:      sp,
+		TargetQPS: 300,
+		Duration:  time.Second,
+		Users:     50_000,
+		Workers:   2,
+		Seed:      3,
+		NewTransport: func(int) (wire.Transport, error) {
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				return nil, err
+			}
+			return wire.NewBinaryClientConn(conn)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors over TCP", res.Errors)
+	}
+	if res.WireOK == 0 {
+		t.Fatal("nothing completed over TCP")
+	}
+}
+
+// TestLoadUpdatesApplied checks the moving-object feed: an update-heavy
+// run applies its mutations (the server acks them) without rejects, and
+// they survive the exact-rectangle echo contract.
+func TestLoadUpdatesApplied(t *testing.T) {
+	cl := testCluster(t, 2, 2000)
+	sp, _ := Lookup("update-storm")
+	res, err := Run(Config{
+		Spec:         sp,
+		TargetQPS:    300,
+		Duration:     time.Second,
+		Users:        10_000,
+		Workers:      2,
+		Seed:         9,
+		NewTransport: func(int) (wire.Transport, error) { return cl.Router, nil },
+		Release:      cl.Router.ReleaseResponse,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors", res.Errors)
+	}
+	if res.Updates == 0 {
+		t.Fatal("update storm sent no updates")
+	}
+	if res.UpdateRejects != 0 {
+		t.Fatalf("%d update rejects: rectangle echo does not match stored entries", res.UpdateRejects)
+	}
+}
+
+// TestLoadSurvivesConnectFailure pins the harness contract for broken
+// backends: a worker that cannot connect keeps running, its operations
+// fail as counted events, and Run returns normally — it never aborts.
+func TestLoadSurvivesConnectFailure(t *testing.T) {
+	var events atomic.Int64
+	sp, _ := Lookup("cold-miss")
+	res, err := Run(Config{
+		Spec:      sp,
+		TargetQPS: 200,
+		Duration:  500 * time.Millisecond,
+		Users:     1000,
+		Workers:   2,
+		Seed:      1,
+		NewTransport: func(int) (wire.Transport, error) {
+			return nil, errors.New("synthetic dial failure")
+		},
+		OnEvent: func(int, error) { events.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("no errors counted against a dead backend")
+	}
+	if res.WireOK != 0 {
+		t.Fatalf("%d operations succeeded against a dead backend", res.WireOK)
+	}
+	if events.Load() == 0 {
+		t.Fatal("OnEvent never observed the failures")
+	}
+	if res.Pass() {
+		t.Fatal("SLO passed against a dead backend")
+	}
+}
+
+// TestLoadShardErrorsCounted wires the router's OnShardError hook to the
+// harness counter: a shard that dies mid-run surfaces as counted shard
+// errors and query failures, not a harness abort (the cluster.Dial
+// unsafe-failure fix of this PR).
+func TestLoadShardErrorsCounted(t *testing.T) {
+	ds := dataset.GenerateNE(dataset.Params{N: 2000, Seed: 7})
+	var shardErrs atomic.Int64
+	var kill atomic.Bool
+	cl, err := cluster.NewInProcess(ds.Objects, cluster.InProcessConfig{
+		Shards:       2,
+		Sizer:        ds.SizeOf,
+		OnShardError: func(int, error) { shardErrs.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	// Wrap shard 0 so it starts failing halfway through the run.
+	inner := cl.Router
+	flaky := wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+		if kill.Load() {
+			// Simulate the dead-shard path: the router-level query fails
+			// after counting per-shard errors. Here the whole endpoint
+			// fails, which the harness must also absorb.
+			return nil, errors.New("shard down")
+		}
+		return inner.RoundTrip(req)
+	})
+	go func() {
+		time.Sleep(250 * time.Millisecond)
+		kill.Store(true)
+	}()
+	sp, _ := Lookup("cold-miss")
+	res, err := Run(Config{
+		Spec:         sp,
+		TargetQPS:    400,
+		Duration:     500 * time.Millisecond,
+		Users:        1000,
+		Workers:      2,
+		Seed:         1,
+		NewTransport: func(int) (wire.Transport, error) { return flaky, nil },
+		Release:      cl.Router.ReleaseResponse,
+		ShardErrors:  shardErrs.Load,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WireOK == 0 {
+		t.Fatal("nothing succeeded before the failure")
+	}
+	if res.Errors == 0 {
+		t.Fatal("mid-run failures were not counted")
+	}
+}

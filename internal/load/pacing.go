@@ -1,0 +1,42 @@
+package load
+
+import "math/rand"
+
+// arrivals generates one worker's open-loop arrival schedule: offsets in
+// seconds from the run start at which operations are *due*, independent of
+// how long earlier operations take. Poisson mode draws exponential
+// inter-arrival gaps (the superposition of many independent users); fixed
+// mode spaces arrivals evenly. Not safe for concurrent use.
+type arrivals struct {
+	rate    float64 // arrivals per second
+	poisson bool
+	rng     *rand.Rand
+	next    float64
+}
+
+// newArrivals builds a schedule at rate ops/sec. A fixed-rate worker is
+// phase-shifted by a random fraction of one gap so that multiple workers
+// don't fire in lockstep.
+func newArrivals(rate float64, poisson bool, rng *rand.Rand) *arrivals {
+	a := &arrivals{rate: rate, poisson: poisson, rng: rng}
+	if a.rate <= 0 {
+		a.rate = 1
+	}
+	if poisson {
+		a.next = rng.ExpFloat64() / a.rate
+	} else {
+		a.next = rng.Float64() / a.rate
+	}
+	return a
+}
+
+// Next returns the next scheduled arrival offset and advances the schedule.
+func (a *arrivals) Next() float64 {
+	t := a.next
+	if a.poisson {
+		a.next += a.rng.ExpFloat64() / a.rate
+	} else {
+		a.next += 1 / a.rate
+	}
+	return t
+}

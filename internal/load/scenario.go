@@ -1,0 +1,500 @@
+// Package load is the open-loop distributed load harness: it drives a
+// server or cluster endpoint at a *target* arrival rate — queries keep
+// arriving on schedule whether or not earlier ones have finished, the way
+// independent mobile users behave — multiplexing millions of lightweight
+// simulated users over a bounded pool of pipelined connections and
+// reporting SLO-style latency quantiles, achieved-vs-target throughput,
+// error counts, and byte accounting (docs/LOAD.md).
+//
+// The scenario matrix names the workload shapes the system must survive:
+// controllable full-hit/partial-hit/miss ratios, commute waves, flash
+// crowds, region churn, update and invalidation storms, hotness shifts,
+// and adversarial cache-thrash. Every scenario is a deterministic
+// generator: the same seed produces the same operation stream, so CI can
+// gate on scenario-level regressions the way it gates on microbenchmarks.
+package load
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mobility"
+	"repro/internal/query"
+)
+
+// OpKind is what one scheduled user operation does on the wire.
+type OpKind uint8
+
+const (
+	// OpLocal is a full cache hit: the user answers from its own cache and
+	// the server never hears about it. The harness counts it toward the
+	// arrival rate but sends nothing.
+	OpLocal OpKind = iota
+	// OpRange, OpKNN, OpJoin are remainder queries of the respective kind.
+	OpRange
+	OpKNN
+	OpJoin
+	// OpUpdate is a batched index-update request (moving-object feed).
+	OpUpdate
+)
+
+// Class is the cached-state class sampled for a query operation.
+type Class uint8
+
+const (
+	// ClassLocal is a full hit (no wire traffic).
+	ClassLocal Class = iota
+	// ClassPartial is a partial hit: the request hands over a mid-tree
+	// priority queue built from index fragments harvested off earlier
+	// responses, so the server resumes instead of starting from the root.
+	ClassPartial
+	// ClassMiss is a cold miss: an empty handover, the server seeds from
+	// its root and ships the full remainder plus supporting index.
+	ClassMiss
+	// ClassUpdate marks update operations.
+	ClassUpdate
+)
+
+// Op is one generated user operation.
+type Op struct {
+	Kind   OpKind
+	Class  Class
+	User   uint64
+	Q      query.Query
+	Center geom.Point
+	// UpdateN is how many mutations an OpUpdate batches into one request
+	// (update storms ship large batches).
+	UpdateN int
+}
+
+// Shape selects the population dynamics of a scenario: where query centers
+// come from as simulated time advances.
+type Shape uint8
+
+const (
+	// ShapeUniform spreads users over the unit square; a tracked cohort
+	// moves under the DIR mobility model so consecutive queries from the
+	// same user exhibit the paper's spatial locality.
+	ShapeUniform Shape = iota
+	// ShapeCommute oscillates the whole population between per-user home
+	// and work points with period Spec.Period (the morning/evening wave).
+	ShapeCommute
+	// ShapeFlashCrowd ramps a single hotspot from nothing to Spec.HotFrac
+	// of all traffic over the run (a stadium filling up).
+	ShapeFlashCrowd
+	// ShapeChurn rotates the hotspot among Spec.Regions seeded regions
+	// every Spec.Period seconds. Regions == 1 is a static hotspot.
+	ShapeChurn
+	// ShapeHotShift serves Spec.HotFrac of traffic from one region for the
+	// first half of the run, then abruptly switches to another.
+	ShapeHotShift
+	// ShapeThrash walks query centers across disjoint cold cells in a
+	// pattern designed to defeat any admission or locality heuristic.
+	ShapeThrash
+)
+
+// SLO is the per-scenario service-level envelope the run is judged against.
+// Zero-valued duration fields are unchecked.
+type SLO struct {
+	// MinAchievedFrac is the floor on achieved/target operation rate.
+	MinAchievedFrac float64
+	// MaxErrorFrac caps protocol errors as a fraction of wire requests.
+	MaxErrorFrac float64
+	// MaxShedFrac caps arrivals dropped because the outstanding-request
+	// budget was exhausted (the open-loop overload signal).
+	MaxShedFrac float64
+	// MaxP99 / MaxP999 bound the open-loop latency quantiles (measured
+	// from the scheduled arrival, so queueing delay counts).
+	MaxP99  time.Duration
+	MaxP999 time.Duration
+}
+
+// Spec is one scenario of the matrix: an operation mix, a cached-state
+// distribution, an arrival process, and population dynamics.
+type Spec struct {
+	Name        string
+	Description string
+
+	// Operation mix; normalized to sum to 1.
+	RangeFrac  float64
+	KNNFrac    float64
+	JoinFrac   float64
+	UpdateFrac float64
+
+	// Cached-state distribution over the user population: a user whose
+	// identity hashes below FullHitFrac answers locally, the next
+	// PartialHitFrac hand over mid-tree state, the rest miss cold. Joins
+	// always miss (remainder handover for pairs is not modeled).
+	FullHitFrac    float64
+	PartialHitFrac float64
+
+	// Poisson selects exponential inter-arrival gaps (independent users);
+	// false means a fixed-rate schedule.
+	Poisson bool
+
+	// Population dynamics.
+	Shape     Shape
+	HotFrac   float64 // fraction of traffic drawn into the hotspot
+	HotRadius float64 // hotspot radius
+	Regions   int     // ShapeChurn: number of rotating regions
+	Period    float64 // seconds per commute/churn cycle
+
+	// Query geometry.
+	WindowSide float64 // range window side (also the kNN/join neighborhood)
+	KMax       int     // kNN k is uniform in [1, KMax]
+	JoinDist   float64 // join distance threshold
+
+	// UpdateBatch is how many mutations one OpUpdate request carries.
+	UpdateBatch int
+
+	// SLO is the envelope CI gates on for this scenario.
+	SLO SLO
+}
+
+// normalized fills defaults and normalizes the operation mix.
+func (s Spec) normalized() Spec {
+	sum := s.RangeFrac + s.KNNFrac + s.JoinFrac + s.UpdateFrac
+	if sum <= 0 {
+		s.RangeFrac, s.KNNFrac, sum = 0.5, 0.5, 1
+	}
+	s.RangeFrac /= sum
+	s.KNNFrac /= sum
+	s.JoinFrac /= sum
+	s.UpdateFrac /= sum
+	if s.FullHitFrac < 0 {
+		s.FullHitFrac = 0
+	}
+	if s.PartialHitFrac < 0 {
+		s.PartialHitFrac = 0
+	}
+	if hs := s.FullHitFrac + s.PartialHitFrac; hs > 1 {
+		s.FullHitFrac /= hs
+		s.PartialHitFrac /= hs
+	}
+	if s.WindowSide <= 0 {
+		s.WindowSide = 0.02
+	}
+	if s.KMax <= 0 {
+		s.KMax = 8
+	}
+	if s.JoinDist <= 0 {
+		s.JoinDist = 0.004
+	}
+	if s.HotRadius <= 0 {
+		s.HotRadius = 0.04
+	}
+	if s.HotFrac <= 0 {
+		s.HotFrac = 0.8
+	}
+	if s.Regions <= 0 {
+		s.Regions = 8
+	}
+	if s.Period <= 0 {
+		s.Period = 10
+	}
+	if s.UpdateBatch <= 0 {
+		s.UpdateBatch = 1
+	}
+	if s.SLO.MinAchievedFrac <= 0 {
+		s.SLO.MinAchievedFrac = 0.85
+	}
+	if s.SLO.MaxShedFrac <= 0 {
+		s.SLO.MaxShedFrac = 0.05
+	}
+	return s
+}
+
+// defaultSLO is the envelope most scenarios share: the schedule must be
+// sustained, protocol errors are never acceptable, and tail latency stays
+// within CI-hardware slack (the generous bounds absorb shared-runner noise;
+// per-PR latency *regressions* are caught by comparing BENCH_<pr>.json).
+var defaultSLO = SLO{
+	MinAchievedFrac: 0.90,
+	MaxErrorFrac:    0,
+	MaxShedFrac:     0.02,
+	MaxP99:          500 * time.Millisecond,
+	MaxP999:         2 * time.Second,
+}
+
+// Matrix returns the scenario matrix in presentation order. Names are
+// stable: CI job definitions and docs/SCENARIOS.md refer to them.
+func Matrix() []Spec {
+	specs := []Spec{
+		{
+			Name:        "steady",
+			Description: "mixed realistic traffic, mobility-model locality, Poisson arrivals",
+			RangeFrac:   0.45, KNNFrac: 0.40, JoinFrac: 0.05, UpdateFrac: 0.10,
+			FullHitFrac: 0.30, PartialHitFrac: 0.45,
+			Poisson: true, Shape: ShapeUniform,
+			SLO: defaultSLO,
+		},
+		{
+			Name:        "full-hit",
+			Description: "warm fleet: 90% of users answer locally, server sees a trickle",
+			RangeFrac:   0.5, KNNFrac: 0.5,
+			FullHitFrac: 0.90, PartialHitFrac: 0.10,
+			Poisson: true, Shape: ShapeUniform,
+			SLO: defaultSLO,
+		},
+		{
+			Name:        "partial-hit",
+			Description: "remainder-dominated: most queries hand over mid-tree state",
+			RangeFrac:   0.55, KNNFrac: 0.45,
+			FullHitFrac: 0.10, PartialHitFrac: 0.70,
+			Poisson: true, Shape: ShapeUniform,
+			SLO: defaultSLO,
+		},
+		{
+			Name:        "cold-miss",
+			Description: "every query starts from the root: maximal result and index shipping",
+			RangeFrac:   0.55, KNNFrac: 0.45,
+			Poisson: true, Shape: ShapeUniform,
+			SLO: defaultSLO,
+		},
+		{
+			Name:        "commute-wave",
+			Description: "population oscillates between home and work clusters each period",
+			RangeFrac:   0.45, KNNFrac: 0.45, UpdateFrac: 0.10,
+			FullHitFrac: 0.25, PartialHitFrac: 0.45,
+			Poisson: true, Shape: ShapeCommute, Period: 8,
+			SLO: defaultSLO,
+		},
+		{
+			Name:        "flash-crowd",
+			Description: "a hotspot ramps from 0 to 85% of traffic over the run",
+			RangeFrac:   0.50, KNNFrac: 0.45, UpdateFrac: 0.05,
+			FullHitFrac: 0.20, PartialHitFrac: 0.40,
+			Poisson: true, Shape: ShapeFlashCrowd, HotFrac: 0.85, HotRadius: 0.03,
+			SLO: defaultSLO,
+		},
+		{
+			Name:        "region-churn",
+			Description: "the hotspot jumps among regions every period: caches never settle",
+			RangeFrac:   0.50, KNNFrac: 0.40, UpdateFrac: 0.10,
+			FullHitFrac: 0.15, PartialHitFrac: 0.40,
+			Poisson: true, Shape: ShapeChurn, Regions: 16, Period: 2, HotFrac: 0.6,
+			SLO: defaultSLO,
+		},
+		{
+			Name:        "update-storm",
+			Description: "half the arrivals are batched moving-object updates",
+			RangeFrac:   0.30, KNNFrac: 0.20, UpdateFrac: 0.50,
+			FullHitFrac: 0.10, PartialHitFrac: 0.30,
+			Poisson: true, Shape: ShapeUniform, UpdateBatch: 16,
+			SLO: defaultSLO,
+		},
+		{
+			Name:        "invalidation-storm",
+			Description: "updates and partial-hit queries share one static hotspot: handed-over state goes stale as fast as it is harvested",
+			RangeFrac:   0.40, KNNFrac: 0.30, UpdateFrac: 0.30,
+			FullHitFrac: 0.05, PartialHitFrac: 0.65,
+			Poisson: true, Shape: ShapeChurn, Regions: 1, HotFrac: 0.9, HotRadius: 0.05,
+			UpdateBatch: 8,
+			SLO:         defaultSLO,
+		},
+		{
+			Name:        "hotness-shift",
+			Description: "the hot region switches abruptly at half-time",
+			RangeFrac:   0.50, KNNFrac: 0.40, UpdateFrac: 0.10,
+			FullHitFrac: 0.20, PartialHitFrac: 0.45,
+			Poisson: true, Shape: ShapeHotShift, HotFrac: 0.8, HotRadius: 0.05,
+			SLO: defaultSLO,
+		},
+		{
+			Name:        "cache-thrash",
+			Description: "adversarial: every query lands on a freshly cold cell, updates chase the scan front",
+			RangeFrac:   0.50, KNNFrac: 0.35, UpdateFrac: 0.15,
+			PartialHitFrac: 0.80, // requested, but the scan defeats harvesting
+			Poisson:        true, Shape: ShapeThrash, UpdateBatch: 4,
+			SLO: defaultSLO,
+		},
+	}
+	for i := range specs {
+		specs[i] = specs[i].normalized()
+	}
+	return specs
+}
+
+// Lookup finds a scenario by name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range Matrix() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("load: unknown scenario %q", name)
+}
+
+// cohortSize bounds the per-generator mobility-model cohort: users beyond
+// it share walkers modulo the cohort, keeping memory O(cohort) while every
+// user still moves.
+const cohortSize = 512
+
+// Gen produces one worker's slice of a scenario's operation stream. It is
+// deterministic in (spec, seed, users, duration) and not safe for
+// concurrent use: each worker owns one.
+type Gen struct {
+	spec  Spec
+	seed  int64
+	users uint64
+	dur   float64
+	rng   *rand.Rand
+
+	walkers  []mobility.Model
+	walkerAt []float64
+}
+
+// NewGen builds a generator. users is the simulated population size; dur is
+// the run length in seconds (flash crowds and hotness shifts scale to it).
+func NewGen(spec Spec, seed int64, users int, dur float64) *Gen {
+	spec = spec.normalized()
+	if users < 1 {
+		users = 1
+	}
+	if dur <= 0 {
+		dur = 1
+	}
+	g := &Gen{
+		spec:  spec,
+		seed:  seed,
+		users: uint64(users),
+		dur:   dur,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	if spec.Shape == ShapeUniform {
+		n := cohortSize
+		if users < n {
+			n = users
+		}
+		g.walkers = make([]mobility.Model, n)
+		g.walkerAt = make([]float64, n)
+		mcfg := mobility.Config{Speed: 0.01, PauseMean: 1}
+		for i := range g.walkers {
+			g.walkers[i] = mobility.NewDirected(mcfg, rand.New(rand.NewSource(seed+int64(i)+1)))
+		}
+	}
+	return g
+}
+
+// Spec returns the generator's normalized scenario.
+func (g *Gen) Spec() Spec { return g.spec }
+
+// Next generates the operation scheduled at t seconds into the run.
+func (g *Gen) Next(t float64) Op {
+	user := uint64(g.rng.Int63n(int64(g.users)))
+	op := Op{User: user, Center: g.center(t, user)}
+
+	x := g.rng.Float64()
+	switch {
+	case x < g.spec.UpdateFrac:
+		op.Kind = OpUpdate
+		op.Class = ClassUpdate
+		op.UpdateN = g.spec.UpdateBatch
+		return op
+	case x < g.spec.UpdateFrac+g.spec.JoinFrac:
+		// Joins always run cold: handing over pair state is not modeled.
+		op.Kind = OpJoin
+		op.Class = ClassMiss
+		side := g.spec.WindowSide * 2
+		op.Q = query.NewJoin(geom.RectFromCenter(op.Center, side, side), g.spec.JoinDist)
+		return op
+	case x < g.spec.UpdateFrac+g.spec.JoinFrac+g.spec.KNNFrac:
+		op.Kind = OpKNN
+		op.Q = query.NewKNN(op.Center, 1+int(hash64(uint64(g.seed), user, 0x6b6e)%uint64(g.spec.KMax)))
+	default:
+		op.Kind = OpRange
+		op.Q = query.NewRange(geom.RectFromCenter(op.Center, g.spec.WindowSide, g.spec.WindowSide))
+	}
+
+	// Per-user cached-state sampling: a user's warmth is a deterministic
+	// function of its identity, so the population-wide full/partial/miss
+	// ratio equals the spec while any one user stays consistently warm or
+	// cold across its own queries.
+	switch warmth := hash01(uint64(g.seed), user, 0x7761726d); {
+	case warmth < g.spec.FullHitFrac:
+		op.Kind = OpLocal
+		op.Class = ClassLocal
+	case warmth < g.spec.FullHitFrac+g.spec.PartialHitFrac:
+		op.Class = ClassPartial
+	default:
+		op.Class = ClassMiss
+	}
+	return op
+}
+
+// center places the operation according to the scenario's shape.
+func (g *Gen) center(t float64, user uint64) geom.Point {
+	s := g.spec
+	switch s.Shape {
+	case ShapeCommute:
+		// Everyone commutes in phase: home at t=0, work at t=Period/2.
+		phase := 0.5 - 0.5*math.Cos(2*math.Pi*t/s.Period)
+		home := homeOf(g.seed, user)
+		work := workOf(g.seed, user)
+		return jitter(geom.Pt(
+			home.X+(work.X-home.X)*phase,
+			home.Y+(work.Y-home.Y)*phase,
+		), 0.01, g.rng)
+	case ShapeFlashCrowd:
+		ramp := t / g.dur
+		if g.rng.Float64() < s.HotFrac*ramp {
+			return jitter(regionCenter(g.seed, 0), s.HotRadius, g.rng)
+		}
+		return homeOf(g.seed, user)
+	case ShapeChurn:
+		idx := uint64(t/s.Period) % uint64(s.Regions)
+		if g.rng.Float64() < s.HotFrac {
+			return jitter(regionCenter(g.seed, idx), s.HotRadius, g.rng)
+		}
+		return homeOf(g.seed, user)
+	case ShapeHotShift:
+		idx := uint64(0)
+		if t >= g.dur/2 {
+			idx = 1
+		}
+		if g.rng.Float64() < s.HotFrac {
+			return jitter(regionCenter(g.seed, idx), s.HotRadius, g.rng)
+		}
+		return homeOf(g.seed, user)
+	case ShapeThrash:
+		// March a cold front across a coarse grid: every operation lands
+		// one cell further, so no cell stays warm long enough to matter.
+		const cells = 64
+		c := g.rng.Uint64() % cells
+		cx := float64(c%8)/8 + 1.0/16
+		cy := float64(c/8)/8 + 1.0/16
+		return jitter(geom.Pt(cx, cy), 0.01, g.rng)
+	default: // ShapeUniform
+		if len(g.walkers) > 0 {
+			i := int(user % uint64(len(g.walkers)))
+			dt := t - g.walkerAt[i]
+			if dt < 0 {
+				dt = 0
+			}
+			g.walkerAt[i] = t
+			return g.walkers[i].Advance(dt)
+		}
+		return homeOf(g.seed, user)
+	}
+}
+
+// jitter displaces p by up to r in each axis, clamped to the unit square.
+func jitter(p geom.Point, r float64, rng *rand.Rand) geom.Point {
+	return geom.Pt(
+		clamp01(p.X+(rng.Float64()*2-1)*r),
+		clamp01(p.Y+(rng.Float64()*2-1)*r),
+	)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,204 @@
+package load
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMatrixWellFormed pins the matrix invariants the rest of the harness
+// assumes: unique stable names, normalized mixes, an SLO on everything.
+func TestMatrixWellFormed(t *testing.T) {
+	specs := Matrix()
+	if len(specs) < 11 {
+		t.Fatalf("matrix has %d scenarios, want >= 11", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, sp := range specs {
+		if sp.Name == "" || seen[sp.Name] {
+			t.Fatalf("scenario name %q empty or duplicated", sp.Name)
+		}
+		seen[sp.Name] = true
+		sum := sp.RangeFrac + sp.KNNFrac + sp.JoinFrac + sp.UpdateFrac
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: mix sums to %g, want 1", sp.Name, sum)
+		}
+		if hs := sp.FullHitFrac + sp.PartialHitFrac; hs > 1+1e-9 {
+			t.Errorf("%s: hit fractions sum to %g > 1", sp.Name, hs)
+		}
+		if sp.SLO.MinAchievedFrac <= 0 || sp.SLO.MaxShedFrac <= 0 {
+			t.Errorf("%s: SLO not fully set: %+v", sp.Name, sp.SLO)
+		}
+		if _, err := Lookup(sp.Name); err != nil {
+			t.Errorf("Lookup(%q): %v", sp.Name, err)
+		}
+	}
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Error("Lookup of unknown scenario did not fail")
+	}
+}
+
+// TestGenMixPinned verifies, for every scenario, that the generated
+// operation mix and the per-user cached-state sampling land on the spec's
+// fractions. Joins always run cold, so the expected local/partial
+// fractions apply to the range+kNN share only.
+func TestGenMixPinned(t *testing.T) {
+	const n = 20000
+	const tol = 0.02 // ~6 sigma at n=20000
+	for _, sp := range Matrix() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			g := NewGen(sp, 99, 1_000_000, 10)
+			var kind [5]int
+			var class [4]int
+			for i := 0; i < n; i++ {
+				op := g.Next(10 * float64(i) / n)
+				kind[op.Kind]++
+				class[op.Class]++
+			}
+			frac := func(c int) float64 { return float64(c) / n }
+
+			if got, want := frac(kind[OpUpdate]), sp.UpdateFrac; math.Abs(got-want) > tol {
+				t.Errorf("update frac %.3f, want %.3f", got, want)
+			}
+			if got, want := frac(kind[OpJoin]), sp.JoinFrac; math.Abs(got-want) > tol {
+				t.Errorf("join frac %.3f, want %.3f", got, want)
+			}
+			qf := sp.RangeFrac + sp.KNNFrac // the share warmth sampling applies to
+			if got, want := frac(class[ClassLocal]), qf*sp.FullHitFrac; math.Abs(got-want) > tol {
+				t.Errorf("full-hit frac %.3f, want %.3f", got, want)
+			}
+			if got, want := frac(class[ClassPartial]), qf*sp.PartialHitFrac; math.Abs(got-want) > tol {
+				t.Errorf("partial-hit frac %.3f, want %.3f", got, want)
+			}
+			wantMiss := qf*(1-sp.FullHitFrac-sp.PartialHitFrac) + sp.JoinFrac
+			if got := frac(class[ClassMiss]); math.Abs(got-wantMiss) > tol {
+				t.Errorf("miss frac %.3f, want %.3f", got, wantMiss)
+			}
+		})
+	}
+}
+
+// TestGenDeterministic pins that the same (spec, seed, users, duration)
+// reproduces the identical operation stream — the property CI regression
+// comparisons rest on.
+func TestGenDeterministic(t *testing.T) {
+	for _, name := range []string{"steady", "commute-wave", "cache-thrash"} {
+		sp, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := NewGen(sp, 7, 100_000, 5)
+		b := NewGen(sp, 7, 100_000, 5)
+		for i := 0; i < 2000; i++ {
+			at := 5 * float64(i) / 2000
+			oa, ob := a.Next(at), b.Next(at)
+			if oa.Kind != ob.Kind || oa.Class != ob.Class || oa.User != ob.User ||
+				oa.Center != ob.Center || oa.Q != ob.Q {
+				t.Fatalf("%s: op %d diverged: %+v vs %+v", name, i, oa, ob)
+			}
+		}
+	}
+}
+
+// TestUserAttributesStable pins the hash-derived population: a user's home
+// and warmth never change, and the warmth distribution is uniform enough
+// to make the spec fractions meaningful.
+func TestUserAttributesStable(t *testing.T) {
+	for u := uint64(0); u < 1000; u++ {
+		if homeOf(3, u) != homeOf(3, u) {
+			t.Fatalf("user %d home not stable", u)
+		}
+		h := homeOf(3, u)
+		if h.X < 0 || h.X >= 1 || h.Y < 0 || h.Y >= 1 {
+			t.Fatalf("user %d home %v outside unit square", u, h)
+		}
+	}
+	// Different seeds relocate the population.
+	if homeOf(3, 42) == homeOf(4, 42) {
+		t.Error("seed does not affect user placement")
+	}
+}
+
+// TestArrivalsPoissonChiSquared is the arrival-process sanity bound: the
+// inter-arrival gaps of a Poisson schedule, pushed through the exponential
+// CDF, must be uniform. Twenty equal-probability bins, df=19; 50 is past
+// the 99.99th percentile, so a real distribution bug fails loudly while
+// seed-to-seed noise never does.
+func TestArrivalsPoissonChiSquared(t *testing.T) {
+	const (
+		rate = 1000.0
+		n    = 20000
+		bins = 20
+	)
+	a := newArrivals(rate, true, rand.New(rand.NewSource(11)))
+	prev := 0.0
+	var counts [bins]int
+	for i := 0; i < n; i++ {
+		at := a.Next()
+		gap := at - prev
+		prev = at
+		u := 1 - math.Exp(-rate*gap) // exponential CDF -> uniform
+		b := int(u * bins)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	exp := float64(n) / bins
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - exp
+		chi2 += d * d / exp
+	}
+	if chi2 > 50 {
+		t.Fatalf("chi-squared %.1f exceeds 50 (df=19): gaps are not exponential; counts=%v", chi2, counts)
+	}
+	// And the realized rate matches the schedule.
+	if got := float64(n) / prev; math.Abs(got-rate)/rate > 0.05 {
+		t.Fatalf("realized rate %.0f, want ~%.0f", got, rate)
+	}
+}
+
+// TestArrivalsFixed pins the fixed-rate schedule: constant gaps of 1/rate
+// after the randomized phase offset.
+func TestArrivalsFixed(t *testing.T) {
+	const rate = 500.0
+	a := newArrivals(rate, false, rand.New(rand.NewSource(5)))
+	first := a.Next()
+	if first < 0 || first >= 1/rate {
+		t.Fatalf("phase offset %g outside [0, %g)", first, 1/rate)
+	}
+	prev := first
+	for i := 0; i < 1000; i++ {
+		at := a.Next()
+		if math.Abs((at-prev)-1/rate) > 1e-12 {
+			t.Fatalf("gap %g, want exactly %g", at-prev, 1/rate)
+		}
+		prev = at
+	}
+}
+
+// TestShapeCenters spot-checks the population dynamics: commute centers
+// swing with the phase, flash crowds concentrate late, thrash scatters.
+func TestShapeCenters(t *testing.T) {
+	sp, _ := Lookup("flash-crowd")
+	g := NewGen(sp, 21, 1_000_000, 10)
+	hot := regionCenter(21, 0)
+	near := func(gen *Gen, tm float64, samples int) int {
+		n := 0
+		for i := 0; i < samples; i++ {
+			op := gen.Next(tm)
+			dx, dy := op.Center.X-hot.X, op.Center.Y-hot.Y
+			if math.Hypot(dx, dy) < 3*sp.HotRadius {
+				n++
+			}
+		}
+		return n
+	}
+	early := near(g, 0.1, 2000)
+	late := near(g, 9.9, 2000)
+	if late <= early+200 {
+		t.Fatalf("flash crowd did not ramp: %d hot early, %d hot late", early, late)
+	}
+}

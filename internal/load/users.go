@@ -1,0 +1,180 @@
+package load
+
+import (
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+// The simulated population is hash-derived: a user is nothing but an
+// integer, and every per-user attribute (home point, work point, cache
+// warmth class) is a pure function of (seed, user, salt). That is what
+// makes millions of users free — the harness stores zero bytes per user.
+
+// hash64 is a splitmix64-style mix of the seed, a user id, and a salt.
+func hash64(seed, user, salt uint64) uint64 {
+	z := seed ^ (user * 0x9e3779b97f4a7c15) ^ (salt * 0xbf58476d1ce4e5b9)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hash01 maps the hash to [0, 1).
+func hash01(seed, user, salt uint64) float64 {
+	return float64(hash64(seed, user, salt)>>11) / (1 << 53)
+}
+
+// homeOf and workOf are the user's anchor points in the unit square.
+func homeOf(seed int64, user uint64) geom.Point {
+	return geom.Pt(hash01(uint64(seed), user, 0x686f6d&0xffff), hash01(uint64(seed), user, 0x686f6d))
+}
+
+func workOf(seed int64, user uint64) geom.Point {
+	return geom.Pt(hash01(uint64(seed), user, 0x776f726b&0xffff), hash01(uint64(seed), user, 0x776f726b))
+}
+
+// regionCenter seeds the scenario's hotspot/churn region centers.
+func regionCenter(seed int64, idx uint64) geom.Point {
+	return geom.Pt(
+		0.1+0.8*hash01(uint64(seed), idx, 0x726567),
+		0.1+0.8*hash01(uint64(seed), idx, 0x696f6e),
+	)
+}
+
+// cachedRef is one harvested index-node reference: enough to hand the node
+// back to the server as mid-tree state.
+type cachedRef struct {
+	id  rtree.NodeID
+	mbr geom.Rect
+}
+
+// repGrid is a worker's stand-in for its users' caches: a coarse spatial
+// grid of index-node references harvested from earlier responses. Handing
+// a query's overlapping refs back as H is exactly what a warm proactive-
+// caching client does — the server resumes from those nodes instead of the
+// root. References can go stale after updates; that is safe by design: node
+// ids are never reused, and the server expands an unknown id to nothing, so
+// a stale handover degrades to a (counted) colder query rather than an
+// error.
+type repGrid struct {
+	cells [gridDim * gridDim][]cachedRef
+	n     int
+}
+
+const (
+	gridDim      = 32
+	cellCap      = 4  // refs kept per cell (newest win)
+	harvestReps  = 16 // NodeReps harvested per response
+	harvestElems = 16 // child refs harvested per NodeRep
+	handoverMax  = 16 // refs handed over per query
+)
+
+func cellIndex(p geom.Point) int {
+	x := int(p.X * gridDim)
+	y := int(p.Y * gridDim)
+	if x < 0 {
+		x = 0
+	} else if x >= gridDim {
+		x = gridDim - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= gridDim {
+		y = gridDim - 1
+	}
+	return y*gridDim + x
+}
+
+// harvest records child-node references from a response's supporting index.
+func (g *repGrid) harvest(resp *wire.Response) {
+	if resp.FlushAll {
+		g.clear()
+	}
+	reps := resp.Index
+	if len(reps) > harvestReps {
+		reps = reps[:harvestReps]
+	}
+	for _, rep := range reps {
+		elems := rep.Elems
+		if len(elems) > harvestElems {
+			elems = elems[:harvestElems]
+		}
+		for _, e := range elems {
+			if e.Super || e.Child == rtree.InvalidNode {
+				continue
+			}
+			g.insert(cachedRef{id: e.Child, mbr: e.MBR})
+		}
+	}
+}
+
+func (g *repGrid) insert(r cachedRef) {
+	c := cellIndex(r.mbr.Center())
+	cell := g.cells[c]
+	for i := range cell {
+		if cell[i].id == r.id {
+			cell[i].mbr = r.mbr
+			return
+		}
+	}
+	if len(cell) < cellCap {
+		g.cells[c] = append(cell, r)
+		g.n++
+		return
+	}
+	// Evict the oldest (front) ref; newest knowledge wins.
+	copy(cell, cell[1:])
+	cell[len(cell)-1] = r
+}
+
+// gather appends up to handoverMax queued node references overlapping the
+// window, the handed-over H of a partial-hit query. Returns dst unchanged
+// when nothing overlaps (the query degrades to a cold miss).
+func (g *repGrid) gather(window geom.Rect, dst []query.QueuedElem) []query.QueuedElem {
+	x0, x1 := gridSpan(window.MinX, window.MaxX)
+	y0, y1 := gridSpan(window.MinY, window.MaxY)
+	start := len(dst)
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			for _, r := range g.cells[y*gridDim+x] {
+				if !r.mbr.Intersects(window) {
+					continue
+				}
+				dst = append(dst, query.QueuedElem{
+					Key:  0,
+					Elem: query.Single(query.NodeRef(r.id, r.mbr)),
+				})
+				if len(dst)-start >= handoverMax {
+					return dst
+				}
+			}
+		}
+	}
+	return dst
+}
+
+func gridSpan(lo, hi float64) (int, int) {
+	a := int(lo * gridDim)
+	b := int(hi * gridDim)
+	if a < 0 {
+		a = 0
+	}
+	if b >= gridDim {
+		b = gridDim - 1
+	}
+	if b < a {
+		b = a
+	}
+	return a, b
+}
+
+func (g *repGrid) clear() {
+	for i := range g.cells {
+		g.cells[i] = g.cells[i][:0]
+	}
+	g.n = 0
+}
+
+// size reports how many refs the grid holds (diagnostics and tests).
+func (g *repGrid) size() int { return g.n }

@@ -135,6 +135,7 @@ type ServerSnapshot struct {
 	MeanLatency   time.Duration
 	P50           time.Duration
 	P99           time.Duration
+	P999          time.Duration
 }
 
 // Snapshot captures the current counter values and latency quantiles.
@@ -150,13 +151,14 @@ func (s *ServerStats) Snapshot() ServerSnapshot {
 		MeanLatency:   s.Latency.Mean(),
 		P50:           s.Latency.Quantile(0.50),
 		P99:           s.Latency.Quantile(0.99),
+		P999:          s.Latency.Quantile(0.999),
 	}
 }
 
 // String renders the snapshot as a one-line status report.
 func (s ServerSnapshot) String() string {
-	return fmt.Sprintf("conns=%d/%d rejected=%d requests=%d errors=%d in=%dB out=%dB latency mean=%v p50=%v p99=%v",
+	return fmt.Sprintf("conns=%d/%d rejected=%d requests=%d errors=%d in=%dB out=%dB latency mean=%v p50=%v p99=%v p999=%v",
 		s.ActiveConns, s.TotalConns, s.RejectedConns, s.Requests, s.Errors,
 		s.BytesIn, s.BytesOut,
-		s.MeanLatency.Round(time.Microsecond), s.P50, s.P99)
+		s.MeanLatency.Round(time.Microsecond), s.P50, s.P99, s.P999)
 }

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/load"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// OpenLoop bridges the simulation environment to the open-loop load
+// harness (internal/load): it stands up an in-process backend over the
+// environment's dataset — a single shared server for shards <= 1, a
+// KD-sharded cluster behind a scatter-gather router otherwise — and drives
+// it with the scenario at the target rate. Unlike ThroughputSharded (a
+// closed-loop lockstep of real cached clients), OpenLoop measures what the
+// paper's serving story claims at fleet scale: a paced arrival schedule
+// over a hash-derived user population (procsim -fig load).
+func OpenLoop(env *Environment, shards int, spec load.Spec, qps float64, dur time.Duration, users, workers int, seed int64) (*load.Result, error) {
+	var (
+		transport   wire.Transport
+		release     func(*wire.Response)
+		shardErrors atomic.Int64
+	)
+	if shards > 1 {
+		backend, err := cluster.NewInProcess(env.DS.Objects, cluster.InProcessConfig{
+			Shards:       shards,
+			Tree:         env.Tree.Params(),
+			Sizer:        env.DS.SizeOf,
+			OnShardError: func(int, error) { shardErrors.Add(1) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer backend.Close()
+		transport = backend.Router
+		release = backend.Router.ReleaseResponse
+	} else {
+		srv := server.New(env.Tree, env.DS.SizeOf, server.Config{})
+		defer srv.Close()
+		transport = wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+			if len(req.Updates) > 0 {
+				return srv.ExecuteUpdates(req), nil
+			}
+			resp, _ := srv.Execute(req)
+			return resp, nil
+		})
+		release = srv.ReleaseResponse
+	}
+	return load.Run(load.Config{
+		Spec:         spec,
+		TargetQPS:    qps,
+		Duration:     dur,
+		Users:        users,
+		Workers:      workers,
+		Seed:         seed,
+		NewTransport: func(int) (wire.Transport, error) { return transport, nil },
+		Release:      release,
+		ShardErrors:  shardErrors.Load,
+	})
+}
+
+// FprintLoad renders scenario results as the procsim text report.
+func FprintLoad(w io.Writer, results []*load.Result) {
+	for _, r := range results {
+		r.Fprint(w)
+	}
+}

@@ -11,6 +11,13 @@
 # checked-in BENCH_*.json before merging a PR that touches the query engine,
 # the R*-tree, or the server: allocs/op is expected to stay at its floor and
 # ns/op should not regress materially.
+#
+# After the benchmarks, the open-loop scenario matrix (cmd/proload,
+# docs/LOAD.md) runs against a 4-shard in-process cluster and its scenario
+# reports are merged into the snapshot under "load", so SLO-level numbers
+# (achieved QPS, p99/p999, shed/error counts per scenario) are tracked
+# across PRs alongside the microbenchmarks. Set PROLOAD_SKIP=1 to emit a
+# benchmarks-only snapshot.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,6 +51,19 @@ BEGIN {
 }
 END { printf "\n  }\n}\n" }
 ' "$RAW")"
+
+if [ "${PROLOAD_SKIP:-0}" != "1" ]; then
+    PROLOAD_QPS="${PROLOAD_QPS:-1000}"
+    PROLOAD_DURATION="${PROLOAD_DURATION:-2s}"
+    LOADJSON="$(mktemp)"
+    trap 'rm -f "$RAW" "$LOADJSON"' EXIT
+    go run ./cmd/proload -inprocess 4 -scenario all \
+        -qps "$PROLOAD_QPS" -duration "$PROLOAD_DURATION" \
+        -users 1000000 -workers 4 -json "$LOADJSON" >&2
+    # The benchmark JSON ends with a lone "}"; splice the scenario report
+    # in as a sibling "load" key.
+    JSON="$(printf '%s' "$JSON" | sed '$d'; printf '  ,"load": '; cat "$LOADJSON"; printf '}\n')"
+fi
 
 if [ -n "$OUT" ]; then
     printf '%s' "$JSON" > "$OUT"
