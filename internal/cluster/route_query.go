@@ -17,8 +17,9 @@ import (
 // remainder queries split the handed-over priority queue H by the shard each
 // reference decodes to — then issued in waves, merged, and re-keyed into the
 // virtual namespace. Range queries touch only shards whose root rectangle
-// meets the window; kNN runs best-first over shards with per-shard distance
-// bounds and re-issues under-fetched shards; joins broadcast to overlapping
+// meets the window; kNN asks the nearest shard for the full k first and then
+// probes only shards whose distance lower bound beats the k-th best, with
+// that distance as their pruning bound; joins broadcast to overlapping
 // shards and add boundary-band candidate scans for cross-shard pairs.
 
 // pairSide is one resolved end of a handed-over join pair element.
@@ -366,29 +367,93 @@ func (m *knnMerge) Swap(i, j int) {
 	m.knnDists[i], m.knnDists[j] = m.knnDists[j], m.knnDists[i]
 }
 
-// routeKNN is the best-first scatter: the nearest shard is asked for the
-// full k, the rest are probed with k/n+1, and any shard whose unseen
-// objects might still beat the global k-th best distance is re-issued at
-// full k with that distance as its pruning bound (wire.Request.Bound). A
-// shard is never asked more than twice.
+// appendKNN adds one full-k kNN sub-query for shard s. A positive bound is
+// the router's current global k-th-best distance, shipped as the shard's
+// pruning bound (wire.Request.Bound); probe items are counted as re-issues
+// in the router stats.
+func (st *routeState) appendKNN(req *wire.Request, s int, bound float64) {
+	st.wave = append(st.wave, waveItem{shard: s, task: -1, reissue: bound > 0})
+	it := &st.wave[len(st.wave)-1]
+	it.req = wire.Request{
+		Client:    req.Client,
+		Q:         req.Q,
+		CachedIDs: req.CachedIDs,
+		NoIndex:   req.NoIndex,
+		Epoch:     st.baseVec[s],
+		FMR:       req.FMR,
+		HasFMR:    req.HasFMR,
+	}
+	if !st.selfSeed[s] {
+		it.req.H = st.subH[s]
+	}
+	if bound > 0 && !math.IsInf(bound, 1) {
+		it.req.Bound = bound
+	}
+}
+
+// knnDK sorts the gathered candidates and returns the current global
+// k-th-best distance (infinite while fewer than k candidates are known).
+func (st *routeState) knnDK(k int) float64 {
+	sort.Sort((*knnMerge)(st))
+	if len(st.knnObjs) >= k {
+		return st.knnDists[k-1]
+	}
+	return math.Inf(1)
+}
+
+// absorbKNN merges one wave of kNN sub-responses: consistency payloads for
+// every item, result candidates and index merging for the query items.
+func (r *Router) absorbKNN(st *routeState, req *wire.Request, resp *wire.Response, wave []waveItem) error {
+	for i := range wave {
+		it := &wave[i]
+		if err := r.absorb(st, it.shard, it.resp, resp); err != nil {
+			return err
+		}
+		if !it.req.Catalog { // lag piggybacks carry consistency only
+			for _, o := range it.resp.Objects {
+				if !st.seenObj[o.ID] {
+					st.seenObj[o.ID] = true
+					st.knnObjs = append(st.knnObjs, o)
+					st.knnDists = append(st.knnDists, req.Q.KeyFor(o.MBR))
+				}
+			}
+			if !req.NoIndex {
+				if err := r.mergeIndex(st, it.shard, it.resp, resp); err != nil {
+					return err
+				}
+			}
+		}
+		r.release(it.shard, it.resp)
+		it.resp = nil
+	}
+	return nil
+}
+
+// routeKNN is a primary-first scatter: the shard with the smallest distance
+// lower bound answers the full k alone (inline, no fan-out), its k-th-best
+// distance dk caps what any other shard could contribute, and only shards
+// whose lower bound beats dk are probed — at full k, with dk as their
+// pruning bound, so a second wave always suffices (a top-k merge takes at
+// most k objects from any one shard). Under a uniform distribution dk is
+// usually inside the primary shard's region, every other shard's bound
+// exceeds it, and a multi-shard kNN costs exactly one single-shard
+// sub-query.
 func (r *Router) routeKNN(st *routeState, req *wire.Request, resp *wire.Response) error {
 	k := req.Q.K
 	if k <= 0 {
 		return nil
 	}
-	// Candidate shards and their initial lower bounds.
+	// Candidate shards and their distance lower bounds.
 	ncand, primary := 0, -1
 	for s := 0; s < st.nsh; s++ {
 		if !st.selfSeed[s] && len(st.subH[s]) == 0 {
 			st.knnLower[s] = math.Inf(1)
-			st.knnAsked[s] = k // never ask
 			continue
 		}
 		if st.selfSeed[s] {
 			st.minKey[s] = geom.MinDist(req.Q.Center, st.meta[s].mbr)
 		}
 		st.knnLower[s] = st.minKey[s]
-		st.knnAsked[s] = 0
 		ncand++
 		if primary < 0 || st.knnLower[s] < st.knnLower[primary] {
 			primary = s
@@ -397,97 +462,40 @@ func (r *Router) routeKNN(st *routeState, req *wire.Request, resp *wire.Response
 	if ncand == 0 {
 		return nil
 	}
-	probe := k
-	if ncand > 1 {
-		probe = k/ncand + 1
-	}
 
-	st.primaryItems(req)
-	for i := range st.wave {
-		it := &st.wave[i]
-		if it.req.Catalog {
-			continue // lag piggyback: consistency only, no kNN bookkeeping
-		}
-		ask := probe
-		if it.shard == primary {
-			ask = k
-		}
-		it.req.Q.K = ask
-		st.knnAsked[it.shard] = ask
+	// Wave 1: the primary shard alone, full k.
+	st.appendKNN(req, primary, 0)
+	if err := r.issueWave(st.wave); err != nil {
+		return err
 	}
+	if err := r.absorbKNN(st, req, resp, st.wave); err != nil {
+		return err
+	}
+	dk := st.knnDK(k)
 
-	wave := st.wave
-	for len(wave) > 0 {
+	// Wave 2: shards whose nearest possible object still beats the current
+	// k-th best, plus catalog piggybacks for lagging shards the query now
+	// skips entirely (their pending invalidations must still reach the
+	// client). Ties at exactly dk stay with the already-gathered candidates,
+	// matching the merge order's (distance, id) tie-break contract.
+	waveStart := len(st.wave)
+	for s := 0; s < st.nsh; s++ {
+		if s == primary || st.knnLower[s] >= dk {
+			continue
+		}
+		st.appendKNN(req, s, dk)
+	}
+	st.appendLagCatalogs(req, func(s int) bool {
+		return s == primary || st.knnLower[s] < dk
+	})
+	if wave := st.wave[waveStart:]; len(wave) > 0 {
 		if err := r.issueWave(wave); err != nil {
 			return err
 		}
-		for i := range wave {
-			it := &wave[i]
-			if err := r.absorb(st, it.shard, it.resp, resp); err != nil {
-				return err
-			}
-			if it.req.Catalog {
-				r.release(it.shard, it.resp)
-				it.resp = nil
-				continue
-			}
-			got := len(it.resp.Objects)
-			for _, o := range it.resp.Objects {
-				if !st.seenObj[o.ID] {
-					st.seenObj[o.ID] = true
-					st.knnObjs = append(st.knnObjs, o)
-					st.knnDists = append(st.knnDists, req.Q.KeyFor(o.MBR))
-				}
-			}
-			var last float64
-			if got > 0 {
-				last = req.Q.KeyFor(it.resp.Objects[got-1].MBR)
-			}
-			switch {
-			case got < st.knnAsked[it.shard] && it.req.Bound == 0:
-				st.knnLower[it.shard] = math.Inf(1) // exhausted
-			case got < st.knnAsked[it.shard]:
-				st.knnLower[it.shard] = math.Max(last, it.req.Bound)
-			default:
-				st.knnLower[it.shard] = last
-			}
-			if !req.NoIndex {
-				if err := r.mergeIndex(st, it.shard, it.resp, resp); err != nil {
-					return err
-				}
-			}
-			r.release(it.shard, it.resp)
-			it.resp = nil
+		if err := r.absorbKNN(st, req, resp, wave); err != nil {
+			return err
 		}
 		sort.Sort((*knnMerge)(st))
-		dk := math.Inf(1)
-		if len(st.knnObjs) >= k {
-			dk = st.knnDists[k-1]
-		}
-		// Re-issue under-fetched shards that can still contribute.
-		waveStart := len(st.wave)
-		for s := 0; s < st.nsh; s++ {
-			if st.knnAsked[s] >= k || st.knnLower[s] >= dk {
-				continue
-			}
-			st.wave = append(st.wave, waveItem{shard: s, task: -1, reissue: true})
-			it := &st.wave[len(st.wave)-1]
-			it.req = wire.Request{
-				Client:    req.Client,
-				Q:         req.Q,
-				CachedIDs: req.CachedIDs,
-				NoIndex:   req.NoIndex,
-				Epoch:     st.baseVec[s],
-			}
-			if !st.selfSeed[s] {
-				it.req.H = st.subH[s]
-			}
-			if !math.IsInf(dk, 1) {
-				it.req.Bound = dk
-			}
-			st.knnAsked[s] = k
-		}
-		wave = st.wave[waveStart:]
 	}
 
 	n := min(k, len(st.knnObjs))

@@ -253,7 +253,6 @@ type routeState struct {
 
 	wave []waveItem
 
-	knnAsked []int
 	knnLower []float64 // lower bound on this shard's unseen objects
 	knnObjs  []wire.ObjectRep
 	knnDists []float64
@@ -285,7 +284,6 @@ func (r *Router) getState() *routeState {
 		st.subH = make([][]query.QueuedElem, n)
 		st.selfSeed = make([]bool, n)
 		st.minKey = make([]float64, n)
-		st.knnAsked = make([]int, n)
 		st.knnLower = make([]float64, n)
 	}
 	for s := 0; s < n; s++ {

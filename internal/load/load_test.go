@@ -68,6 +68,14 @@ func TestLoadHarnessSmoke(t *testing.T) {
 	if res.PartialHit == 0 {
 		t.Error("no partial hits: rep harvesting is not feeding handovers")
 	}
+	// Degrades must stay the minority: most partial-class queries find
+	// overlapping harvested refs once the grid warms up. The footprint-based
+	// ref filing keeps this around a quarter; before it, over half of all
+	// partial hits degraded (the center-cell filing bug).
+	if res.PartialDegraded >= res.PartialHit {
+		t.Errorf("partial degrades (%d) outnumber partial hits (%d): the ref grid is not feeding handovers",
+			res.PartialDegraded, res.PartialHit)
+	}
 	if res.BytesUp == 0 || res.BytesDown == 0 {
 		t.Errorf("byte accounting missing: up=%d down=%d", res.BytesUp, res.BytesDown)
 	}

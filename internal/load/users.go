@@ -42,11 +42,12 @@ func regionCenter(seed int64, idx uint64) geom.Point {
 	)
 }
 
-// cachedRef is one harvested index-node reference: enough to hand the node
-// back to the server as mid-tree state.
+// cachedRef is one harvested index reference — a child-node ref or a
+// super-entry (partition-tree) ref — ready to hand back to the server as
+// mid-tree state. Identity is query.Ref.Same (kind, node, code); the MBR
+// rides along for spatial filing.
 type cachedRef struct {
-	id  rtree.NodeID
-	mbr geom.Rect
+	ref query.Ref
 }
 
 // repGrid is a worker's stand-in for its users' caches: a coarse spatial
@@ -68,23 +69,12 @@ const (
 	harvestReps  = 16 // NodeReps harvested per response
 	harvestElems = 16 // child refs harvested per NodeRep
 	handoverMax  = 16 // refs handed over per query
+	// refCellMax drops refs whose MBR covers more than this many grid cells
+	// per axis: a node that wide sits just under the root, handing it over
+	// saves almost no descent, and replicating it across its whole footprint
+	// would crowd the deeper refs out of every cell it touches.
+	refCellMax = 8
 )
-
-func cellIndex(p geom.Point) int {
-	x := int(p.X * gridDim)
-	y := int(p.Y * gridDim)
-	if x < 0 {
-		x = 0
-	} else if x >= gridDim {
-		x = gridDim - 1
-	}
-	if y < 0 {
-		y = 0
-	} else if y >= gridDim {
-		y = gridDim - 1
-	}
-	return y*gridDim + x
-}
 
 // harvest records child-node references from a response's supporting index.
 func (g *repGrid) harvest(resp *wire.Response) {
@@ -101,20 +91,42 @@ func (g *repGrid) harvest(resp *wire.Response) {
 			elems = elems[:harvestElems]
 		}
 		for _, e := range elems {
-			if e.Super || e.Child == rtree.InvalidNode {
-				continue
+			if !e.Super && e.Child == rtree.InvalidNode {
+				continue // object entry: results, not resumable index state
 			}
-			g.insert(cachedRef{id: e.Child, mbr: e.MBR})
+			// Super (partition-tree) entries are harvested too: they are
+			// the deeper, smaller fragments adaptive node shipping favors —
+			// skipping them starved the grid of exactly the refs most
+			// likely to sit inside a later query's window.
+			g.insert(cachedRef{ref: e.Ref(rep.ID)})
 		}
 	}
 }
 
+// insert files the ref under every grid cell its MBR overlaps — not just
+// the center cell. Harvested node MBRs are typically wider than a cell (and
+// much wider than a query window), so center-cell filing made most
+// gather() probes miss refs that genuinely overlap the window: the steady
+// scenario degraded over half of its partial hits to cold misses before
+// this was made footprint-based.
 func (g *repGrid) insert(r cachedRef) {
-	c := cellIndex(r.mbr.Center())
+	x0, x1 := gridSpan(r.ref.MBR.MinX, r.ref.MBR.MaxX)
+	y0, y1 := gridSpan(r.ref.MBR.MinY, r.ref.MBR.MaxY)
+	if x1-x0 >= refCellMax || y1-y0 >= refCellMax {
+		return // near-root node: not worth caching or replicating
+	}
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			g.insertCell(y*gridDim+x, r)
+		}
+	}
+}
+
+func (g *repGrid) insertCell(c int, r cachedRef) {
 	cell := g.cells[c]
 	for i := range cell {
-		if cell[i].id == r.id {
-			cell[i].mbr = r.mbr
+		if cell[i].ref.Same(r.ref) {
+			cell[i].ref = r.ref
 			return
 		}
 	}
@@ -129,21 +141,30 @@ func (g *repGrid) insert(r cachedRef) {
 }
 
 // gather appends up to handoverMax queued node references overlapping the
-// window, the handed-over H of a partial-hit query. Returns dst unchanged
-// when nothing overlaps (the query degrades to a cold miss).
+// window, the handed-over H of a partial-hit query. A ref filed under
+// several spanned cells is handed over once. Returns dst unchanged when
+// nothing overlaps (the query degrades to a cold miss).
 func (g *repGrid) gather(window geom.Rect, dst []query.QueuedElem) []query.QueuedElem {
 	x0, x1 := gridSpan(window.MinX, window.MaxX)
 	y0, y1 := gridSpan(window.MinY, window.MaxY)
 	start := len(dst)
+	var seen [handoverMax]query.Ref
 	for y := y0; y <= y1; y++ {
 		for x := x0; x <= x1; x++ {
+		refs:
 			for _, r := range g.cells[y*gridDim+x] {
-				if !r.mbr.Intersects(window) {
+				if !r.ref.MBR.Intersects(window) {
 					continue
 				}
+				for _, s := range seen[:len(dst)-start] {
+					if s.Same(r.ref) {
+						continue refs
+					}
+				}
+				seen[len(dst)-start] = r.ref
 				dst = append(dst, query.QueuedElem{
 					Key:  0,
-					Elem: query.Single(query.NodeRef(r.id, r.mbr)),
+					Elem: query.Single(r.ref),
 				})
 				if len(dst)-start >= handoverMax {
 					return dst

@@ -1,0 +1,71 @@
+package load
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+)
+
+// TestRepGridFootprint pins the footprint-based filing contract: a ref
+// wider than one grid cell must be gatherable from any window its MBR
+// overlaps — including windows nowhere near its center — exactly once, and
+// near-root refs (footprint >= refCellMax cells per axis) are not cached
+// at all.
+func TestRepGridFootprint(t *testing.T) {
+	var g repGrid
+	// ~2.5 cells wide (cell side 1/32), centered at (0.5, 0.5).
+	wide := cachedRef{ref: query.NodeRef(7, geom.R(0.46, 0.46, 0.54, 0.54))}
+	g.insert(wide)
+
+	// A window overlapping only the MBR's left edge: its grid span does not
+	// include the center cell, which is where the old center-cell filing
+	// put the only copy.
+	win := geom.R(0.455, 0.50, 0.465, 0.51)
+	if got := g.gather(win, nil); len(got) != 1 {
+		t.Fatalf("edge window gathered %d refs, want 1", len(got))
+	}
+
+	// A window spanning the whole MBR crosses several cells the ref is
+	// filed under; the handover must still carry it once.
+	if got := g.gather(geom.R(0.40, 0.40, 0.60, 0.60), nil); len(got) != 1 {
+		t.Fatalf("spanning window gathered %d refs, want 1 (dedup)", len(got))
+	}
+
+	// A window that misses the MBR gathers nothing.
+	if got := g.gather(geom.R(0.70, 0.70, 0.72, 0.72), nil); len(got) != 0 {
+		t.Fatalf("disjoint window gathered %d refs, want 0", len(got))
+	}
+
+	// Near-root refs are rejected: footprint >= refCellMax cells per axis.
+	g.clear()
+	g.insert(cachedRef{ref: query.NodeRef(9, geom.R(0.1, 0.1, 0.9, 0.9))})
+	if g.size() != 0 {
+		t.Fatalf("near-root ref was cached (size %d), want dropped", g.size())
+	}
+}
+
+// TestRepGridEviction pins per-cell capacity handling under footprint
+// filing: a full cell evicts its oldest ref, and re-inserting a known id
+// refreshes its rectangle instead of duplicating it.
+func TestRepGridEviction(t *testing.T) {
+	var g repGrid
+	small := func(id uint32, x, y float64) cachedRef {
+		return cachedRef{ref: query.NodeRef(rtree.NodeID(id), geom.R(x, y, x+0.002, y+0.002))}
+	}
+	// Five tiny refs in one cell: capacity is cellCap=4, oldest goes.
+	for i := uint32(1); i <= 5; i++ {
+		g.insert(small(i, 0.101, 0.101))
+	}
+	win := geom.R(0.10, 0.10, 0.11, 0.11)
+	got := g.gather(win, nil)
+	if len(got) != cellCap {
+		t.Fatalf("gathered %d refs from a full cell, want %d", len(got), cellCap)
+	}
+	// Re-inserting id 3 with a moved rectangle updates in place.
+	g.insert(cachedRef{ref: query.NodeRef(3, geom.R(0.102, 0.102, 0.106, 0.106))})
+	if n := len(g.gather(win, nil)); n != cellCap {
+		t.Fatalf("refresh duplicated a ref: gathered %d, want %d", n, cellCap)
+	}
+}

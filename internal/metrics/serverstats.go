@@ -108,6 +108,9 @@ type ServerStats struct {
 	// Requests counts requests served (including ones that returned an
 	// application error to the client).
 	Requests atomic.Int64
+	// Batches counts grouped pipeline drains handed to a batch handler
+	// (each covers two or more of the requests counted above).
+	Batches atomic.Int64
 	// Errors counts requests whose handler returned an error.
 	Errors atomic.Int64
 	// BytesIn counts bytes read from client connections, measured at the
@@ -129,6 +132,7 @@ type ServerSnapshot struct {
 	TotalConns    int64
 	RejectedConns int64
 	Requests      int64
+	Batches       int64
 	Errors        int64
 	BytesIn       int64
 	BytesOut      int64
@@ -145,6 +149,7 @@ func (s *ServerStats) Snapshot() ServerSnapshot {
 		TotalConns:    s.TotalConns.Load(),
 		RejectedConns: s.RejectedConns.Load(),
 		Requests:      s.Requests.Load(),
+		Batches:       s.Batches.Load(),
 		Errors:        s.Errors.Load(),
 		BytesIn:       s.BytesIn.Load(),
 		BytesOut:      s.BytesOut.Load(),
@@ -157,8 +162,8 @@ func (s *ServerStats) Snapshot() ServerSnapshot {
 
 // String renders the snapshot as a one-line status report.
 func (s ServerSnapshot) String() string {
-	return fmt.Sprintf("conns=%d/%d rejected=%d requests=%d errors=%d in=%dB out=%dB latency mean=%v p50=%v p99=%v p999=%v",
-		s.ActiveConns, s.TotalConns, s.RejectedConns, s.Requests, s.Errors,
+	return fmt.Sprintf("conns=%d/%d rejected=%d requests=%d batches=%d errors=%d in=%dB out=%dB latency mean=%v p50=%v p99=%v p999=%v",
+		s.ActiveConns, s.TotalConns, s.RejectedConns, s.Requests, s.Batches, s.Errors,
 		s.BytesIn, s.BytesOut,
 		s.MeanLatency.Round(time.Microsecond), s.P50, s.P99, s.P999)
 }

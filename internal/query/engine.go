@@ -101,6 +101,7 @@ func AppendSeedRoot(dst []QueuedElem, q Query, root Ref) []QueuedElem {
 // or Reset, and callers that retain results across runs must copy them.
 type Runner struct {
 	h           pq.Queue[Elem]
+	fifo        []Ref // range-query queue (see runRangeFIFO)
 	stuck       []QueuedElem
 	results     []Ref
 	pairs       [][2]Ref
@@ -110,6 +111,8 @@ type Runner struct {
 // Reset clears the runner for the next query, retaining all backing storage.
 func (r *Runner) Reset() {
 	r.h.Reset()
+	clear(r.fifo)
+	r.fifo = r.fifo[:0]
 	r.stuck = r.stuck[:0]
 	r.results = r.results[:0]
 	r.pairs = r.pairs[:0]
@@ -133,6 +136,9 @@ func (r *Runner) Run(q Query, prov Provider, seed []QueuedElem) Outcome {
 // distance it already holds (wire.Request.Bound). Zero means unbounded.
 func (r *Runner) RunBounded(q Query, prov Provider, seed []QueuedElem, bound float64) Outcome {
 	r.Reset()
+	if q.Kind == Range && rangeFIFOOK(seed) {
+		return r.runRangeFIFO(q, prov, seed)
+	}
 	var out Outcome
 	minMissingNonLeaf := math.Inf(1)
 	m := 0            // confirmed results
@@ -218,6 +224,75 @@ func (r *Runner) RunBounded(q Query, prov Provider, seed []QueuedElem, bound flo
 		remainder = pruneKNNRemainder(remainder, q.K-m)
 	}
 	out.Remainder = remainder
+	return out
+}
+
+// rangeFIFOOK reports whether a range seed admits the FIFO fast path: every
+// queued element keyed zero and no pair elements. Range priorities are always
+// zero (Query.key), so any handed-over or root seed qualifies unless a client
+// shipped something degenerate — then the general heap loop handles it.
+func rangeFIFOOK(seed []QueuedElem) bool {
+	for _, qe := range seed {
+		if qe.Key != 0 || qe.Elem.Pair {
+			return false
+		}
+	}
+	return true
+}
+
+// runRangeFIFO executes a range query with a plain FIFO queue instead of the
+// priority queue. The heap breaks equal keys FIFO by push sequence, and every
+// element of a range run carries key zero, so pop order — and with it every
+// observable output: result order, stuck order, the remainder, and the stats
+// counters — is identical to the heap loop's. What changes is the cost: no
+// sift copies of the fat Elem through the heap, no key comparisons.
+func (r *Runner) runRangeFIFO(q Query, prov Provider, seed []QueuedElem) Outcome {
+	var out Outcome
+	if cap(r.fifo) < len(seed)+64 {
+		r.fifo = make([]Ref, 0, len(seed)+64)
+	}
+	for _, qe := range seed {
+		r.fifo = append(r.fifo, qe.Elem.A)
+		out.Stats.Pushes++
+	}
+
+	for head := 0; head < len(r.fifo); head++ {
+		ref := r.fifo[head]
+		out.Stats.Pops++
+
+		if ref.IsObject() {
+			if !prov.HaveObject(ref.Obj) {
+				r.stuck = append(r.stuck, QueuedElem{Elem: Single(ref)})
+				continue
+			}
+			r.results = append(r.results, ref)
+			continue
+		}
+
+		children, ok := prov.Expand(ref)
+		if !ok {
+			r.stuck = append(r.stuck, QueuedElem{Elem: Single(ref)})
+			continue
+		}
+		out.Stats.Expands++
+		out.Stats.Evals += len(children)
+		for _, c := range children {
+			if q.accepts(c.MBR) {
+				r.fifo = append(r.fifo, c)
+				out.Stats.Pushes++
+			}
+		}
+	}
+
+	out.Results = r.results
+	out.Pairs = r.pairs
+	if len(r.stuck) == 0 {
+		out.Complete = true
+		return out
+	}
+	// All keys are zero: the heap path's stable sort preserves accumulation
+	// order, so the stuck list is the remainder as-is.
+	out.Remainder = r.stuck
 	return out
 }
 

@@ -28,7 +28,21 @@ type Ref struct {
 	Node rtree.NodeID   // RefNode, RefSuper
 	Code bpt.Code       // RefSuper
 	Obj  rtree.ObjectID // RefObject
+
+	// hint is a provider-local packed-position hint (rtree.Packed index + 1,
+	// zero when absent). It is an execution-side shortcut only: never
+	// serialized, excluded from Same/Less, and meaningful only to the
+	// provider that created the ref within the same request.
+	hint uint32
 }
+
+// SuperRefHinted is SuperRef carrying a packed-position hint.
+func SuperRefHinted(id rtree.NodeID, code bpt.Code, mbr geom.Rect, hint uint32) Ref {
+	return Ref{Kind: RefSuper, Node: id, Code: code, MBR: mbr, hint: hint}
+}
+
+// PosHint returns the packed-position hint (zero when absent).
+func (r Ref) PosHint() uint32 { return r.hint }
 
 // NodeRef builds a node reference.
 func NodeRef(id rtree.NodeID, mbr geom.Rect) Ref {

@@ -13,15 +13,24 @@ import (
 // In flat mode (full-form index or index-less baselines) node expansion
 // returns entries directly.
 //
+// Expansion prefers the packed read-only image published alongside the
+// snapshot (rtree.Packed): position topology, codes, and MBRs live in flat
+// arrays there, so expanding a super entry is a bit-walk over contiguous
+// int32s instead of a string-keyed map lookup, and the expanded set is a
+// bitset with O(1) ancestor closure instead of nested maps. A node the image
+// does not cover at the snapshot's generation — the un-packed delta — falls
+// back to the arena tree and the partition forest transparently, per node.
+//
 // A provider is reusable request-to-request: reset clears the per-request
 // state while keeping every backing structure (the visited bitset, the
-// visit-order list, the expanded-position maps, and the Expand scratch
-// buffer), so a warm provider serves a request without allocating. It lives
-// inside the server's pooled execState and is never shared between
+// visit-order list, the expanded-position maps and bitsets, and the Expand
+// scratch buffer), so a warm provider serves a request without allocating. It
+// lives inside the server's pooled execState and is never shared between
 // concurrent requests.
 type provider struct {
 	tree        *rtree.Tree
 	forest      bpt.ForestView
+	packed      *rtree.Packed
 	partitioned bool
 
 	visitedCount int            // traversal counter behind ExecInfo.VisitedNodes
@@ -31,15 +40,28 @@ type provider struct {
 	expanded   map[rtree.NodeID]map[bpt.Code]bool
 	spareCodes []map[bpt.Code]bool // cleared inner maps ready for reuse
 
+	// Packed-path expanded positions: per node, a bitset over the node's
+	// packed position span. Disjoint from expanded — within one request a
+	// node is served either from the packed image or from the forest, never
+	// both (the Covers decision is a pure function of the pinned snapshot).
+	pexp      map[rtree.NodeID][]uint64
+	spareBits [][]uint64
+	// One-entry cache over pexp: expansions of one node's positions arrive
+	// in runs (the queue drains a node's supers together), so the common
+	// mark skips the map entirely.
+	lastPexpID   rtree.NodeID
+	lastPexpBits []uint64
+
 	scratch []query.Ref // Expand result buffer; valid until the next Expand
 }
 
 // reset binds the provider to a pinned snapshot for one request. The bitset
 // is sized to the snapshot arena's NodeSpan; the caller must keep the
 // snapshot pinned for the provider's whole lifetime.
-func (p *provider) reset(v *snapshot, partitioned bool) {
+func (p *provider) reset(v *snapshot, packed *rtree.Packed, partitioned bool) {
 	p.tree = v.tree
 	p.forest = v.forest
+	p.packed = packed
 	p.partitioned = partitioned
 
 	words := (int(v.tree.NodeSpan()) + 63) / 64
@@ -64,6 +86,16 @@ func (p *provider) reset(v *snapshot, partitioned bool) {
 	if p.expanded == nil {
 		p.expanded = make(map[rtree.NodeID]map[bpt.Code]bool)
 	}
+	for id, bits := range p.pexp {
+		clear(bits)
+		p.spareBits = append(p.spareBits, bits)
+		delete(p.pexp, id)
+	}
+	if p.pexp == nil {
+		p.pexp = make(map[rtree.NodeID][]uint64)
+	}
+	p.lastPexpID = rtree.InvalidNode
+	p.lastPexpBits = nil
 	p.scratch = p.scratch[:0]
 }
 
@@ -75,6 +107,15 @@ func (p *provider) visit(id rtree.NodeID) {
 	p.visitedBits[w] |= bit
 	p.visitedCount++
 	p.visited = append(p.visited, id)
+}
+
+// packedSpan returns the node's packed position span when the image covers
+// its current content.
+func (p *provider) packedSpan(n *rtree.Node) (rtree.PackedSpan, bool) {
+	if p.packed == nil {
+		return rtree.PackedSpan{}, false
+	}
+	return p.packed.Covers(n.ID, n.Gen)
 }
 
 // markExpanded records that a partition-tree position was expanded, closing
@@ -111,6 +152,39 @@ func (p *provider) markExpanded(id rtree.NodeID, code bpt.Code) {
 	}
 }
 
+// markPackedExpanded is markExpanded for packed positions: a bitset over the
+// node's span with the same upward closure, walking the packed parent array.
+func (p *provider) markPackedExpanded(id rtree.NodeID, sp rtree.PackedSpan, pos int32) {
+	bits := p.lastPexpBits
+	if p.lastPexpID != id {
+		var ok bool
+		bits, ok = p.pexp[id]
+		if !ok {
+			words := (int(sp.Count) + 63) / 64
+			if k := len(p.spareBits); k > 0 {
+				bits = p.spareBits[k-1]
+				p.spareBits = p.spareBits[:k-1]
+			}
+			if cap(bits) < words {
+				bits = make([]uint64, words)
+			}
+			bits = bits[:words]
+			clear(bits)
+			p.pexp[id] = bits
+		}
+		p.lastPexpID, p.lastPexpBits = id, bits
+	}
+	for pos >= 0 {
+		rel := uint32(pos - sp.Off)
+		w, bit := rel>>6, uint64(1)<<(rel&63)
+		if bits[w]&bit != 0 {
+			return
+		}
+		bits[w] |= bit
+		pos = p.packed.Parent(pos)
+	}
+}
+
 // Expand implements query.Provider. The server never reports missing
 // targets; a dangling reference returns an empty expansion. The returned
 // slice is the provider's scratch buffer: valid until the next Expand call.
@@ -132,6 +206,11 @@ func (p *provider) Expand(ref query.Ref) ([]query.Ref, bool) {
 			}
 			return p.scratch, true
 		}
+		if sp, ok := p.packedSpan(n); ok {
+			p.markPackedExpanded(n.ID, sp, sp.Off)
+			p.scratch = p.appendPackedChildren(p.scratch[:0], n.ID, sp.Off)
+			return p.scratch, true
+		}
 		pt := p.forest.Get(n)
 		p.markExpanded(n.ID, pt.Root.Code)
 		p.scratch = appendPNodeChildren(p.scratch[:0], n.ID, pt.Root)
@@ -143,6 +222,24 @@ func (p *provider) Expand(ref query.Ref) ([]query.Ref, bool) {
 			return nil, true
 		}
 		p.visit(n.ID)
+		if sp, ok := p.packedSpan(n); ok {
+			// Super refs the provider itself created carry their packed
+			// position; only client-handed refs pay the code bit-walk.
+			var pos int32
+			if h := ref.PosHint(); h != 0 {
+				pos = int32(h - 1)
+			} else if fp, found := p.packed.FindCode(sp, string(ref.Code)); found {
+				pos = fp
+			} else {
+				return nil, true
+			}
+			if p.packed.IsLeaf(pos) {
+				return nil, true
+			}
+			p.markPackedExpanded(n.ID, sp, pos)
+			p.scratch = p.appendPackedChildren(p.scratch[:0], n.ID, pos)
+			return p.scratch, true
+		}
 		pt := p.forest.Get(n)
 		pn, ok := pt.Node(ref.Code)
 		if !ok || pn.Leaf() {
@@ -159,6 +256,35 @@ func (p *provider) Expand(ref query.Ref) ([]query.Ref, bool) {
 
 // HaveObject implements query.Provider; the server holds every object.
 func (p *provider) HaveObject(rtree.ObjectID) bool { return true }
+
+// packedRef converts a leaf position of the packed image into an engine
+// reference — the flat-array twin of query.FromEntry.
+func packedRef(pk *rtree.Packed, pos int32) query.Ref {
+	if c := pk.ChildID(pos); c != rtree.InvalidNode {
+		return query.NodeRef(c, pk.Rect(pos))
+	}
+	return query.ObjectRef(pk.ObjID(pos), pk.Rect(pos))
+}
+
+// appendPackedChildren is appendPNodeChildren over the packed image: the two
+// children of position pos become engine references — leaves as real
+// entries, internal positions as super entries. A leaf pos (single-entry
+// node root) stands for its entry itself.
+func (p *provider) appendPackedChildren(dst []query.Ref, node rtree.NodeID, pos int32) []query.Ref {
+	pk := p.packed
+	r := pk.Right(pos)
+	if r == 0 {
+		return append(dst, packedRef(pk, pos))
+	}
+	for _, c := range [2]int32{pos + 1, r} {
+		if pk.IsLeaf(c) {
+			dst = append(dst, packedRef(pk, c))
+		} else {
+			dst = append(dst, query.SuperRefHinted(node, bpt.Code(pk.Code(c)), pk.Rect(c), uint32(c)+1))
+		}
+	}
+	return dst
+}
 
 // appendPNodeChildren converts a partition node's children into engine
 // references: leaves become real entries, internal positions become super

@@ -132,6 +132,29 @@ type Server struct {
 	cfg    Config
 	shards [clientShardCount]clientShard
 
+	// packed is the read-optimized image of the index (rtree.Packed): flat
+	// partition-tree arrays covering everything up to the epoch it was built
+	// at. Validity is checked per node by page generation, so an image built
+	// from any snapshot is safe against any other — stale nodes are the
+	// un-packed delta and fall back to the arena tree. Built synchronously at
+	// construction, republished by a background packer once enough pages have
+	// drifted (see snapshot.go).
+	packed  atomic.Pointer[rtree.Packed]
+	packing atomic.Bool // one repack in flight at a time
+	// packGate is the earliest time (unix nanos) the next repack may start,
+	// set to a multiple of the last pack's duration when it finishes. It
+	// bounds the packer's duty cycle so a sustained update stream spends a
+	// small fraction of one core (and its GC budget) on image rebuilds
+	// instead of packing after every batch.
+	packGate atomic.Int64
+	// reads counts Execute/ExecuteBatch entries. The background packer
+	// consults it and keeps the image unmaintained while nothing is reading:
+	// a write-only phase pays zero repack cost (on small machines the packer
+	// competes with the writer for the same core), and the first query after
+	// such a phase runs on the arena fallback until the next batch notices
+	// the read and schedules a rebuild.
+	reads atomic.Int64
+
 	// baseSizes reports build-time object sizes; objects inserted after the
 	// build overlay it through extraSizes (lock-free reads, writer stores).
 	// hasExtras gates the overlay lookup so the common no-insert deployment
@@ -176,8 +199,12 @@ func New(tree *rtree.Tree, sizes ObjectSizer, cfg Config) *Server {
 	}
 	s.baseSizes = sizes
 	s.cur.Store(newSnapshot(tree, s.forest.View(), 0, 0, nil))
+	s.packed.Store(rtree.Pack(tree))
 	return s
 }
+
+// Packed exposes the current packed image (diagnostics and tests).
+func (s *Server) Packed() *rtree.Packed { return s.packed.Load() }
 
 // sizeOf reports an object's payload size, preferring the post-build overlay.
 func (s *Server) sizeOf(id rtree.ObjectID) int {
@@ -301,16 +328,18 @@ func resetScratchMap[K comparable](m map[K]bool) map[K]bool {
 }
 
 // getExec borrows a request state from the pool, bound to the pinned
-// snapshot v. forQuery resets the provider and query scratch (the visited
-// bitset is sized to v's arena span); catalog and update requests skip that
-// and only use the invalidation scratch.
-func (s *Server) getExec(v *snapshot, partitioned, forQuery bool) *execState {
+// snapshot v and the packed image pk (callers sharing one image across
+// several states must pass the same pointer — the expanded-position bitsets
+// are indexed by its spans). forQuery resets the provider and query scratch
+// (the visited bitset is sized to v's arena span); catalog and update
+// requests skip that and only use the invalidation scratch.
+func (s *Server) getExec(v *snapshot, pk *rtree.Packed, partitioned, forQuery bool) *execState {
 	st, _ := s.execPool.Get().(*execState)
 	if st == nil {
 		st = &execState{}
 	}
 	if forQuery {
-		st.prov.reset(v, partitioned)
+		st.prov.reset(v, pk, partitioned)
 		st.seen = resetScratchMap(st.seen)
 		st.noPay = resetScratchMap(st.noPay)
 		st.seed = st.seed[:0]
@@ -377,13 +406,19 @@ func (s *Server) ReleaseResponse(resp *wire.Response) {
 // The returned response may be recycled via ReleaseResponse once the caller
 // is done with it; see there for the ownership contract.
 func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
-	d := s.feedbackAndD(req)
+	s.reads.Add(1)
+	return s.executeWithD(req, s.feedbackAndD(req))
+}
 
+// executeWithD is Execute after feedback has been folded in; the batch path
+// calls it directly so a group abort cannot apply a request's FMR feedback
+// twice.
+func (s *Server) executeWithD(req *wire.Request, d int) (*wire.Response, ExecInfo) {
 	v := s.pinSnapshot()
 	defer v.unpin()
 
 	if req.Catalog {
-		st := s.getExec(v, false, false)
+		st := s.getExec(v, nil, false, false)
 		defer s.putExec(st)
 		root := rootRef(v)
 		resp := s.acquireResponse()
@@ -393,7 +428,7 @@ func (s *Server) Execute(req *wire.Request) (*wire.Response, ExecInfo) {
 	}
 
 	partitioned := s.cfg.Form != FullForm && !req.NoIndex
-	st := s.getExec(v, partitioned, true)
+	st := s.getExec(v, s.packed.Load(), partitioned, true)
 	defer s.putExec(st)
 
 	resp := s.acquireResponse()
@@ -511,6 +546,27 @@ func buildIndexInto(v *snapshot, resp *wire.Response, st *execState, form IndexF
 		if len(n.Entries) == 0 {
 			continue
 		}
+
+		// Extend reps in place so a recycled NodeRep's element array is
+		// reused instead of reallocated.
+		if len(reps) < cap(reps) {
+			reps = reps[:len(reps)+1]
+		} else {
+			reps = append(reps, wire.NodeRep{})
+		}
+		rep := &reps[len(reps)-1]
+		rep.ID, rep.Level = n.ID, n.Level
+		rep.Elems = rep.Elems[:0]
+
+		// Packed nodes emit their cut straight from the flat arrays: the
+		// preorder walk yields lexicographic code order, exactly what the
+		// forest's cut construction produces, without the intermediate Cut
+		// slice or the byCode string-map lookups.
+		if sp, ok := p.packedSpan(n); ok {
+			rep.Elems = appendPackedCut(rep.Elems, p.packed, sp, p.pexp[n.ID], form, d)
+			continue
+		}
+
 		pt := v.forest.Get(n)
 		cut := st.cutBuf[:0]
 		switch form {
@@ -524,16 +580,6 @@ func buildIndexInto(v *snapshot, resp *wire.Response, st *execState, form IndexF
 		}
 		st.cutBuf = cut
 
-		// Extend reps in place so a recycled NodeRep's element array is
-		// reused instead of reallocated.
-		if len(reps) < cap(reps) {
-			reps = reps[:len(reps)+1]
-		} else {
-			reps = append(reps, wire.NodeRep{})
-		}
-		rep := &reps[len(reps)-1]
-		rep.ID, rep.Level = n.ID, n.Level
-		rep.Elems = rep.Elems[:0]
 		for _, code := range cut {
 			pn, ok := pt.Node(code)
 			if !ok {
@@ -550,4 +596,67 @@ func buildIndexInto(v *snapshot, resp *wire.Response, st *execState, form IndexF
 		}
 	}
 	resp.Index = reps
+}
+
+// appendPackedCut emits one node's shipped representation from the packed
+// image, mirroring the forest path byte-for-byte: the frontier of the
+// expanded positions (bits; nil or root-unset collapses to the root cut),
+// refined d further levels under AdaptiveForm, or every leaf under FullForm.
+func appendPackedCut(dst []wire.CutElem, pk *rtree.Packed, sp rtree.PackedSpan, bits []uint64, form IndexForm, d int) []wire.CutElem {
+	expandedBit := func(pos int32) bool {
+		if bits == nil {
+			return false
+		}
+		rel := uint32(pos - sp.Off)
+		return bits[rel>>6]&(1<<(rel&63)) != 0
+	}
+	emit := func(pos int32) {
+		elem := wire.CutElem{Code: bpt.Code(pk.Code(pos)), MBR: pk.Rect(pos)}
+		if pk.IsLeaf(pos) {
+			elem.Child = pk.ChildID(pos)
+			elem.Obj = pk.ObjID(pos)
+		} else {
+			elem.Super = true
+		}
+		dst = append(dst, elem)
+	}
+	// descend emits the leaves at most depth levels below pos (the d+-level
+	// refinement); depth 0 emits pos itself.
+	var descend func(pos int32, depth int)
+	descend = func(pos int32, depth int) {
+		if pk.IsLeaf(pos) || depth == 0 {
+			emit(pos)
+			return
+		}
+		descend(pos+1, depth-1)
+		descend(pk.Right(pos), depth-1)
+	}
+	var frontier func(pos int32)
+	frontier = func(pos int32) {
+		if !pk.IsLeaf(pos) && expandedBit(pos) {
+			frontier(pos + 1)
+			frontier(pk.Right(pos))
+			return
+		}
+		if form == AdaptiveForm {
+			descend(pos, d)
+		} else {
+			emit(pos)
+		}
+	}
+
+	switch {
+	case form == FullForm:
+		descend(sp.Off, int(sp.Count)) // depth bound > height: reaches all leaves
+	case !expandedBit(sp.Off):
+		// Root not expanded: the cut is the root alone (possibly refined).
+		if form == AdaptiveForm {
+			descend(sp.Off, d)
+		} else {
+			emit(sp.Off)
+		}
+	default:
+		frontier(sp.Off)
+	}
+	return dst
 }

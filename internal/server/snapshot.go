@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bpt"
 	"repro/internal/rtree"
@@ -143,6 +144,14 @@ type writer struct {
 	logFloor uint64
 	log      []updateRecord
 
+	// stale counts pages touched since the packed image was last rebuilt;
+	// past the repack threshold the writer kicks an asynchronous repack.
+	// lastPackReads remembers Server.reads at the moment the last repack was
+	// scheduled: if no query has arrived since, the image has no audience and
+	// rebuilding it would be pure overhead on the write path.
+	stale         int
+	lastPackReads int64
+
 	// Scratch reused across operations and batches (no per-update maps).
 	opSeen     map[rtree.NodeID]bool // first-touch dedup within one operation
 	opOrder    []rtree.NodeID
@@ -171,6 +180,8 @@ func (s *Server) ensureWriter() *writer {
 			opSeen:    make(map[rtree.NodeID]bool),
 			batchSeen: make(map[rtree.NodeID]bool),
 			syncSeen:  make(map[rtree.NodeID]bool),
+			// The construction-time image covers everything read so far.
+			lastPackReads: s.reads.Load(),
 		}
 		s.wr = w
 		go w.run()
@@ -358,6 +369,74 @@ func (w *writer) apply(batches []*updateBatch) {
 		return
 	}
 	w.prewarm(buf.tree)
+	w.stale += len(w.batchOrder)
+	w.maybeRepack()
+}
+
+// repackStaleFloor is the minimum number of touched pages before a repack is
+// worth scheduling; below it the arena-delta fallback is cheap enough.
+const repackStaleFloor = 64
+
+// packMinInterval is the shortest gap between two repacks, regardless of how
+// fast the incremental Repack runs (see the gate in maybeRepack).
+const packMinInterval = time.Second
+
+// maybeRepack rebuilds the packed image in the background once enough pages
+// have drifted from it — the delta served by the arena fallback stays small
+// without the writer paying a full image rebuild per batch. The packer runs
+// against a pinned snapshot (immutable by contract), so it never races the
+// writer's buffer mutations; one repack is in flight at a time, and because
+// packed content is validated per (NodeID, Gen), publishing an image built
+// from an already-superseded snapshot is still correct — newer pages just
+// stay in the delta until the next repack.
+func (w *writer) maybeRepack() {
+	s := w.s
+	threshold := repackStaleFloor
+	if n := w.bufs[0].tree.NodeCount() / 4; n > threshold {
+		threshold = n
+	}
+	if w.stale < threshold || s.packing.Load() {
+		return
+	}
+	// No query has looked at the server since the last repack was scheduled:
+	// skip. A write-only phase then pays nothing for image maintenance (on a
+	// small machine the packer competes with this goroutine for CPU), and
+	// stale keeps accumulating so the batch after the first read repacks.
+	reads := s.reads.Load()
+	if reads == w.lastPackReads {
+		return
+	}
+	// Duty-cycle the packer: a batch stream that dirties the threshold on
+	// every batch must not rebuild the image per batch — packing allocates
+	// the whole flat image, and that GC churn is paid by the writer and
+	// every reader. Two gates compose: the 24x multiple bounds the packer to
+	// ~1/24 of wall time on big trees where a rebuild is slow, and the
+	// absolute floor bounds the *frequency* on small trees where Repack is so
+	// fast that a pure duty cycle would fire many times a second, each firing
+	// allocating a fresh image — the garbage scales with firings, not with
+	// pack duration. Sub-4Hz image freshness has no query-visible value: the
+	// delta fallback serves stale pages exactly either way.
+	if time.Now().UnixNano() < s.packGate.Load() {
+		return
+	}
+	if !s.packing.CompareAndSwap(false, true) {
+		return
+	}
+	w.stale = 0
+	w.lastPackReads = reads
+	v := s.pinSnapshot()
+	go func() {
+		defer s.packing.Store(false)
+		defer v.unpin()
+		start := time.Now()
+		// Repack reuses unchanged node spans from the previous image, so the
+		// steady-state cost is O(stale pages) split work plus a copy.
+		s.packed.Store(rtree.Repack(v.tree, s.packed.Load()))
+		wait := 24 * time.Since(start)
+		if wait < packMinInterval {
+			wait = packMinInterval
+		}
+	}()
 }
 
 // prewarmPageBudget bounds how many touched pages one batch prewarm rebuilds.
@@ -462,7 +541,17 @@ func (w *writer) acquireBuf(cur *snapshot) *treeBuf {
 			oldest = b
 		}
 	}
-	if len(w.bufs) < w.maxBufs {
+	limit := w.maxBufs
+	if w.s.packing.Load() {
+		// The packer pins one snapshot for its whole tree walk (tens of
+		// milliseconds on a big index). Without slack the rotation would
+		// block on that pin for the full pack duration, stalling every
+		// queued update. One extra buffer keeps the writer running; the
+		// growth happens once and the buffer stays in rotation afterwards,
+		// so the steady-state cost is MaxSnapshots+1 buffers, not a leak.
+		limit++
+	}
+	if len(w.bufs) < limit {
 		nb := &treeBuf{tree: cur.tree.Clone()}
 		w.bufs = append(w.bufs, nb)
 		return nb

@@ -82,6 +82,15 @@ func (c *ClientConn) RoundTrip(req *Request) (*Response, error) {
 // Handler processes one request on the server side.
 type Handler func(*Request) (*Response, error)
 
+// BatchHandler processes a contiguous run of decoded requests drained from
+// one connection's pipeline in a single call, letting the application
+// amortize per-request setup (snapshot pinning, execution-state checkout,
+// shared traversal work) across the batch. It must return exactly
+// len(reqs) responses: resps[i] answers reqs[i], and a per-request failure
+// is reported through errs[i] (with resps[i] ignored). errs may be nil when
+// every request succeeded.
+type BatchHandler func(reqs []*Request) (resps []*Response, errs []error)
+
 // ServeConn answers requests on a connection until it closes, negotiating
 // the protocol from the client's opening bytes: a binary preamble selects
 // the framed binary codec, anything else the gob fallback. Requests are

@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"net"
@@ -74,7 +75,16 @@ type ServeConfig struct {
 	// recycle response memory. The server must not touch a response after
 	// releasing it.
 	Release func(*Response)
+	// HandleBatch, when set, receives runs of pipelined requests that were
+	// already fully buffered on a binary connection (drained without
+	// blocking after the first frame of a read pass, up to MaxPipeline or
+	// MaxBatch, whichever is smaller). Single requests and the gob protocol
+	// keep using the plain handler.
+	HandleBatch BatchHandler
 }
+
+// MaxBatch caps requests per HandleBatch call regardless of MaxPipeline.
+const MaxBatch = 64
 
 // NetServer is a concurrent wire-protocol server. Create one with
 // NewNetServer; Serve blocks until the listener fails or Shutdown/Close is
@@ -345,6 +355,75 @@ func (s *NetServer) serveBinary(conn net.Conn, cc countingConn, br *bufio.Reader
 			continue
 		}
 
+		// Batch drain: when the application installed a batch handler and the
+		// client's pipeline burst landed more complete frames in the read
+		// buffer, hand the whole run over in one call instead of a goroutine
+		// per request.
+		if s.cfg.HandleBatch != nil && br.Buffered() >= 4 {
+			ids, reqs, fatal := s.drainBuffered(br, writeResp, id, req)
+			if fatal {
+				return
+			}
+			if len(reqs) > 1 {
+				for range reqs {
+					if pipeSem != nil {
+						pipeSem <- struct{}{}
+					}
+				}
+				workers.Add(1)
+				inflight.Add(int64(len(reqs)))
+				go func(ids []uint64, reqs []*Request) {
+					defer func() {
+						inflight.Add(-int64(len(reqs)))
+						workers.Done()
+						if pipeSem != nil {
+							for range reqs {
+								<-pipeSem
+							}
+						}
+					}()
+					// One worker-pool token serves the whole batch: the
+					// batch is one unit of execution on the application side.
+					if s.sem != nil {
+						s.sem <- struct{}{}
+					}
+					start := time.Now()
+					resps, errs := s.cfg.HandleBatch(reqs)
+					elapsed := time.Since(start)
+					if s.sem != nil {
+						<-s.sem
+					}
+					s.stats.Batches.Add(1)
+					s.stats.Requests.Add(int64(len(reqs)))
+					for i := range reqs {
+						s.stats.Latency.Observe(elapsed)
+						if errs != nil && errs[i] != nil {
+							s.stats.Errors.Add(1)
+							writeResp(frameError, ids[i], []byte(errs[i].Error()))
+							continue
+						}
+						var resp *Response
+						if i < len(resps) {
+							resp = resps[i]
+						}
+						if resp == nil {
+							s.stats.Errors.Add(1)
+							writeResp(frameError, ids[i], []byte("batch handler returned no response"))
+							continue
+						}
+						body := respBodyPool.Get().(*[]byte)
+						*body = EncodeResponse((*body)[:0], resp)
+						if s.cfg.Release != nil {
+							s.cfg.Release(resp)
+						}
+						writeResp(frameResponse, ids[i], *body)
+						respBodyPool.Put(body)
+					}
+				}(ids, reqs)
+				continue
+			}
+		}
+
 		if pipeSem != nil {
 			pipeSem <- struct{}{}
 		}
@@ -382,6 +461,57 @@ func (s *NetServer) serveBinary(conn net.Conn, cc countingConn, br *bufio.Reader
 			respBodyPool.Put(body)
 		}(id, req)
 	}
+}
+
+// drainBuffered collects request frames that are already fully buffered on a
+// binary connection — never touching the socket — and returns them together
+// with the first decoded request of the read pass. A pipelining client's
+// burst typically lands in one read, so everything behind the first frame is
+// sitting in the bufio buffer by the time it is decoded. Batches are capped
+// at MaxBatch and MaxPipeline. fatal reports a protocol violation or write
+// failure; the caller must tear the connection down.
+func (s *NetServer) drainBuffered(br *bufio.Reader, writeResp func(byte, uint64, []byte) bool, firstID uint64, first *Request) (ids []uint64, reqs []*Request, fatal bool) {
+	max := MaxBatch
+	if s.cfg.MaxPipeline > 0 && s.cfg.MaxPipeline < max {
+		max = s.cfg.MaxPipeline
+	}
+	ids = append(ids, firstID)
+	reqs = append(reqs, first)
+	for len(reqs) < max {
+		buffered := br.Buffered()
+		if buffered < 4 {
+			break
+		}
+		head, err := br.Peek(4)
+		if err != nil {
+			break
+		}
+		// The 4-byte prefix counts the frame's remaining bytes; only a frame
+		// whose every byte is already buffered is consumed (readFrame on it
+		// cannot block).
+		if n := binary.LittleEndian.Uint32(head); uint64(buffered) < 4+uint64(n) {
+			break
+		}
+		typ, id, body, err := readFrame(br)
+		if err != nil {
+			return nil, nil, true
+		}
+		if typ != frameRequest {
+			writeResp(frameError, 0, []byte("unexpected frame type"))
+			return nil, nil, true
+		}
+		req, err := DecodeRequest(body)
+		if err != nil {
+			s.stats.Errors.Add(1)
+			if !writeResp(frameError, id, []byte(err.Error())) {
+				return nil, nil, true
+			}
+			continue
+		}
+		ids = append(ids, id)
+		reqs = append(reqs, req)
+	}
+	return ids, reqs, false
 }
 
 // isTimeout reports whether err is a deadline expiry.

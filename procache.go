@@ -247,6 +247,41 @@ func (s *Server) Handler() wire.Handler {
 	}
 }
 
+// BatchHandler returns the server's batched request handler for
+// wire.ServeConfig.HandleBatch: the serving layer hands it runs of
+// pipelined requests drained from one connection, update messages are
+// answered through the single-writer path, and everything else goes through
+// server.ExecuteBatch, which runs groupable range queries in one shared
+// traversal of the packed index image.
+func (s *Server) BatchHandler() wire.BatchHandler {
+	return func(reqs []*wire.Request) ([]*wire.Response, []error) {
+		resps := make([]*wire.Response, len(reqs))
+		var errs []error
+		qIdx := make([]int, 0, len(reqs))
+		qreqs := make([]*wire.Request, 0, len(reqs))
+		for i, req := range reqs {
+			if len(req.Updates) > 0 {
+				if !s.remoteUpdates.Load() {
+					if errs == nil {
+						errs = make([]error, len(reqs))
+					}
+					errs[i] = ErrUpdatesDisabled
+					continue
+				}
+				resps[i] = s.inner.ExecuteUpdates(req)
+				continue
+			}
+			qIdx = append(qIdx, i)
+			qreqs = append(qreqs, req)
+		}
+		qresps, _ := s.inner.ExecuteBatch(qreqs)
+		for j, i := range qIdx {
+			resps[i] = qresps[j]
+		}
+		return resps, errs
+	}
+}
+
 // ApplyUpdates applies a batch of index updates through the single-writer
 // queue, blocking until the batch's snapshot is published. It returns one
 // applied/failed flag per operation. Unlike the single-object facade
@@ -289,6 +324,9 @@ func (s *Server) NetServer(opts ServeOptions) *wire.NetServer {
 		// Responses are recycled once their bytes are on the wire, keeping
 		// the warm serving path allocation-free end to end.
 		Release: s.inner.ReleaseResponse,
+		// Pipelined bursts drain into grouped execution (server-side batching
+		// over the packed index image).
+		HandleBatch: s.BatchHandler(),
 	})
 }
 

@@ -18,6 +18,14 @@
 # (achieved QPS, p99/p999, shed/error counts per scenario) are tracked
 # across PRs alongside the microbenchmarks. Set PROLOAD_SKIP=1 to emit a
 # benchmarks-only snapshot.
+#
+# Regression gate: when writing BENCH_<pr>.json, the fresh numbers are
+# diffed against the newest previously checked-in BENCH_*.json. Any tracked
+# benchmark whose ns/op regressed by more than GATE_PCT percent (default
+# 15) fails the run after the snapshot is written, so the numbers are still
+# there to look at. Set BENCH_GATE_SKIP=1 to write a snapshot without
+# gating (e.g. when switching benchmark machines — absolute ns/op is
+# hardware-bound, see docs/PERF.md).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -70,4 +78,46 @@ if [ -n "$OUT" ]; then
     echo "wrote $OUT" >&2
 else
     printf '%s' "$JSON"
+fi
+
+# --- regression gate -------------------------------------------------------
+# Compare ns/op per benchmark against the newest previous snapshot.
+if [ -n "$OUT" ] && [ "${BENCH_GATE_SKIP:-0}" != "1" ]; then
+    PREV="$(ls BENCH_*.json 2>/dev/null | grep -vFx "$OUT" | sort -t_ -k2 -n | tail -1 || true)"
+    if [ -z "$PREV" ]; then
+        echo "gate: no previous BENCH_*.json snapshot, skipping" >&2
+    else
+        GATE_PCT="${GATE_PCT:-15}"
+        echo "gate: comparing $OUT against $PREV (fail above +${GATE_PCT}% ns/op)" >&2
+        if ! awk -v pct="$GATE_PCT" '
+            # Benchmark lines in our snapshots look like:
+            #   "BenchmarkName/case=x": {"ns_op": 1234, ...}
+            # The "load" section carries no ns_op keys, so this pattern
+            # only matches the tracked benchmark set.
+            match($0, /"Benchmark[^"]*": \{"ns_op": [0-9.]+/) {
+                s = substr($0, RSTART, RLENGTH)
+                name = s; sub(/^"/, "", name); sub(/": .*/, "", name)
+                ns = s; sub(/.*"ns_op": /, "", ns)
+                if (FILENAME == ARGV[1]) prev[name] = ns + 0
+                else cur[name] = ns + 0
+            }
+            END {
+                fail = 0
+                for (name in cur) {
+                    if (!(name in prev) || prev[name] <= 0) continue
+                    delta = (cur[name] - prev[name]) / prev[name] * 100
+                    if (delta > pct) {
+                        printf "gate: FAIL %s: %.0f -> %.0f ns/op (%+.1f%%)\n", name, prev[name], cur[name], delta
+                        fail = 1
+                    } else {
+                        printf "gate: ok   %s: %.0f -> %.0f ns/op (%+.1f%%)\n", name, prev[name], cur[name], delta
+                    }
+                }
+                exit fail
+            }
+        ' "$PREV" "$OUT" >&2; then
+            echo "gate: ns/op regression beyond ${GATE_PCT}% — investigate before merging (BENCH_GATE_SKIP=1 to override)" >&2
+            exit 1
+        fi
+    fi
 fi
