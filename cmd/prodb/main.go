@@ -18,6 +18,9 @@
 //	prodb -max-conns 8192 -inflight 64    # tune concurrency limits
 //	prodb -pipeline 128                   # deeper per-connection pipelining
 //	prodb -updates=false                  # read-only: reject wire updates
+//	prodb -follower                       # warm standby: primary-only updates
+//	prodb -cluster 4 -wal /var/lib/prodb  # durable shards (WAL + checkpoints)
+//	prodb -cluster 4 -replicas            # warm standby per shard
 //	prodb -stats 10s                      # periodic serving stats
 //	prodb -pprof localhost:6060           # expose net/http/pprof for profiling
 //
@@ -54,7 +57,10 @@ func main() {
 		pipeline = flag.Int("pipeline", 0, "max requests in flight per binary connection (0 = default 64)")
 		readTO   = flag.Duration("read-timeout", 0, "idle connection deadline (0 = default 5m)")
 		updates  = flag.Bool("updates", true, "accept batched index updates from wire clients (netclient -updates)")
+		follower = flag.Bool("follower", false, "warm-standby mode: only a primary's replication stream may send updates (single node only, see docs/DURABILITY.md)")
 		clusterN = flag.Int("cluster", 1, "spatial shards served behind one scatter-gather router (1 = single node, see docs/CLUSTER.md)")
+		walDir   = flag.String("wal", "", "cluster mode: per-shard WAL+checkpoint directory for crash recovery (empty = memory only)")
+		replicas = flag.Bool("replicas", false, "cluster mode: run a warm standby per shard for transparent failover")
 		statsEv  = flag.Duration("stats", 0, "print serving stats at this interval (0 = off)")
 		drainTO  = flag.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
@@ -92,6 +98,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *follower && *clusterN > 1 {
+		fmt.Fprintln(os.Stderr, "prodb: -follower is a single-node mode; a cluster's replicas are managed by -replicas")
+		os.Exit(2)
+	}
+	if (*walDir != "" || *replicas) && *clusterN <= 1 {
+		fmt.Fprintln(os.Stderr, "prodb: -wal and -replicas require -cluster N (single-node durability is not served yet)")
+		os.Exit(2)
+	}
+
 	var objects []repro.Object
 	switch {
 	case *load != "":
@@ -112,6 +127,9 @@ func main() {
 	if !*updates {
 		mode = "read-only"
 	}
+	if *follower {
+		mode = "follower (replication-stream updates only)"
+	}
 	opts := repro.ServeOptions{
 		MaxConns:    *maxConns,
 		MaxInflight: *inflight,
@@ -127,14 +145,26 @@ func main() {
 		closeFn      func()
 	)
 	if *clusterN > 1 {
-		cs, err := repro.NewClusterServer(objects, repro.ClusterConfig{Shards: *clusterN, Form: indexForm})
+		cs, err := repro.NewClusterServer(objects, repro.ClusterConfig{
+			Shards:   *clusterN,
+			Form:     indexForm,
+			WALDir:   *walDir,
+			Replicas: *replicas,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "prodb: %v\n", err)
 			os.Exit(1)
 		}
 		cs.SetRemoteUpdates(*updates)
-		fmt.Printf("cluster: %d shards owning %v objects, built in %v (%s)\n",
-			cs.Shards(), cs.ShardObjects(), time.Since(start).Round(time.Millisecond), mode)
+		durable := ""
+		if *walDir != "" {
+			durable = fmt.Sprintf(", WAL at %s", *walDir)
+		}
+		if *replicas {
+			durable += ", warm replicas"
+		}
+		fmt.Printf("cluster: %d shards owning %v objects, built in %v (%s%s)\n",
+			cs.Shards(), cs.ShardObjects(), time.Since(start).Round(time.Millisecond), mode, durable)
 		net1 = cs.NetServer(opts)
 		statsFn = cs.Stats
 		clusterStats = cs.ClusterStats
@@ -142,6 +172,7 @@ func main() {
 	} else {
 		srv := repro.NewServer(objects, repro.ServerConfig{Form: indexForm})
 		srv.SetRemoteUpdates(*updates)
+		srv.SetFollower(*follower)
 		st := srv.IndexStats()
 		fmt.Printf("index: %d nodes, height %d, %.0f%% fill, built in %v (%s)\n",
 			st.Nodes, st.Height, st.AvgFill*100, time.Since(start).Round(time.Millisecond), mode)

@@ -10,8 +10,14 @@
 //	proload -inprocess 4 -scenario steady -qps 5000 -duration 5s
 //	proload -addr :7001,:7002,:7003,:7004 -scenario all -json out.json
 //	proload -check -json out.json -scenario flash-crowd    # exit 1 on SLO fail
+//	proload -inprocess 4 -scenario shard-crash-recovery -check  # chaos gate
 //	proload -validate out.json                             # schema check only
 //	proload -list                                          # print the matrix
+//
+// Chaos scenarios (load.FaultMatrix: shard-crash-recovery, replica-failover)
+// kill and restart shards on a schedule; they require the in-process backend,
+// which is built durable for them — per-shard WALs, warm replicas, and a
+// hair-trigger failover threshold (docs/DURABILITY.md).
 //
 // The scenario matrix is defined in internal/load (docs/SCENARIOS.md);
 // scripts/bench.sh merges proload JSON into the per-PR BENCH snapshot so CI
@@ -56,6 +62,9 @@ func main() {
 		for _, sp := range load.Matrix() {
 			fmt.Printf("%-20s %s\n", sp.Name, sp.Description)
 		}
+		for _, sp := range load.FaultMatrix() {
+			fmt.Printf("%-20s %s (chaos; needs -inprocess)\n", sp.Name, sp.Description)
+		}
 		return
 	}
 	if *validate != "" {
@@ -75,26 +84,51 @@ func main() {
 		fatal(err)
 	}
 
-	backend, err := connect(*addr, *inprocess, *objects, *ds, *seed)
-	if err != nil {
-		fatal(err)
+	// Fault-free scenarios share one backend (connections and caches warm
+	// across the matrix, as they would in production). Every chaos scenario
+	// gets a freshly built durable cluster: faults permanently degrade one —
+	// replication stops at the first kill — and a second scenario must not
+	// inherit the wreckage of the first.
+	var shared *backend
+	defer func() {
+		if shared != nil {
+			shared.close()
+		}
+	}()
+	acquire := func(sp load.Spec) (*backend, error) {
+		if len(sp.Faults) > 0 {
+			return connect(*addr, *inprocess, *objects, *ds, *seed, true)
+		}
+		if shared == nil {
+			var err error
+			if shared, err = connect(*addr, *inprocess, *objects, *ds, *seed, false); err != nil {
+				shared = nil
+				return nil, err
+			}
+		}
+		return shared, nil
 	}
-	defer backend.close()
 
 	var results []*load.Result
 	for _, sp := range specs {
+		backend, err := acquire(sp)
+		if err != nil {
+			fatal(err)
+		}
 		var events atomic.Int64
 		r, err := load.Run(load.Config{
-			Spec:         sp,
-			TargetQPS:    *qps,
-			Duration:     *duration,
-			Users:        *users,
-			Workers:      *workers,
-			Seed:         *seed,
-			Timeout:      *timeout,
-			NewTransport: backend.newTransport,
-			Release:      backend.release,
-			ShardErrors:  backend.shardErrors.Load,
+			Spec:          sp,
+			TargetQPS:     *qps,
+			Duration:      *duration,
+			Users:         *users,
+			Workers:       *workers,
+			Seed:          *seed,
+			Timeout:       *timeout,
+			NewTransport:  backend.newTransport,
+			Release:       backend.release,
+			ShardErrors:   backend.shardErrors.Load,
+			Injector:      backend.injector(),
+			FailoverStats: backend.failoverStats,
 			OnEvent: func(worker int, err error) {
 				// A dead backend fails every paced op; log the first few and
 				// then sample, the counters carry the full tally.
@@ -103,6 +137,9 @@ func main() {
 				}
 			},
 		})
+		if backend != shared {
+			backend.close()
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -160,12 +197,16 @@ func pickScenarios(arg string) ([]load.Spec, error) {
 type backend struct {
 	addrs       []string
 	cs          *repro.ClusterServer
+	walDir      string // throwaway chaos WAL directory, removed on close
 	shardErrors atomic.Int64
 }
 
-func connect(addr string, shards, objects int, ds string, seed int64) (*backend, error) {
+func connect(addr string, shards, objects int, ds string, seed int64, chaos bool) (*backend, error) {
 	b := &backend{}
 	if addr != "" {
+		if chaos {
+			return nil, fmt.Errorf("fault scenarios inject shard kills and need the in-process backend (-inprocess), not -addr")
+		}
 		b.addrs = strings.Split(addr, ",")
 		return b, nil
 	}
@@ -174,12 +215,51 @@ func connect(addr string, shards, objects int, ds string, seed int64) (*backend,
 	}
 	objs := repro.GenerateNE(objects, seed)
 	_ = ds // both synthetic generators share the NE skew; rd reserved
-	cs, err := repro.NewClusterServer(objs, repro.ClusterConfig{Shards: shards})
+	cfg := repro.ClusterConfig{Shards: shards}
+	if chaos {
+		// Chaos runs need durable, failover-capable shards: throwaway
+		// per-shard WALs (no fsync; the directory dies with the run), warm
+		// replicas, and a hair trigger so a kill is absorbed within one
+		// query's retry budget.
+		dir, err := os.MkdirTemp("", "proload-wal-")
+		if err != nil {
+			return nil, err
+		}
+		b.walDir = dir
+		cfg.WALDir = dir
+		cfg.WALNoSync = true
+		cfg.Replicas = true
+		cfg.RetryAttempts = 4
+		cfg.RetryBackoff = 2 * time.Millisecond
+		cfg.FailThreshold = 1
+	}
+	cs, err := repro.NewClusterServer(objs, cfg)
 	if err != nil {
+		if b.walDir != "" {
+			os.RemoveAll(b.walDir)
+		}
 		return nil, err
 	}
 	b.cs = cs
 	return b, nil
+}
+
+// injector exposes the in-process cluster's chaos surface; nil for dialed
+// backends (Run rejects fault scenarios without one).
+func (b *backend) injector() load.Injector {
+	if b.cs == nil {
+		return nil
+	}
+	return b.cs
+}
+
+// failoverStats samples the router's failover counters for the report.
+func (b *backend) failoverStats() (retries, failovers, redials int64) {
+	if b.cs == nil {
+		return 0, 0, 0
+	}
+	snap := b.cs.ClusterStats()
+	return snap.Retries(), snap.Failovers(), snap.Redials()
 }
 
 // newTransport hands a worker its connection: the shared in-process
@@ -206,6 +286,9 @@ func (b *backend) release(resp *wire.Response) {
 func (b *backend) close() {
 	if b.cs != nil {
 		b.cs.Close()
+	}
+	if b.walDir != "" {
+		os.RemoveAll(b.walDir)
 	}
 }
 

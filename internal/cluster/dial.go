@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"time"
@@ -25,16 +26,25 @@ import (
 // split their dataset with MakePartition and pass the same partition here.
 //
 // A shard connection that dies after Dial does not abort the router: each
-// affected query fails, the failure is counted in Stats().PerShard[s].Errors
-// and reported to cfg.OnShardError, and later queries keep scatter-gathering
-// (a redialed transport can be swapped in by reconnecting at a higher
-// layer, the way internal/load does). Only the initial dial of every
-// address is all-or-nothing.
+// affected query is retried with backoff, and once the connection accrues
+// cfg.FailThreshold consecutive failures the router redials the address
+// transparently (counted in Stats().PerShard[s].Redials). Queries that
+// exhaust their retries while the process is down fail individually — the
+// failure is counted in Stats().PerShard[s].Errors and reported to
+// cfg.OnShardError — and scatter-gathering resumes as soon as a redial
+// lands. Only the initial dial of every address is all-or-nothing.
+//
+// Each connection's protocol handshake is bounded by cfg.HandshakeTimeout
+// (default 10s), applied to both the TCP dial and the version exchange.
 func Dial(addrs []string, cfg Config) (*Router, error) {
+	hto := cfg.HandshakeTimeout
+	if hto <= 0 {
+		hto = defaultHandshakeTimeout
+	}
 	shards := make([]Shard, len(addrs))
 	conns := make([]wire.Transport, len(addrs))
 	for i, addr := range addrs {
-		t, err := dialShard(addr)
+		t, err := dialShard(addr, hto)
 		if err != nil {
 			for _, c := range conns[:i] {
 				closeTransport(c)
@@ -43,6 +53,8 @@ func Dial(addrs []string, cfg Config) (*Router, error) {
 		}
 		conns[i] = t
 		shards[i] = Shard{T: t}
+		addr := addr
+		shards[i].Redial = func() (wire.Transport, error) { return dialShard(addr, hto) }
 	}
 	if cfg.Part == nil {
 		part, order, err := derivePartition(conns)
@@ -69,24 +81,37 @@ func Dial(addrs []string, cfg Config) (*Router, error) {
 	return r, nil
 }
 
+// defaultHandshakeTimeout bounds the dial + protocol handshake of one shard
+// connection when Config.HandshakeTimeout is unset.
+const defaultHandshakeTimeout = 10 * time.Second
+
 // dialShard mirrors repro.Dial: binary with pipelining, gob as fallback.
-func dialShard(addr string) (wire.Transport, error) {
-	conn, err := net.Dial("tcp", addr)
+// The whole connect-and-handshake runs under one context deadline so a
+// half-open peer can't stall the router longer than the configured bound.
+func dialShard(addr string, timeout time.Duration) (wire.Transport, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	deadline, _ := ctx.Deadline()
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
-	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	conn.SetDeadline(deadline)
 	bc, err := wire.NewBinaryClientConn(conn)
 	if err == nil {
 		conn.SetDeadline(time.Time{})
 		return bc, nil
 	}
 	conn.Close()
-	conn, err = net.Dial("tcp", addr)
+	conn, err = d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
-	return wire.NewClientConn(conn), nil
+	conn.SetDeadline(deadline)
+	gc := wire.NewClientConn(conn)
+	conn.SetDeadline(time.Time{})
+	return gc, nil
 }
 
 func closeTransport(t wire.Transport) {

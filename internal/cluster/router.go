@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/bpt"
 	"repro/internal/geom"
@@ -22,6 +24,38 @@ import (
 type Shard struct {
 	T       wire.Transport
 	Release func(*wire.Response)
+
+	// Replica is an optional warm standby kept current by the primary's
+	// replication stream. When the primary exceeds Config.FailThreshold
+	// consecutive failures the router promotes the replica transparently;
+	// because the standby may lag the primary's final acked batches, the
+	// promotion flushes every tracked client (docs/DURABILITY.md).
+	Replica        wire.Transport
+	ReplicaRelease func(*wire.Response)
+
+	// Redial reconnects to the shard's primary (a restarted process that
+	// recovered from its WAL, or a fresh TCP connection). Unlike promotion,
+	// a successful redial does not flush clients: the recovered primary
+	// answers stale epochs through its own invalidation protocol.
+	Redial func() (wire.Transport, error)
+}
+
+// endpoint is the live transport the router currently uses for one shard.
+// Swapped atomically on failover; the release function rides along so
+// responses recycle into the pool of the server that produced them. (A
+// response released across a failover boundary may land in the wrong pool —
+// harmless, responses carry no server-specific state.)
+type endpoint struct {
+	t       wire.Transport
+	release func(*wire.Response)
+	// replica marks a promoted standby: further failures try Redial to get
+	// back to a recovered primary rather than promoting again.
+	replica bool
+	// dialed marks a transport the router created via Shard.Redial and
+	// therefore owns: it is closed when retired. The configured Shard.T and
+	// Shard.Replica belong to the caller. (Ownership is tracked as a flag
+	// because transports — func adapters included — need not be comparable.)
+	dialed bool
 }
 
 // Config parameterizes a Router.
@@ -46,8 +80,23 @@ type Config struct {
 	// before the router reports the query-level failure. Load harnesses use
 	// it to count per-shard connection trouble as non-fatal events instead
 	// of losing the detail inside the merged error. May be nil; called
-	// concurrently.
+	// concurrently. Only final failures are reported — sub-queries that
+	// succeed on retry or after failover are invisible here.
 	OnShardError func(shard int, err error)
+	// RetryAttempts is how many times a failed sub-query is re-sent (after
+	// the initial attempt) before the error surfaces. Default 2; negative
+	// disables retries.
+	RetryAttempts int
+	// RetryBackoff is the base delay between retry attempts, doubled per
+	// attempt with jitter. Default 2ms.
+	RetryBackoff time.Duration
+	// FailThreshold is how many consecutive sub-query failures a shard
+	// endpoint accrues before the router fails over (promoting the replica,
+	// or redialing the primary). Default 3; negative disables failover.
+	FailThreshold int
+	// HandshakeTimeout bounds the per-connection protocol handshake when
+	// dialing TCP shards (Dial and every Redial). Default 10s.
+	HandshakeTimeout time.Duration
 }
 
 // shardMeta is the router's last-known view of one shard: its current root
@@ -81,6 +130,15 @@ type Router struct {
 	stats   *metrics.ClusterStats
 	onError func(shard int, err error)
 
+	// eps holds the live endpoint per shard; failMu serializes failover
+	// decisions and consecErr counts failures since the last success.
+	eps       []atomic.Pointer[endpoint]
+	failMu    []sync.Mutex
+	consecErr []atomic.Int32
+	retries   int
+	backoff   time.Duration
+	threshold int
+
 	meta   []shardMeta
 	epochs *epochTable
 
@@ -110,18 +168,40 @@ func New(shards []Shard, cfg Config) (*Router, error) {
 		return nil, fmt.Errorf("cluster: shard count %d outside [1, %d]", len(shards), MaxShards)
 	}
 	r := &Router{
-		shards:  shards,
-		part:    cfg.Part,
-		sizer:   cfg.Sizer,
-		stats:   cfg.Stats,
-		onError: cfg.OnShardError,
-		meta:    make([]shardMeta, len(shards)),
-		epochs:  newEpochTable(len(shards), cfg.EpochRing, cfg.MaxClients),
+		shards:    shards,
+		part:      cfg.Part,
+		sizer:     cfg.Sizer,
+		stats:     cfg.Stats,
+		onError:   cfg.OnShardError,
+		eps:       make([]atomic.Pointer[endpoint], len(shards)),
+		failMu:    make([]sync.Mutex, len(shards)),
+		consecErr: make([]atomic.Int32, len(shards)),
+		retries:   cfg.RetryAttempts,
+		backoff:   cfg.RetryBackoff,
+		threshold: cfg.FailThreshold,
+		meta:      make([]shardMeta, len(shards)),
+		epochs:    newEpochTable(len(shards), cfg.EpochRing, cfg.MaxClients),
+	}
+	if r.retries == 0 {
+		r.retries = defaultRetryAttempts
+	} else if r.retries < 0 {
+		r.retries = 0
+	}
+	if r.backoff <= 0 {
+		r.backoff = defaultRetryBackoff
+	}
+	if r.threshold == 0 {
+		r.threshold = defaultFailThreshold
+	} else if r.threshold < 0 {
+		r.threshold = 1 << 30 // effectively never
 	}
 	if r.stats == nil {
 		r.stats = metrics.NewClusterStats(len(shards))
 	}
 	for s := range shards {
+		r.eps[s].Store(&endpoint{t: shards[s].T, release: shards[s].Release})
+		// The initial catalog is all-or-nothing: failover machinery only
+		// covers shards that were healthy at construction.
 		resp, err := shards[s].T.RoundTrip(&wire.Request{Catalog: true})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: catalog shard %d: %w", s, err)
@@ -132,20 +212,36 @@ func New(shards []Shard, cfg Config) (*Router, error) {
 	return r, nil
 }
 
+const (
+	defaultRetryAttempts = 2
+	defaultRetryBackoff  = 2 * time.Millisecond
+	defaultFailThreshold = 3
+)
+
 // Stats returns the router's live counters.
 func (r *Router) Stats() *metrics.ClusterStats { return r.stats }
 
 // Shards returns the cluster size.
 func (r *Router) Shards() int { return len(r.shards) }
 
-// Close closes every shard transport that is closable (dialed TCP conns).
+// Close closes every shard transport that is closable (dialed TCP conns),
+// including replicas and any endpoint swapped in by failover.
 func (r *Router) Close() error {
 	var first error
-	for _, sh := range r.shards {
-		if c, ok := sh.T.(io.Closer); ok {
+	closeOne := func(t wire.Transport) {
+		if c, ok := t.(io.Closer); ok {
 			if err := c.Close(); err != nil && first == nil {
 				first = err
 			}
+		}
+	}
+	for s := range r.shards {
+		closeOne(r.shards[s].T)
+		if r.shards[s].Replica != nil {
+			closeOne(r.shards[s].Replica)
+		}
+		if ep := r.eps[s].Load(); ep != nil && ep.dialed {
+			closeOne(ep.t)
 		}
 	}
 	return first
@@ -180,8 +276,8 @@ func (r *Router) release(s int, resp *wire.Response) {
 	if resp == nil {
 		return
 	}
-	if rel := r.shards[s].Release; rel != nil {
-		rel(resp)
+	if ep := r.eps[s].Load(); ep != nil && ep.release != nil {
+		ep.release(resp)
 	}
 }
 
@@ -243,7 +339,8 @@ type routeState struct {
 	queried    []bool
 	flush      bool
 	wantVroot  bool
-	vrootStale bool // a shard root's content changed in the client's window
+	vrootStale bool   // a shard root's content changed in the client's window
+	epochGen   uint64 // epoch-table generation when this request resolved its base
 
 	meta []rootInfo
 
@@ -358,6 +455,101 @@ func (r *Router) ReleaseResponse(resp *wire.Response) {
 	r.respPool.Put(resp)
 }
 
+// roundTripShard sends one sub-request through the shard's live endpoint,
+// absorbing transient failures: each transport error is retried with
+// jittered exponential backoff, and once the endpoint accrues
+// Config.FailThreshold consecutive failures the router fails over — to the
+// warm replica when one is configured (flushing all clients, since the
+// standby may lag the dead primary's final batches), otherwise by redialing
+// the primary (no flush: a recovered primary serves its own invalidation
+// protocol). Safe for concurrent callers; one goroutine performs the swap
+// while the rest retry against whatever endpoint is current.
+func (r *Router) roundTripShard(s int, req *wire.Request) (*wire.Response, error) {
+	var lastErr error
+	budget := r.retries // attempts remaining after the current one
+	for attempt := 0; ; attempt++ {
+		ep := r.eps[s].Load()
+		resp, err := ep.t.RoundTrip(req)
+		if err == nil {
+			r.consecErr[s].Store(0)
+			return resp, nil
+		}
+		lastErr = err
+		failedOver := false
+		if int(r.consecErr[s].Add(1)) >= r.threshold {
+			failedOver = r.failover(s, ep)
+			if failedOver && budget-attempt < 1 && attempt < r.retries+2*r.threshold {
+				// The request that trips the threshold must still probe the
+				// endpoint it just swapped in, or it fails on the very swap
+				// that fixed the shard. The cap bounds pathological flapping.
+				budget = attempt + 1
+			}
+		}
+		if attempt >= budget {
+			return nil, lastErr
+		}
+		r.stats.PerShard[s].Retries.Add(1)
+		if !failedOver {
+			// A swapped endpoint is worth probing immediately; otherwise
+			// give the shard a moment before the next attempt.
+			time.Sleep(jitteredBackoff(r.backoff, attempt))
+		}
+	}
+}
+
+// jitteredBackoff doubles base per attempt and adds up to 50% jitter so
+// concurrent sub-queries don't hammer a recovering shard in lockstep.
+func jitteredBackoff(base time.Duration, attempt int) time.Duration {
+	d := base << uint(attempt)
+	if d > 100*time.Millisecond {
+		d = 100 * time.Millisecond
+	}
+	j := time.Duration(time.Now().UnixNano()) % (d/2 + 1)
+	return d + j
+}
+
+// failover swaps the shard's endpoint after repeated failures. It returns
+// true when the caller should retry immediately on a fresh endpoint (either
+// this call swapped one in, or another goroutine already had).
+func (r *Router) failover(s int, failed *endpoint) bool {
+	r.failMu[s].Lock()
+	defer r.failMu[s].Unlock()
+	if r.eps[s].Load() != failed {
+		return true // a concurrent failover already replaced it
+	}
+	sh := &r.shards[s]
+	if !failed.replica && sh.Replica != nil {
+		// Promote the warm standby. It has applied every batch the
+		// replication stream delivered, but batches acked by the primary in
+		// its final moments may be lost — every tracked client is flushed so
+		// nobody trusts invalidation windows that straddle the gap, and the
+		// shard's observed epoch restarts from the replica's own counter.
+		r.eps[s].Store(&endpoint{t: sh.Replica, release: sh.ReplicaRelease, replica: true})
+		m := &r.meta[s]
+		m.mu.Lock()
+		m.epoch = 0
+		m.mu.Unlock()
+		r.epochs.flushAll()
+		r.stats.PerShard[s].Failovers.Add(1)
+		r.consecErr[s].Store(0)
+		return true
+	}
+	if sh.Redial != nil {
+		t, err := sh.Redial()
+		if err != nil {
+			return false // primary still down; keep erroring until it returns
+		}
+		if failed.dialed {
+			closeTransport(failed.t) // retire a previous redial's connection
+		}
+		r.eps[s].Store(&endpoint{t: t, dialed: true})
+		r.stats.PerShard[s].Redials.Add(1)
+		r.consecErr[s].Store(0)
+		return true
+	}
+	return false
+}
+
 // issueWave runs every wave item against its shard — inline when there is
 // exactly one (the fast path), on goroutines otherwise — and returns the
 // first sub-query error.
@@ -368,7 +560,7 @@ func (r *Router) issueWave(items []waveItem) error {
 		if it.reissue {
 			r.stats.Reissues.Add(1)
 		}
-		it.resp, it.err = r.shards[it.shard].T.RoundTrip(&it.req)
+		it.resp, it.err = r.roundTripShard(it.shard, &it.req)
 		if it.err != nil {
 			r.stats.PerShard[it.shard].Errors.Add(1)
 			if r.onError != nil {
@@ -409,6 +601,7 @@ func (r *Router) issueWave(items []waveItem) error {
 // reflects (st.baseRoots). Unknown epochs flush the client and rebase it on
 // the current metadata, exactly like falling off the single-node update log.
 func (r *Router) loadEpochBase(st *routeState, req *wire.Request) {
+	st.epochGen = r.epochs.generation()
 	if r.epochs.lookup(req.Client, req.Epoch, st.baseVec, st.baseRoots) {
 		copy(st.newVec, st.baseVec)
 		copy(st.newRoots, st.baseRoots)
@@ -622,7 +815,22 @@ func (r *Router) finishConsistency(st *routeState, req *wire.Request, resp *wire
 		resp.InvalidObjs = resp.InvalidObjs[:0]
 		r.stats.Flushes.Add(1)
 	}
-	resp.Epoch = r.epochs.commit(req.Client, req.Epoch, st.newVec, st.newRoots)
+	epoch, ok := r.epochs.commit(req.Client, req.Epoch, st.newVec, st.newRoots, st.epochGen)
+	if !ok {
+		// A replica promotion flushed the table while this request was in
+		// flight: its base vector may describe epochs the promoted shard
+		// never reached, so the commit was refused — flush the client and
+		// let its next request rebase on post-failover state.
+		if !resp.FlushAll {
+			resp.FlushAll = true
+			resp.InvalidNodes = resp.InvalidNodes[:0]
+			resp.InvalidObjs = resp.InvalidObjs[:0]
+			r.stats.Flushes.Add(1)
+		}
+		resp.Epoch = 0
+		return
+	}
+	resp.Epoch = epoch
 }
 
 // RoundTrip implements wire.Transport over the cluster: updates route to

@@ -53,6 +53,15 @@ type Config struct {
 	// Result.ShardErrors (wire it to a cluster.Config.OnShardError
 	// counter).
 	ShardErrors func() int64
+
+	// Injector is the chaos surface Spec.Faults fires against (cluster
+	// backends: *cluster.InProcess satisfies it). Required when the spec
+	// schedules faults; fault-free specs ignore it.
+	Injector Injector
+	// FailoverStats, when set, is sampled at the end of the run to fill
+	// Result.Retries/Failovers/Redials (wire it to the router's
+	// metrics.ClusterStats snapshot).
+	FailoverStats func() (retries, failovers, redials int64)
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -60,6 +69,9 @@ func (c Config) withDefaults() (Config, error) {
 		return c, fmt.Errorf("load: Config.NewTransport is required")
 	}
 	c.Spec = c.Spec.normalized()
+	if len(c.Spec.Faults) > 0 && c.Injector == nil {
+		return c, fmt.Errorf("load: scenario %q schedules faults but Config.Injector is nil (chaos needs an in-process cluster backend)", c.Spec.Name)
+	}
 	if c.TargetQPS <= 0 {
 		c.TargetQPS = 1000
 	}
@@ -154,7 +166,29 @@ func Run(cfg Config) (*Result, error) {
 			w.run(start, dur)
 		}(w)
 	}
+	var (
+		faultStop chan struct{}
+		faultDone chan struct{}
+	)
+	if len(cfg.Spec.Faults) > 0 {
+		faultStop = make(chan struct{})
+		faultDone = make(chan struct{})
+		go func() {
+			defer close(faultDone)
+			injectFaults(cfg.Spec.Faults, cfg.Injector, cfg.Duration, start,
+				faultStop, func(err error) {
+					cnt.errors.Add(1)
+					if cfg.OnEvent != nil {
+						cfg.OnEvent(-1, err)
+					}
+				})
+		}()
+	}
 	wg.Wait()
+	if faultStop != nil {
+		close(faultStop)
+		<-faultDone
+	}
 	elapsed := time.Since(start)
 	for _, w := range workers {
 		w.close()
@@ -194,6 +228,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.ShardErrors != nil {
 		res.ShardErrors = cfg.ShardErrors()
+	}
+	if cfg.FailoverStats != nil {
+		res.Retries, res.Failovers, res.Redials = cfg.FailoverStats()
 	}
 	// Achieved rate is completions over the offered window, not over
 	// elapsed-including-drain: every operation was *scheduled* inside

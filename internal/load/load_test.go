@@ -194,7 +194,7 @@ func TestLoadSurvivesConnectFailure(t *testing.T) {
 // TestLoadShardErrorsCounted wires the router's OnShardError hook to the
 // harness counter: a shard that dies mid-run surfaces as counted shard
 // errors and query failures, not a harness abort (the cluster.Dial
-// unsafe-failure fix of this PR).
+// unsafe-failure fix of PR 6).
 func TestLoadShardErrorsCounted(t *testing.T) {
 	ds := dataset.GenerateNE(dataset.Params{N: 2000, Seed: 7})
 	var shardErrs atomic.Int64

@@ -32,6 +32,10 @@ type Result struct {
 	UpdateRejects   int64 // individual mutations the server rejected
 	ShardErrors     int64 // per-shard sub-query failures (cluster only)
 
+	Retries   int64 // shard round trips the router retried (cluster only)
+	Failovers int64 // replica promotions (cluster only)
+	Redials   int64 // shard reconnects after failure (cluster only)
+
 	BytesUp   int64
 	BytesDown int64
 
@@ -105,6 +109,10 @@ type ScenarioReport struct {
 	UpdateRejects   int64 `json:"update_rejects"`
 	ShardErrors     int64 `json:"shard_errors"`
 
+	Retries   int64 `json:"retries"`
+	Failovers int64 `json:"failovers"`
+	Redials   int64 `json:"redials"`
+
 	BytesUp   int64 `json:"bytes_up"`
 	BytesDown int64 `json:"bytes_down"`
 
@@ -148,6 +156,10 @@ func (r *Result) Report() ScenarioReport {
 		UpdateRejects:   r.UpdateRejects,
 		ShardErrors:     r.ShardErrors,
 
+		Retries:   r.Retries,
+		Failovers: r.Failovers,
+		Redials:   r.Redials,
+
 		BytesUp:   r.BytesUp,
 		BytesDown: r.BytesDown,
 
@@ -185,6 +197,7 @@ var requiredKeys = []string{
 	"scheduled", "local", "wire_sent", "wire_ok", "errors", "timeouts", "shed",
 	"full_hit", "partial_hit", "partial_degraded", "miss",
 	"updates", "update_rejects", "shard_errors",
+	"retries", "failovers", "redials",
 	"bytes_up", "bytes_down",
 	"mean_us", "p50_us", "p99_us", "p999_us",
 	"slo_pass", "violations",
@@ -225,6 +238,8 @@ func ValidateReport(data []byte) error {
 			{"scheduled", r.Scheduled}, {"local", r.Local},
 			{"wire_sent", r.WireSent}, {"wire_ok", r.WireOK},
 			{"errors", r.Errors}, {"timeouts", r.Timeouts}, {"shed", r.Shed},
+			{"retries", r.Retries}, {"failovers", r.Failovers},
+			{"redials", r.Redials},
 			{"bytes_up", r.BytesUp}, {"bytes_down", r.BytesDown},
 			{"mean_us", r.MeanUS}, {"p50_us", r.P50US},
 			{"p99_us", r.P99US}, {"p999_us", r.P999US},
@@ -258,6 +273,10 @@ func (r *Result) Fprint(w io.Writer) {
 		r.Scheduled, r.Local, r.WireSent, r.WireOK, r.Errors, r.Timeouts, r.Shed, r.ShardErrors)
 	fmt.Fprintf(w, "  mix: full=%d partial=%d degraded=%d miss=%d updates=%d rejects=%d\n",
 		r.FullHit, r.PartialHit, r.PartialDegraded, r.Miss, r.Updates, r.UpdateRejects)
+	if r.Retries > 0 || r.Failovers > 0 || r.Redials > 0 {
+		fmt.Fprintf(w, "  failover: retries=%d promotions=%d redials=%d\n",
+			r.Retries, r.Failovers, r.Redials)
+	}
 	fmt.Fprintf(w, "  latency: mean=%v p50=%v p99=%v p999=%v  bytes: up=%d down=%d\n",
 		r.Mean.Round(time.Microsecond), r.P50, r.P99, r.P999, r.BytesUp, r.BytesDown)
 	for _, v := range r.Violations {

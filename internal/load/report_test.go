@@ -18,6 +18,7 @@ func sampleResult() *Result {
 		Workers:     4,
 		Scheduled:   2000, Local: 500, WireSent: 1500, WireOK: 1500,
 		FullHit: 500, PartialHit: 600, Miss: 300, Updates: 100,
+		Retries: 3, Failovers: 1, Redials: 2,
 		BytesUp: 50_000, BytesDown: 4_000_000,
 		Mean: time.Millisecond, P50: time.Millisecond,
 		P99: 4 * time.Millisecond, P999: 8 * time.Millisecond,
@@ -45,6 +46,9 @@ func TestReportRoundTrip(t *testing.T) {
 	if sc.Scenario != "steady" || sc.WireOK != 1500 || sc.P999US != 8000 || !sc.SLOPass {
 		t.Fatalf("round trip mangled values: %+v", sc)
 	}
+	if sc.Retries != 3 || sc.Failovers != 1 || sc.Redials != 2 {
+		t.Fatalf("failover counters mangled: %+v", sc)
+	}
 }
 
 // TestValidateReportRejects walks the failure modes the CI schema gate
@@ -66,6 +70,12 @@ func TestValidateReportRejects(t *testing.T) {
 		}, `missing key "p999_us"`},
 		{"negative counter", func(b []byte) []byte {
 			return bytes.Replace(b, []byte(`"wire_ok": 1500`), []byte(`"wire_ok": -1`), 1)
+		}, "negative"},
+		{"missing failover key", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"failovers"`), []byte(`"failovers_gone"`), 1)
+		}, `missing key "failovers"`},
+		{"negative failover counter", func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"redials": 2`), []byte(`"redials": -2`), 1)
 		}, "negative"},
 		{"quantile order", func(b []byte) []byte {
 			return bytes.Replace(b, []byte(`"p999_us": 8000`), []byte(`"p999_us": 1`), 1)

@@ -150,6 +150,10 @@ type Spec struct {
 	// UpdateBatch is how many mutations one OpUpdate request carries.
 	UpdateBatch int
 
+	// Faults is the chaos schedule: shard kills and restarts fired at fixed
+	// fractions of the run (fault scenarios only; needs Config.Injector).
+	Faults []FaultEvent
+
 	// SLO is the envelope CI gates on for this scenario.
 	SLO SLO
 }
@@ -318,9 +322,15 @@ func Matrix() []Spec {
 	return specs
 }
 
-// Lookup finds a scenario by name.
+// Lookup finds a scenario by name, searching the regular matrix and the
+// chaos matrix.
 func Lookup(name string) (Spec, error) {
 	for _, s := range Matrix() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	for _, s := range FaultMatrix() {
 		if s.Name == name {
 			return s, nil
 		}

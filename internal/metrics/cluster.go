@@ -39,6 +39,12 @@ type ShardCounters struct {
 	SubQueries atomic.Int64
 	// Errors counts sub-requests this shard failed.
 	Errors atomic.Int64
+	// Retries counts sub-requests re-sent after a transport error.
+	Retries atomic.Int64
+	// Failovers counts promotions of this shard's warm replica.
+	Failovers atomic.Int64
+	// Redials counts reconnects to this shard's primary endpoint.
+	Redials atomic.Int64
 }
 
 // NewClusterStats returns counters for a router over n shards.
@@ -61,6 +67,9 @@ type ClusterSnapshot struct {
 type ShardSnapshot struct {
 	SubQueries int64
 	Errors     int64
+	Retries    int64
+	Failovers  int64
+	Redials    int64
 }
 
 // Snapshot copies the live counters.
@@ -78,6 +87,9 @@ func (s *ClusterStats) Snapshot() ClusterSnapshot {
 		snap.PerShard[i] = ShardSnapshot{
 			SubQueries: s.PerShard[i].SubQueries.Load(),
 			Errors:     s.PerShard[i].Errors.Load(),
+			Retries:    s.PerShard[i].Retries.Load(),
+			Failovers:  s.PerShard[i].Failovers.Load(),
+			Redials:    s.PerShard[i].Redials.Load(),
 		}
 	}
 	return snap
@@ -101,6 +113,32 @@ func (s ClusterSnapshot) String() string {
 		if sh.Errors > 0 {
 			fmt.Fprintf(&b, "(%derr)", sh.Errors)
 		}
+		if sh.Retries > 0 || sh.Failovers > 0 || sh.Redials > 0 {
+			fmt.Fprintf(&b, "[%dretry/%dfo/%dredial]", sh.Retries, sh.Failovers, sh.Redials)
+		}
 	}
 	return b.String()
+}
+
+// Retries sums sub-request retries across shards.
+func (s ClusterSnapshot) Retries() int64 {
+	return s.sum(func(sh ShardSnapshot) int64 { return sh.Retries })
+}
+
+// Failovers sums replica promotions across shards.
+func (s ClusterSnapshot) Failovers() int64 {
+	return s.sum(func(sh ShardSnapshot) int64 { return sh.Failovers })
+}
+
+// Redials sums primary reconnects across shards.
+func (s ClusterSnapshot) Redials() int64 {
+	return s.sum(func(sh ShardSnapshot) int64 { return sh.Redials })
+}
+
+func (s ClusterSnapshot) sum(f func(ShardSnapshot) int64) int64 {
+	var t int64
+	for _, sh := range s.PerShard {
+		t += f(sh)
+	}
+	return t
 }

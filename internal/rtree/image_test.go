@@ -1,0 +1,168 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// mutatedTree builds a tree with a history of inserts and deletes so the
+// arena carries tombstones, a non-trivial free list, and advanced Gen
+// counters — everything an image must preserve exactly.
+func mutatedTree(seed int64) *Tree {
+	rng := rand.New(rand.NewSource(seed))
+	t := New(Params{MaxEntries: 8})
+	type obj struct {
+		id ObjectID
+		r  geom.Rect
+	}
+	var livePool []obj
+	next := ObjectID(1)
+	for i := 0; i < 600; i++ {
+		if len(livePool) > 50 && rng.Float64() < 0.35 {
+			j := rng.Intn(len(livePool))
+			o := livePool[j]
+			livePool[j] = livePool[len(livePool)-1]
+			livePool = livePool[:len(livePool)-1]
+			if !t.Delete(o.id, o.r) {
+				panic("delete of a live object failed")
+			}
+			continue
+		}
+		x, y := rng.Float64(), rng.Float64()
+		r := geom.Rect{MinX: x, MinY: y, MaxX: x + 0.01, MaxY: y + 0.01}
+		t.Insert(next, r)
+		livePool = append(livePool, obj{next, r})
+		next++
+	}
+	return t
+}
+
+// sameTree compares every piece of state the image round-trips, tolerating
+// only the nil-vs-empty entry-slice difference of reconstructed tombstones
+// (their recycled capacity is a performance detail, not state).
+func sameTree(t *testing.T, a, b *Tree) {
+	t.Helper()
+	if a.params != b.params {
+		t.Fatalf("params %+v != %+v", a.params, b.params)
+	}
+	if a.root != b.root || a.height != b.height || a.size != b.size || a.live != b.live {
+		t.Fatalf("header (root %d h %d size %d live %d) != (root %d h %d size %d live %d)",
+			a.root, a.height, a.size, a.live, b.root, b.height, b.size, b.live)
+	}
+	if len(a.nodes) != len(b.nodes) {
+		t.Fatalf("span %d != %d", len(a.nodes), len(b.nodes))
+	}
+	if len(a.free) != len(b.free) {
+		t.Fatalf("free list length %d != %d", len(a.free), len(b.free))
+	}
+	for i := range a.free {
+		if a.free[i] != b.free[i] {
+			t.Fatalf("free[%d]: %d != %d", i, a.free[i], b.free[i])
+		}
+	}
+	for i := range a.nodes {
+		na, nb := &a.nodes[i], &b.nodes[i]
+		if na.ID != nb.ID {
+			t.Fatalf("slot %d: id %d != %d", i, na.ID, nb.ID)
+		}
+		if na.ID == InvalidNode {
+			continue // tombstone/sentinel: only the gap matters
+		}
+		if na.Level != nb.Level || na.Parent != nb.Parent || na.Gen != nb.Gen {
+			t.Fatalf("node %d: (level %d parent %d gen %d) != (level %d parent %d gen %d)",
+				na.ID, na.Level, na.Parent, na.Gen, nb.Level, nb.Parent, nb.Gen)
+		}
+		if len(na.Entries) != len(nb.Entries) {
+			t.Fatalf("node %d: %d entries != %d", na.ID, len(na.Entries), len(nb.Entries))
+		}
+		for j := range na.Entries {
+			if na.Entries[j] != nb.Entries[j] {
+				t.Fatalf("node %d entry %d: %+v != %+v", na.ID, j, na.Entries[j], nb.Entries[j])
+			}
+		}
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		tr := mutatedTree(seed)
+		if err := tr.Validate(false); err != nil {
+			t.Fatalf("seed %d: source tree invalid: %v", seed, err)
+		}
+		img := tr.AppendImage(nil)
+		got, err := ReadImage(img)
+		if err != nil {
+			t.Fatalf("seed %d: ReadImage: %v", seed, err)
+		}
+		sameTree(t, tr, got)
+		if err := got.Validate(false); err != nil {
+			t.Fatalf("seed %d: restored tree invalid: %v", seed, err)
+		}
+		// A restored tree must keep mutating exactly like the original:
+		// recycle the same free slots, allocate the same fresh ids.
+		for i := 0; i < 64; i++ {
+			id := ObjectID(1 << 20)
+			r := geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}
+			tr.Insert(id+ObjectID(i), r)
+			got.Insert(id+ObjectID(i), r)
+		}
+		sameTree(t, tr, got)
+	}
+}
+
+func TestImageRoundTripBulk(t *testing.T) {
+	items := make([]Item, 500)
+	rng := rand.New(rand.NewSource(9))
+	for i := range items {
+		x, y := rng.Float64(), rng.Float64()
+		items[i] = Item{Obj: ObjectID(i + 1), MBR: geom.Rect{MinX: x, MinY: y, MaxX: x, MaxY: y}}
+	}
+	tr := BulkLoad(Params{MaxEntries: 16}, items, 0.7)
+	got, err := ReadImage(tr.AppendImage(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTree(t, tr, got)
+}
+
+func TestImageEmptyTree(t *testing.T) {
+	tr := New(Params{MaxEntries: 8})
+	got, err := ReadImage(tr.AppendImage(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTree(t, tr, got)
+}
+
+// TestImageRejectsMalformed flips, truncates, and extends image bytes: every
+// corruption must come back as an error or a still-consistent tree — never a
+// panic (checkpoint files are read back after crashes, possibly torn).
+func TestImageRejectsMalformed(t *testing.T) {
+	img := mutatedTree(4).AppendImage(nil)
+	if _, err := ReadImage(nil); err == nil {
+		t.Error("nil image decoded")
+	}
+	if _, err := ReadImage([]byte{99}); err == nil {
+		t.Error("bad version decoded")
+	}
+	for cut := 1; cut < len(img); cut += 97 {
+		if _, err := ReadImage(img[:cut]); err == nil {
+			// Some truncations can still parse when they land on a
+			// boundary; the decode must simply not panic. But a cut that
+			// drops live nodes must fail the span check.
+			if cut < len(img)/2 {
+				t.Errorf("truncation at %d decoded without error", cut)
+			}
+		}
+	}
+	for i := 0; i < len(img); i += 53 {
+		mut := append([]byte(nil), img...)
+		mut[i] ^= 0x40
+		_, _ = ReadImage(mut) // must not panic; error or not
+	}
+	if _, err := ReadImage(append(append([]byte(nil), img...), 0)); err == nil {
+		t.Error("trailing byte decoded")
+	}
+}

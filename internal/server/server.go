@@ -55,6 +55,19 @@ type Config struct {
 	// UpdateBatchOps caps how many queued operations the writer coalesces
 	// into one published snapshot. Default 512.
 	UpdateBatchOps int
+
+	// WAL, when set, makes the server durable: the writer goroutine appends
+	// every applied batch to it *before* publishing the batch's snapshot
+	// (group commit — one append+sync per coalesced batch, never on the
+	// query path) and checkpoints through it when it asks. internal/wal
+	// satisfies this structurally; the server does not import it. An append
+	// failure latches DurabilityErr and disables further logging rather
+	// than failing updates — availability over durability, loudly.
+	WAL BatchLog
+	// OnApplied, when set, observes every applied batch after its snapshot
+	// is published and the waiters acked — the replication stream tap.
+	// Called on the writer goroutine; ops is valid only during the call.
+	OnApplied func(epochBefore uint64, ops []wire.UpdateOp)
 }
 
 func (c Config) normalized() Config {
@@ -175,6 +188,10 @@ type Server struct {
 	wmu    sync.Mutex
 	wr     *writer
 	closed bool
+
+	// durErr latches the first WAL failure (durable.go); once set the
+	// writer stops logging and DurabilityErr reports it.
+	durErr atomic.Pointer[walFailure]
 }
 
 // clientState is the adaptive refinement state of one client, guarded by its

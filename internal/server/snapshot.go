@@ -160,6 +160,7 @@ type writer struct {
 	syncSeen   map[rtree.NodeID]bool // catch-up id dedup
 	syncIDs    []rtree.NodeID
 	collected  []*updateBatch
+	walOps     []wire.UpdateOp // applied ops of the current publish group
 }
 
 // ensureWriter starts the writer goroutine on first use. The server carries
@@ -171,11 +172,17 @@ func (s *Server) ensureWriter() *writer {
 	if s.wr == nil && !s.closed {
 		cur := s.cur.Load()
 		w := &writer{
-			s:         s,
-			q:         make(chan *updateBatch, s.cfg.UpdateQueueLen),
-			quit:      make(chan struct{}),
-			done:      make(chan struct{}),
-			bufs:      []*treeBuf{{tree: cur.tree, snap: cur}},
+			s:    s,
+			q:    make(chan *updateBatch, s.cfg.UpdateQueueLen),
+			quit: make(chan struct{}),
+			done: make(chan struct{}),
+			bufs: []*treeBuf{{tree: cur.tree, snap: cur}},
+			// A restored server (Restore) publishes its recovered epoch and
+			// invalidation log before any writer exists; the writer must
+			// continue that history, not restart it at zero.
+			epoch:     cur.epoch,
+			logFloor:  cur.logFloor,
+			log:       cur.updates,
 			maxBufs:   s.cfg.MaxSnapshots,
 			opSeen:    make(map[rtree.NodeID]bool),
 			batchSeen: make(map[rtree.NodeID]bool),
@@ -318,6 +325,8 @@ func (w *writer) apply(batches []*updateBatch) {
 		delete(w.batchSeen, id)
 	}
 	w.batchOrder = w.batchOrder[:0]
+	w.walOps = w.walOps[:0]
+	epochBefore := w.epoch
 	t.SetTouchHook(w.observeTouch)
 	changed := false
 	for _, b := range batches {
@@ -332,6 +341,7 @@ func (w *writer) apply(batches []*updateBatch) {
 				continue
 			}
 			changed = true
+			w.walOps = append(w.walOps, op)
 			w.epoch++
 			rec := updateRecord{epoch: w.epoch, nodes: append([]rtree.NodeID(nil), w.opOrder...)}
 			if op.Kind != wire.UpdateInsert {
@@ -349,6 +359,15 @@ func (w *writer) apply(batches []*updateBatch) {
 	t.SetTouchHook(nil)
 
 	if changed {
+		// Group commit: the whole publish group becomes durable in one
+		// append+fsync before its snapshot is visible to any reader. A
+		// batch is acked only after this returns, so an acked update can
+		// never be lost to a crash.
+		if wal := w.s.wal(); wal != nil {
+			if err := wal.Append(epochBefore, w.walOps); err != nil {
+				w.s.failDurability(err)
+			}
+		}
 		w.trimLog()
 		w.s.forest.EnsureSpan(t.NodeSpan())
 		view := w.s.forest.View()
@@ -368,9 +387,21 @@ func (w *writer) apply(batches []*updateBatch) {
 	if !changed {
 		return
 	}
+	if fn := w.s.cfg.OnApplied; fn != nil {
+		fn(epochBefore, w.walOps)
+	}
 	w.prewarm(buf.tree)
 	w.stale += len(w.batchOrder)
 	w.maybeRepack()
+	// Checkpoint between publish groups, still on the writer goroutine: the
+	// published tree is immutable (the next group mutates a spare buffer),
+	// and no update is in flight to race the extras overlay.
+	if wal := w.s.wal(); wal != nil && wal.ShouldCheckpoint() {
+		v := w.s.cur.Load()
+		if err := wal.Checkpoint(v.epoch, w.s.checkpointPayload(v)); err != nil {
+			w.s.failDurability(err)
+		}
+	}
 }
 
 // repackStaleFloor is the minimum number of touched pages before a repack is
@@ -494,29 +525,10 @@ func (w *writer) observeTouch(id rtree.NodeID) {
 	}
 }
 
-// applyOp performs one mutation against the write buffer.
+// applyOp performs one mutation against the write buffer (the shared core
+// lives in durable.go so Restore's replay applies identically).
 func (w *writer) applyOp(t *rtree.Tree, op wire.UpdateOp) bool {
-	switch op.Kind {
-	case wire.UpdateInsert:
-		t.Insert(op.Obj, op.To)
-		size := op.Size
-		if size < 0 {
-			size = 0
-		}
-		w.s.extraSizes.Store(op.Obj, size)
-		w.s.hasExtras.Store(true)
-		return true
-	case wire.UpdateDelete:
-		return t.Delete(op.Obj, op.From)
-	case wire.UpdateMove:
-		if !t.Delete(op.Obj, op.From) {
-			return false
-		}
-		t.Insert(op.Obj, op.To)
-		return true
-	default:
-		return false
-	}
+	return applyTreeOp(w.s, t, op)
 }
 
 // acquireBuf returns a writable tree buffer: a drained retired buffer when

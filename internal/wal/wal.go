@@ -1,0 +1,323 @@
+// Package wal is the per-shard durability layer: a write-ahead log of the
+// update batches a shard's snapshot writer actually applied, plus an
+// atomically replaced checkpoint file holding a full tree image. A shard
+// appends one CRC-framed record per published batch — group commit, one
+// fsync per batch, never on the query path — and on restart replays
+// checkpoint + log tail to resume with the identical arena, epochs, and
+// NodeIDs it crashed with (docs/DURABILITY.md).
+//
+// Record framing is [length u32le][crc32 u32le][payload]: the length bounds
+// the read, the CRC (Castagnoli, over the payload) rejects torn or corrupt
+// tails. Recovery stops silently at the first frame that fails either test —
+// a torn tail is the normal crash artifact, not an error — but refuses logs
+// whose surviving records do not chain gaplessly from the checkpoint epoch.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/wire"
+)
+
+// File layout inside a shard's WAL directory.
+const (
+	logName  = "wal.log"
+	ckptName = "checkpoint"
+	tmpName  = "checkpoint.tmp"
+)
+
+const frameHeader = 8 // u32 length + u32 crc
+
+// crcTable is Castagnoli, the CRC32 polynomial with hardware support.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a log.
+type Options struct {
+	// CheckpointBytes is the log size past which ShouldCheckpoint reports
+	// true; default 1 MiB. Checkpoint cost is proportional to tree size,
+	// replay cost to log size — this knob trades one against the other.
+	CheckpointBytes int64
+	// NoSync skips fsync on append and checkpoint (tests, throwaway runs).
+	NoSync bool
+}
+
+// Record is one recovered log record: the operations of one applied batch
+// and the epoch the shard was at before applying them.
+type Record struct {
+	EpochBefore uint64
+	Ops         []wire.UpdateOp
+}
+
+// Recovery is what Open found on disk: the newest checkpoint (nil when none
+// was ever written) and the log records that follow it.
+type Recovery struct {
+	// Checkpoint is the opaque payload handed to Log.Checkpoint (the server
+	// layer serializes its tree + extras into it). Nil means cold start.
+	Checkpoint []byte
+	// CheckpointEpoch is the epoch the checkpoint captured.
+	CheckpointEpoch uint64
+	// Tail are the records to replay on top, in append order. The first
+	// record's EpochBefore equals CheckpointEpoch and each next record
+	// continues where the previous left off.
+	Tail []Record
+}
+
+// Log is one shard's write-ahead log. Append/ShouldCheckpoint/Checkpoint are
+// called from the shard's single writer goroutine; Log does no locking.
+type Log struct {
+	dir  string
+	opts Options
+
+	f        *os.File // wal.log, opened for append
+	logBytes int64
+
+	// lastEpoch is the epoch after the newest appended (or recovered)
+	// record; Checkpoint refuses to truncate past it.
+	lastEpoch uint64
+	hasEpoch  bool
+
+	recovered Recovery
+
+	frame []byte // scratch for one framed record
+}
+
+// Open opens (creating if needed) the WAL in dir, scans any existing
+// checkpoint and log into Recovered(), and leaves the log ready for appends.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.CheckpointBytes <= 0 {
+		opts.CheckpointBytes = 1 << 20
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts}
+
+	ckpt, err := os.ReadFile(filepath.Join(dir, ckptName))
+	switch {
+	case err == nil:
+		epoch, payload, derr := decodeCheckpoint(ckpt)
+		if derr != nil {
+			return nil, fmt.Errorf("wal: checkpoint in %s: %w", dir, derr)
+		}
+		l.recovered.Checkpoint = payload
+		l.recovered.CheckpointEpoch = epoch
+		l.lastEpoch, l.hasEpoch = epoch, true
+	case errors.Is(err, os.ErrNotExist):
+		// Cold start.
+	default:
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+
+	logPath := filepath.Join(dir, logName)
+	valid := 0
+	if data, err := os.ReadFile(logPath); err == nil && len(data) > 0 {
+		var recs []Record
+		recs, valid = DecodeRecords(data)
+		tail, lastEpoch, err := chainFrom(recs, l.recovered.CheckpointEpoch, l.recovered.Checkpoint != nil)
+		if err != nil {
+			return nil, fmt.Errorf("wal: log in %s: %w", dir, err)
+		}
+		l.recovered.Tail = tail
+		if len(tail) > 0 {
+			l.lastEpoch, l.hasEpoch = lastEpoch, true
+		}
+	} else if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	// Drop any torn tail before appending: a new record written after torn
+	// bytes would be unreachable to the next recovery scan.
+	if st, err := f.Stat(); err == nil && st.Size() > int64(valid) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: drop torn tail: %w", err)
+		}
+	}
+	l.logBytes = int64(valid)
+	l.f = f
+	return l, nil
+}
+
+// chainFrom filters decoded records down to the replay tail: records from
+// before the checkpoint (leftovers of a crash between checkpoint write and
+// log truncation) are skipped, and the survivors must continue gaplessly
+// from the checkpoint epoch.
+func chainFrom(recs []Record, ckptEpoch uint64, hasCkpt bool) ([]Record, uint64, error) {
+	next := ckptEpoch
+	if !hasCkpt && len(recs) > 0 {
+		// No checkpoint: the log must narrate from its own first record.
+		next = recs[0].EpochBefore
+	}
+	var tail []Record
+	for _, r := range recs {
+		end := r.EpochBefore + uint64(len(r.Ops))
+		if end <= next {
+			continue // fully covered by the checkpoint
+		}
+		if r.EpochBefore != next {
+			return nil, 0, fmt.Errorf("epoch gap: record at %d, expected %d", r.EpochBefore, next)
+		}
+		tail = append(tail, r)
+		next = end
+	}
+	return tail, next, nil
+}
+
+// Recovered returns what Open found on disk. The caller replays it once at
+// startup; the slices are owned by the caller afterwards.
+func (l *Log) Recovered() *Recovery { return &l.recovered }
+
+// Append logs one applied batch — epochBefore is the shard epoch before the
+// batch, ops the operations in applied order — and syncs it to stable
+// storage (group commit: the writer calls this once per published batch,
+// before the snapshot becomes visible).
+func (l *Log) Append(epochBefore uint64, ops []wire.UpdateOp) error {
+	payload := wire.AppendWALPayload(l.frame[:0], epochBefore, ops)
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	l.frame = payload
+	l.logBytes += int64(frameHeader + len(payload))
+	l.lastEpoch, l.hasEpoch = epochBefore+uint64(len(ops)), true
+	return nil
+}
+
+// ShouldCheckpoint reports whether the log has grown past the checkpoint
+// threshold.
+func (l *Log) ShouldCheckpoint() bool {
+	return l.logBytes >= l.opts.CheckpointBytes
+}
+
+// Checkpoint durably replaces the checkpoint file with payload (captured at
+// epoch) and truncates the log: write to a temp file, fsync, rename over the
+// old checkpoint, then truncate wal.log. A crash between rename and truncate
+// leaves stale records the next Open skips by epoch. Checkpointing behind
+// the newest logged epoch is refused — truncation would lose acked updates.
+func (l *Log) Checkpoint(epoch uint64, payload []byte) error {
+	if l.hasEpoch && epoch < l.lastEpoch {
+		return fmt.Errorf("wal: checkpoint at epoch %d behind log end %d", epoch, l.lastEpoch)
+	}
+	tmp := filepath.Join(l.dir, tmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	enc := encodeCheckpoint(epoch, payload)
+	if _, err := f.Write(enc); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: checkpoint sync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(l.dir, ckptName)); err != nil {
+		return fmt.Errorf("wal: checkpoint publish: %w", err)
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	l.logBytes = 0
+	l.lastEpoch, l.hasEpoch = epoch, true
+	return nil
+}
+
+// Close closes the log file. The log can be reopened with Open.
+func (l *Log) Close() error {
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// DecodeRecords parses framed records from b, stopping at the first torn or
+// corrupt frame. It returns the valid prefix and how many bytes it consumed;
+// it never fails and never panics — tolerating a ragged tail is the recovery
+// contract (FuzzWALReplay holds it under arbitrary corruption).
+func DecodeRecords(b []byte) ([]Record, int) {
+	var recs []Record
+	off := 0
+	for {
+		rest := b[off:]
+		if len(rest) < frameHeader {
+			return recs, off
+		}
+		n := int(binary.LittleEndian.Uint32(rest[0:4]))
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if n < 0 || n > len(rest)-frameHeader {
+			return recs, off
+		}
+		payload := rest[frameHeader : frameHeader+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return recs, off
+		}
+		epoch, ops, err := wire.DecodeWALPayload(payload)
+		if err != nil {
+			return recs, off
+		}
+		recs = append(recs, Record{EpochBefore: epoch, Ops: ops})
+		off += frameHeader + n
+	}
+}
+
+// Checkpoint file layout: magic, epoch, payload length, payload, CRC over
+// everything before it. The CRC matters even though the rename is atomic —
+// the file is read back after crashes on storage we do not control.
+var ckptMagic = [4]byte{'p', 'r', 'c', '1'}
+
+func encodeCheckpoint(epoch uint64, payload []byte) []byte {
+	b := make([]byte, 0, len(ckptMagic)+8+4+len(payload)+4)
+	b = append(b, ckptMagic[:]...)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	b = append(b, payload...)
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, crcTable))
+}
+
+func decodeCheckpoint(b []byte) (epoch uint64, payload []byte, err error) {
+	const head = 4 + 8 + 4
+	if len(b) < head+4 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	if [4]byte(b[0:4]) != ckptMagic {
+		return 0, nil, errors.New("bad magic")
+	}
+	body, sum := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, crcTable) != sum {
+		return 0, nil, errors.New("checksum mismatch")
+	}
+	epoch = binary.LittleEndian.Uint64(b[4:12])
+	n := int(binary.LittleEndian.Uint32(b[12:16]))
+	if n != len(body)-head {
+		return 0, nil, errors.New("length mismatch")
+	}
+	return epoch, body[head : head+n], nil
+}

@@ -1,0 +1,212 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+func op(kind wire.UpdateKind, obj uint32, x float64) wire.UpdateOp {
+	r := geom.Rect{MinX: x, MinY: x, MaxX: x + 0.01, MaxY: x + 0.01}
+	u := wire.UpdateOp{Kind: kind, Obj: rtree.ObjectID(obj)}
+	switch kind {
+	case wire.UpdateInsert:
+		u.To, u.Size = r, 64
+	case wire.UpdateMove:
+		u.From = r
+		u.To = geom.Rect{MinX: x + 0.1, MinY: x + 0.1, MaxX: x + 0.11, MaxY: x + 0.11}
+	default:
+		u.From = r
+	}
+	return u
+}
+
+func TestAppendRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec := l.Recovered(); rec.Checkpoint != nil || len(rec.Tail) != 0 {
+		t.Fatalf("cold open recovered state: %+v", rec)
+	}
+	batches := []Record{
+		{EpochBefore: 0, Ops: []wire.UpdateOp{op(wire.UpdateInsert, 1, 0.1), op(wire.UpdateInsert, 2, 0.2)}},
+		{EpochBefore: 2, Ops: []wire.UpdateOp{op(wire.UpdateMove, 1, 0.1)}},
+		{EpochBefore: 3, Ops: []wire.UpdateOp{op(wire.UpdateDelete, 2, 0.2)}},
+	}
+	for _, b := range batches {
+		if err := l.Append(b.EpochBefore, b.Ops); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	rec := l2.Recovered()
+	if rec.Checkpoint != nil {
+		t.Fatal("checkpoint appeared from nowhere")
+	}
+	if !reflect.DeepEqual(rec.Tail, batches) {
+		t.Fatalf("recovered tail\n got %+v\nwant %+v", rec.Tail, batches)
+	}
+}
+
+func TestCheckpointTruncatesAndSkipsStale(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(0, []wire.UpdateOp{op(wire.UpdateInsert, 1, 0.1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(1, []byte("tree-at-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, []wire.UpdateOp{op(wire.UpdateInsert, 2, 0.2)}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	rec := l2.Recovered()
+	if string(rec.Checkpoint) != "tree-at-1" || rec.CheckpointEpoch != 1 {
+		t.Fatalf("checkpoint: %q at %d", rec.Checkpoint, rec.CheckpointEpoch)
+	}
+	if len(rec.Tail) != 1 || rec.Tail[0].EpochBefore != 1 {
+		t.Fatalf("tail: %+v", rec.Tail)
+	}
+}
+
+// TestCheckpointCrashBeforeTruncate models a crash between the checkpoint
+// rename and the log truncation: the log still holds pre-checkpoint records,
+// which recovery must skip by epoch rather than double-replay.
+func TestCheckpointCrashBeforeTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(0, []wire.UpdateOp{op(wire.UpdateInsert, 1, 0.1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, []wire.UpdateOp{op(wire.UpdateInsert, 2, 0.2)}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	logBytes, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l, err = Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(2, []byte("tree-at-2")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Undo the truncation: put the old records back under the new checkpoint.
+	if err := os.WriteFile(filepath.Join(dir, logName), logBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	rec := l2.Recovered()
+	if rec.CheckpointEpoch != 2 || len(rec.Tail) != 0 {
+		t.Fatalf("stale records not skipped: ckpt=%d tail=%+v", rec.CheckpointEpoch, rec.Tail)
+	}
+}
+
+func TestCheckpointRefusesRewind(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(0, []wire.UpdateOp{op(wire.UpdateInsert, 1, 0.1), op(wire.UpdateInsert, 2, 0.2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Checkpoint(1, []byte("early")); err == nil {
+		t.Fatal("checkpoint behind the log end was accepted; truncation would lose an acked update")
+	}
+	if err := l.Checkpoint(2, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEpochGapIsAnError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(0, []wire.UpdateOp{op(wire.UpdateInsert, 1, 0.1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(5, []wire.UpdateOp{op(wire.UpdateInsert, 2, 0.2)}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := Open(dir, Options{NoSync: true}); err == nil {
+		t.Fatal("gapped log opened without error")
+	}
+}
+
+func TestTornTailIsSilentlyDropped(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(0, []wire.UpdateOp{op(wire.UpdateInsert, 1, 0.1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1, []wire.UpdateOp{op(wire.UpdateInsert, 2, 0.2)}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-frame.
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if tail := l2.Recovered().Tail; len(tail) != 1 || tail[0].EpochBefore != 0 {
+		t.Fatalf("torn tail: recovered %+v", tail)
+	}
+	// The shard can keep appending after the torn record is dropped.
+	if err := l2.Append(1, []wire.UpdateOp{op(wire.UpdateInsert, 3, 0.3)}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -85,6 +85,7 @@ const (
 	reqHasFMR
 	reqHasUpdates
 	reqHasBound
+	reqReplica
 )
 
 // Query field-presence bits (zero-valued fields are elided).
@@ -253,6 +254,9 @@ func EncodeRequest(dst []byte, req *Request) []byte {
 	}
 	if req.Bound > 0 {
 		fl |= reqHasBound
+	}
+	if req.Replica {
+		fl |= reqReplica
 	}
 	b = append(b, fl)
 	b = binary.AppendUvarint(b, req.Epoch)
@@ -576,6 +580,7 @@ func DecodeRequest(body []byte) (*Request, error) {
 	req.NoIndex = fl&reqNoIndex != 0
 	req.Catalog = fl&reqCatalog != 0
 	req.HasFMR = fl&reqHasFMR != 0
+	req.Replica = fl&reqReplica != 0
 	req.Epoch = d.uvarint()
 	req.Q = d.query()
 	if n := d.count(minElemBytes); n > 0 {

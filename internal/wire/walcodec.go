@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/rtree"
+)
+
+// WAL record payload codec. A durable shard (internal/wal) logs the update
+// operations its writer goroutine actually applied, and replays them on
+// restart to reconstruct the exact in-memory index — same NodeIDs, same
+// epochs — so warm client caches survive the crash (docs/DURABILITY.md).
+//
+// The layout mirrors the request Updates encoding, with one deliberate
+// difference: rectangles are stored as float64 bits, not the wire's float32
+// quantization. In-process transports hand the server full-precision
+// rectangles, and the R-tree delete contract matches them exactly; a replay
+// that quantized them would rebuild a different tree. The payload leads with
+// the epoch the batch was applied at, so recovery can verify the log is a
+// gapless continuation of the checkpoint.
+
+const (
+	minF64RectBytes   = 32                      // four float64
+	minWALUpdateBytes = 1 + 1 + minF64RectBytes // kind + object id + one rect
+)
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func appendRect64(b []byte, r geom.Rect) []byte {
+	b = appendF64(b, r.MinX)
+	b = appendF64(b, r.MinY)
+	b = appendF64(b, r.MaxX)
+	return appendF64(b, r.MaxY)
+}
+
+func (d *bdec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if len(d.b) < 8 {
+		d.fail("truncated float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b))
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *bdec) rect64() geom.Rect {
+	return geom.Rect{MinX: d.f64(), MinY: d.f64(), MaxX: d.f64(), MaxY: d.f64()}
+}
+
+// AppendWALPayload appends one WAL record payload — the epoch the batch was
+// applied at followed by the applied operations at full float64 precision —
+// to dst and returns the extended slice.
+func AppendWALPayload(dst []byte, epochBefore uint64, ops []UpdateOp) []byte {
+	b := binary.AppendUvarint(dst, epochBefore)
+	b = binary.AppendUvarint(b, uint64(len(ops)))
+	for _, u := range ops {
+		b = append(b, byte(u.Kind))
+		b = binary.AppendUvarint(b, uint64(u.Obj))
+		switch u.Kind {
+		case UpdateInsert:
+			b = appendRect64(b, u.To)
+			b = binary.AppendVarint(b, int64(u.Size))
+		case UpdateMove:
+			b = appendRect64(b, u.From)
+			b = appendRect64(b, u.To)
+		default: // UpdateDelete
+			b = appendRect64(b, u.From)
+		}
+	}
+	return b
+}
+
+// DecodeWALPayload decodes one WAL record payload. Malformed input returns
+// ErrDecode; decoding never panics and never allocates beyond a small
+// multiple of the input size.
+func DecodeWALPayload(body []byte) (epochBefore uint64, ops []UpdateOp, err error) {
+	d := &bdec{b: body}
+	epochBefore = d.uvarint()
+	if n := d.count(minWALUpdateBytes); n > 0 {
+		ops = make([]UpdateOp, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			u := UpdateOp{Kind: UpdateKind(d.u8()), Obj: rtree.ObjectID(d.uvarint())}
+			switch u.Kind {
+			case UpdateInsert:
+				u.To = d.rect64()
+				u.Size = int(d.varint())
+			case UpdateMove:
+				u.From = d.rect64()
+				u.To = d.rect64()
+			case UpdateDelete:
+				u.From = d.rect64()
+			default:
+				d.fail("unknown update kind %d", u.Kind)
+			}
+			ops = append(ops, u)
+		}
+	}
+	if err := d.done(); err != nil {
+		return 0, nil, err
+	}
+	return epochBefore, ops, nil
+}

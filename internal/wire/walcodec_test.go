@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// walOps are full-precision float64 rectangles: the WAL codec must round
+// them through the payload bit-for-bit, unlike the float32 request codec.
+func walOps() []UpdateOp {
+	r := func(a, b, c, d float64) geom.Rect {
+		return geom.Rect{MinX: a, MinY: b, MaxX: c, MaxY: d}
+	}
+	return []UpdateOp{
+		{Kind: UpdateInsert, Obj: 90001, To: r(0.1, 0.2, 0.30000000000000004, 0.4), Size: 2048},
+		{Kind: UpdateDelete, Obj: 42, From: r(1.0/3, 2.0/3, 0.7, 0.9)},
+		{Kind: UpdateMove, Obj: 7,
+			From: r(math.Nextafter(0.25, 1), 0.25, 0.375, 0.375),
+			To:   r(0.75, 0.75, 0.875, math.Nextafter(0.875, 1))},
+	}
+}
+
+func TestWALPayloadRoundTrip(t *testing.T) {
+	ops := walOps()
+	enc := AppendWALPayload(nil, 17, ops)
+	epoch, got, err := DecodeWALPayload(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if epoch != 17 {
+		t.Fatalf("epochBefore = %d, want 17", epoch)
+	}
+	if !reflect.DeepEqual(got, ops) {
+		t.Fatalf("round trip mangled\n got %+v\nwant %+v", got, ops)
+	}
+}
+
+func TestWALPayloadEmpty(t *testing.T) {
+	enc := AppendWALPayload(nil, 0, nil)
+	epoch, ops, err := DecodeWALPayload(enc)
+	if err != nil || epoch != 0 || len(ops) != 0 {
+		t.Fatalf("empty payload: epoch=%d ops=%v err=%v", epoch, ops, err)
+	}
+}
+
+func TestWALPayloadRejectsMalformed(t *testing.T) {
+	enc := AppendWALPayload(nil, 9, walOps())
+	cases := map[string][]byte{
+		"empty":      {},
+		"truncated":  enc[:len(enc)-3],
+		"trailing":   append(append([]byte(nil), enc...), 0),
+		"bad-kind":   func() []byte { b := append([]byte(nil), enc...); b[2] = 0xff; return b }(),
+		"count-lies": {9, 200},
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeWALPayload(b); err == nil {
+			t.Errorf("%s: malformed payload decoded without error", name)
+		}
+	}
+}

@@ -78,6 +78,14 @@ type Request struct {
 	// snapshot.
 	Updates []UpdateOp
 
+	// Replica marks a replication-stream message: a primary shard forwarding
+	// its acked update batches (or catalog probes) to a warm follower
+	// (docs/DURABILITY.md). A follower-mode server rejects client updates
+	// that do not carry this flag, so only its primary can mutate it; the
+	// flag is carried as a bare bit on the wire and ordinary clients never
+	// set it.
+	Replica bool
+
 	// Bound, when positive, is shard-routing metadata from a cluster router
 	// (internal/cluster): a priority-key upper bound on the query. A kNN
 	// sub-query carries the router's current global k-th-best distance, so a

@@ -142,6 +142,7 @@ type Server struct {
 	mbrs          map[ObjectID]Rect
 	stats         metrics.ServerStats
 	remoteUpdates atomic.Bool
+	follower      atomic.Bool
 }
 
 // NewServer indexes the objects and stands up a server.
@@ -178,6 +179,13 @@ func NewServer(objects []Object, cfg ServerConfig) *Server {
 // -updates=false) rejects update requests with an error response while local
 // mutators keep working.
 func (s *Server) SetRemoteUpdates(on bool) { s.remoteUpdates.Store(on) }
+
+// SetFollower puts the server in warm-standby mode (cmd/prodb -follower):
+// only the primary's replication stream may mutate it — wire updates must
+// carry the Request.Replica flag or they are rejected — while queries keep
+// answering normally, so a router can promote it the moment the primary
+// dies (docs/DURABILITY.md). Off by default.
+func (s *Server) SetFollower(on bool) { s.follower.Store(on) }
 
 // Close stops the server's background update writer, waiting for queued
 // update batches to be applied. Call it after the serving layer has drained;
@@ -231,14 +239,32 @@ func (s *Server) Transport() Transport {
 // a server running with remote updates disabled.
 var ErrUpdatesDisabled = errors.New("repro: remote updates disabled")
 
+// ErrNotPrimary is returned to wire clients shipping batched updates to a
+// follower: only the primary's replication stream (Request.Replica) may
+// mutate a warm standby.
+var ErrNotPrimary = errors.New("repro: follower: updates accepted only from the primary's replication stream")
+
+// rejectUpdate is the shared gate for the update path: reads always pass,
+// writes pass only when remote updates are on and, in follower mode, the
+// request is a replication-stream message.
+func (s *Server) rejectUpdate(req *wire.Request) error {
+	if !s.remoteUpdates.Load() {
+		return ErrUpdatesDisabled
+	}
+	if s.follower.Load() && !req.Replica {
+		return ErrNotPrimary
+	}
+	return nil
+}
+
 // Handler returns the server's request handler for use with a custom
 // wire.NetServer. A request carrying Updates is routed through the batched
 // single-writer update path; everything else executes as a query.
 func (s *Server) Handler() wire.Handler {
 	return func(req *wire.Request) (*wire.Response, error) {
 		if len(req.Updates) > 0 {
-			if !s.remoteUpdates.Load() {
-				return nil, ErrUpdatesDisabled
+			if err := s.rejectUpdate(req); err != nil {
+				return nil, err
 			}
 			return s.inner.ExecuteUpdates(req), nil
 		}
@@ -261,11 +287,11 @@ func (s *Server) BatchHandler() wire.BatchHandler {
 		qreqs := make([]*wire.Request, 0, len(reqs))
 		for i, req := range reqs {
 			if len(req.Updates) > 0 {
-				if !s.remoteUpdates.Load() {
+				if err := s.rejectUpdate(req); err != nil {
 					if errs == nil {
 						errs = make([]error, len(reqs))
 					}
-					errs[i] = ErrUpdatesDisabled
+					errs[i] = err
 					continue
 				}
 				resps[i] = s.inner.ExecuteUpdates(req)

@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"net"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/rtree"
 	"repro/internal/server"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -23,6 +25,24 @@ type ClusterConfig struct {
 	Sensitivity float64
 	PageBytes   int
 	BulkFill    float64
+
+	// WALDir enables per-shard durability: shard s write-ahead-logs every
+	// applied update batch under WALDir/shard-<s> and checkpoints its
+	// packed image periodically, and Kill/Restart crash-recovers shards
+	// from those logs (docs/DURABILITY.md). Empty disables durability.
+	WALDir string
+	// WALNoSync skips the per-batch fsync. For harnesses and CI on
+	// throwaway directories only — a crash can lose unsynced batches.
+	WALNoSync bool
+	// Replicas runs one warm standby per shard, fed the primary's acked
+	// batches, which the router promotes when the primary stays dead.
+	Replicas bool
+	// RetryAttempts, RetryBackoff and FailThreshold tune the router's
+	// transient-failure retry and its failover trigger (zero = defaults;
+	// see cluster.Config).
+	RetryAttempts int
+	RetryBackoff  time.Duration
+	FailThreshold int
 }
 
 // ClusterServer is a spatially sharded spatial database behind one
@@ -59,7 +79,13 @@ func NewClusterServer(objects []Object, cfg ClusterConfig) (*ClusterServer, erro
 			Form:        cfg.Form,
 			Sensitivity: cfg.Sensitivity,
 		},
-		Sizer: func(id ObjectID) int { return sizes[id] },
+		Sizer:         func(id ObjectID) int { return sizes[id] },
+		WALDir:        cfg.WALDir,
+		WAL:           wal.Options{NoSync: cfg.WALNoSync},
+		Replicas:      cfg.Replicas,
+		RetryAttempts: cfg.RetryAttempts,
+		RetryBackoff:  cfg.RetryBackoff,
+		FailThreshold: cfg.FailThreshold,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
@@ -128,6 +154,15 @@ func (cs *ClusterServer) ClusterStats() metrics.ClusterSnapshot {
 func (cs *ClusterServer) ReleaseResponse(resp *wire.Response) {
 	cs.cluster.Router.ReleaseResponse(resp)
 }
+
+// Kill crash-stops one shard (chaos testing): its transport fails
+// immediately and the router rides it out via retry, replica promotion, or
+// redial after Restart. Requires ClusterConfig.WALDir for Restart to work.
+func (cs *ClusterServer) Kill(shard int) { cs.cluster.Kill(shard) }
+
+// Restart recovers a killed shard from its WAL (checkpoint + tail replay)
+// and returns it to service; the router's next redial binds to it.
+func (cs *ClusterServer) Restart(shard int) error { return cs.cluster.Restart(shard) }
 
 // Shards returns the cluster size.
 func (cs *ClusterServer) Shards() int { return len(cs.cluster.Servers) }
