@@ -59,6 +59,8 @@ func main() {
 		updates  = flag.Bool("updates", true, "accept batched index updates from wire clients (netclient -updates)")
 		follower = flag.Bool("follower", false, "warm-standby mode: only a primary's replication stream may send updates (single node only, see docs/DURABILITY.md)")
 		clusterN = flag.Int("cluster", 1, "spatial shards served behind one scatter-gather router (1 = single node, see docs/CLUSTER.md)")
+		edgeMode = flag.Bool("edge", false, "cluster mode: serve through an edge cache tier — popular range/kNN queries answered from a partition-cell-keyed cache, invalidated off the cluster's epoch stream (docs/EDGE.md)")
+		edgeSync = flag.Duration("edge-sync", 250*time.Millisecond, "edge mode: time floor on the invalidation subscription (0 = evidence/update-driven only)")
 		walDir   = flag.String("wal", "", "cluster mode: per-shard WAL+checkpoint directory for crash recovery (empty = memory only)")
 		replicas = flag.Bool("replicas", false, "cluster mode: run a warm standby per shard for transparent failover")
 		statsEv  = flag.Duration("stats", 0, "print serving stats at this interval (0 = off)")
@@ -106,6 +108,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "prodb: -wal and -replicas require -cluster N (single-node durability is not served yet)")
 		os.Exit(2)
 	}
+	if *edgeMode && *clusterN <= 1 {
+		fmt.Fprintln(os.Stderr, "prodb: -edge requires -cluster N (the cache is keyed by the cluster's partition cells)")
+		os.Exit(2)
+	}
 
 	var objects []repro.Object
 	switch {
@@ -142,6 +148,7 @@ func main() {
 		net1         *wire.NetServer
 		statsFn      func() metrics.ServerSnapshot
 		clusterStats func() metrics.ClusterSnapshot
+		edgeStats    func() metrics.EdgeSnapshot
 		closeFn      func()
 	)
 	if *clusterN > 1 {
@@ -165,7 +172,18 @@ func main() {
 		}
 		fmt.Printf("cluster: %d shards owning %v objects, built in %v (%s%s)\n",
 			cs.Shards(), cs.ShardObjects(), time.Since(start).Round(time.Millisecond), mode, durable)
-		net1 = cs.NetServer(opts)
+		if *edgeMode {
+			eg, err := cs.Edge(repro.EdgeOptions{SyncInterval: *edgeSync})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prodb: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("edge: cache tier over %d partition cells (sync floor %v)\n", cs.Shards(), *edgeSync)
+			net1 = cs.EdgeNetServer(eg, opts)
+			edgeStats = eg.Stats().Snapshot
+		} else {
+			net1 = cs.NetServer(opts)
+		}
 		statsFn = cs.Stats
 		clusterStats = cs.ClusterStats
 		closeFn = cs.Close
@@ -199,6 +217,9 @@ func main() {
 					fmt.Printf("stats: %s\n", statsFn())
 					if clusterStats != nil {
 						fmt.Printf("stats: %s\n", clusterStats())
+					}
+					if edgeStats != nil {
+						fmt.Printf("stats: %s\n", edgeStats())
 					}
 				case <-statsDone:
 					return
@@ -237,6 +258,9 @@ func main() {
 	fmt.Printf("final %s\n", statsFn())
 	if clusterStats != nil {
 		fmt.Printf("final %s\n", clusterStats())
+	}
+	if edgeStats != nil {
+		fmt.Printf("final %s\n", edgeStats())
 	}
 	os.Exit(exitCode)
 }

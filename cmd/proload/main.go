@@ -8,6 +8,7 @@
 // Usage:
 //
 //	proload -inprocess 4 -scenario steady -qps 5000 -duration 5s
+//	proload -inprocess 4 -edge -scenario flash-crowd       # through an edge cache
 //	proload -addr :7001,:7002,:7003,:7004 -scenario all -json out.json
 //	proload -check -json out.json -scenario flash-crowd    # exit 1 on SLO fail
 //	proload -inprocess 4 -scenario shard-crash-recovery -check  # chaos gate
@@ -27,6 +28,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"sync/atomic"
@@ -34,7 +36,9 @@ import (
 
 	"repro"
 	"repro/internal/cluster"
+	"repro/internal/edge"
 	"repro/internal/load"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -42,6 +46,8 @@ func main() {
 	var (
 		addr      = flag.String("addr", "", "comma-separated shard addresses (one = single server, several = client-side cluster)")
 		inprocess = flag.Int("inprocess", 0, "build an in-process cluster with this many shards instead of dialing")
+		edgeOn    = flag.Bool("edge", false, "route all workers through one in-process edge cache tier in front of the cluster (requires -inprocess)")
+		nethop    = flag.Bool("nethop", false, "serve the in-process cluster over loopback TCP and cross it per request: workers dial it directly, or under -edge the edge forwards over a pipelined upstream pool while cache hits skip the hop (requires -inprocess)")
 		objects   = flag.Int("objects", 20000, "in-process dataset cardinality")
 		ds        = flag.String("dataset", "ne", "in-process dataset: ne or rd")
 		seed      = flag.Int64("seed", 1, "deterministic operation-stream seed")
@@ -97,11 +103,11 @@ func main() {
 	}()
 	acquire := func(sp load.Spec) (*backend, error) {
 		if len(sp.Faults) > 0 {
-			return connect(*addr, *inprocess, *objects, *ds, *seed, true)
+			return connect(*addr, *inprocess, *objects, *ds, *seed, true, *edgeOn, *nethop)
 		}
 		if shared == nil {
 			var err error
-			if shared, err = connect(*addr, *inprocess, *objects, *ds, *seed, false); err != nil {
+			if shared, err = connect(*addr, *inprocess, *objects, *ds, *seed, false, *edgeOn, *nethop); err != nil {
 				shared = nil
 				return nil, err
 			}
@@ -129,6 +135,7 @@ func main() {
 			ShardErrors:   backend.shardErrors.Load,
 			Injector:      backend.injector(),
 			FailoverStats: backend.failoverStats,
+			EdgeStats:     backend.edgeStats(),
 			OnEvent: func(worker int, err error) {
 				// A dead backend fails every paced op; log the first few and
 				// then sample, the counters carry the full tally.
@@ -148,6 +155,10 @@ func main() {
 		}
 		r.Fprint(os.Stdout)
 		results = append(results, r)
+	}
+
+	if shared != nil && shared.edge != nil {
+		fmt.Printf("%s\n", shared.edge.Stats().Snapshot())
 	}
 
 	if *jsonOut != "" {
@@ -197,18 +208,31 @@ func pickScenarios(arg string) ([]load.Spec, error) {
 type backend struct {
 	addrs       []string
 	cs          *repro.ClusterServer
-	walDir      string // throwaway chaos WAL directory, removed on close
+	edge        *edge.Edge // all workers share it, like one edge node would be shared
+	walDir      string     // throwaway chaos WAL directory, removed on close
+	ns          *wire.NetServer
+	nsAddr      string // loopback address of the -nethop serving layer
+	upstream    *edge.UpstreamPool
 	shardErrors atomic.Int64
 }
 
-func connect(addr string, shards, objects int, ds string, seed int64, chaos bool) (*backend, error) {
+func connect(addr string, shards, objects int, ds string, seed int64, chaos, edgeOn, nethop bool) (*backend, error) {
 	b := &backend{}
 	if addr != "" {
 		if chaos {
 			return nil, fmt.Errorf("fault scenarios inject shard kills and need the in-process backend (-inprocess), not -addr")
 		}
+		if edgeOn {
+			return nil, fmt.Errorf("-edge builds an in-process edge tier and needs the in-process backend (-inprocess), not -addr")
+		}
+		if nethop {
+			return nil, fmt.Errorf("-nethop serves the in-process cluster over loopback and needs -inprocess, not -addr")
+		}
 		b.addrs = strings.Split(addr, ",")
 		return b, nil
+	}
+	if chaos && nethop {
+		return nil, fmt.Errorf("-nethop does not combine with fault scenarios (kills are injected behind the serving layer)")
 	}
 	if shards <= 0 {
 		shards = 4
@@ -241,6 +265,43 @@ func connect(addr string, shards, objects int, ds string, seed int64, chaos bool
 		return nil, err
 	}
 	b.cs = cs
+	if nethop {
+		// Serve the cluster over loopback TCP so every upstream round trip
+		// crosses a real wire hop: the direct baseline pays it per query,
+		// the edge tier only on misses (docs/EDGE.md).
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.close()
+			return nil, err
+		}
+		b.ns = cs.NetServer(repro.ServeOptions{})
+		b.nsAddr = ln.Addr().String()
+		go b.ns.Serve(ln)
+	}
+	if edgeOn {
+		opts := repro.EdgeOptions{}
+		if nethop {
+			pool, err := edge.NewUpstreamPool(2, func() (wire.Transport, error) {
+				conn, err := net.Dial("tcp", b.nsAddr)
+				if err != nil {
+					return nil, err
+				}
+				return wire.NewBinaryClientConnRole(conn, wire.RoleEdge)
+			})
+			if err != nil {
+				b.close()
+				return nil, err
+			}
+			b.upstream = pool
+			opts.Upstream = pool
+		}
+		eg, err := cs.Edge(opts)
+		if err != nil {
+			b.close()
+			return nil, err
+		}
+		b.edge = eg
+	}
 	return b, nil
 }
 
@@ -262,10 +323,26 @@ func (b *backend) failoverStats() (retries, failovers, redials int64) {
 	return snap.Retries(), snap.Failovers(), snap.Redials()
 }
 
+// edgeStats exposes the edge tier's counter snapshot to the harness; nil
+// when no edge tier fronts this backend.
+func (b *backend) edgeStats() func() metrics.EdgeSnapshot {
+	if b.edge == nil {
+		return nil
+	}
+	return b.edge.Stats().Snapshot
+}
+
 // newTransport hands a worker its connection: the shared in-process
-// handler, one dialed server, or a client-side cluster router with shard
-// errors surfaced as counted, non-fatal events.
+// handler (through the shared edge tier under -edge), one dialed server,
+// or a client-side cluster router with shard errors surfaced as counted,
+// non-fatal events.
 func (b *backend) newTransport(worker int) (wire.Transport, error) {
+	if b.edge != nil {
+		return b.edge, nil
+	}
+	if b.nsAddr != "" {
+		return repro.Dial(b.nsAddr)
+	}
 	if b.cs != nil {
 		return b.cs.Transport(), nil
 	}
@@ -278,12 +355,23 @@ func (b *backend) newTransport(worker int) (wire.Transport, error) {
 }
 
 func (b *backend) release(resp *wire.Response) {
+	if b.nsAddr != "" {
+		// Responses crossed the wire and were freshly decoded client-side;
+		// they never came from the router pool. Leave them to the GC.
+		return
+	}
 	if b.cs != nil {
 		b.cs.ReleaseResponse(resp)
 	}
 }
 
 func (b *backend) close() {
+	if b.upstream != nil {
+		b.upstream.Close()
+	}
+	if b.ns != nil {
+		b.ns.Close()
+	}
 	if b.cs != nil {
 		b.cs.Close()
 	}

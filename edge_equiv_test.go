@@ -1,0 +1,208 @@
+package repro
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// edgeMirror is one client identity driven down both paths: the same
+// request sequence goes through the edge tier and directly to the router
+// under distinct client ids, and every response must be byte-identical —
+// including epochs and invalidation windows — or the edge is detectably a
+// cache, not a proxy.
+type edgeMirror struct {
+	edgeID, directID wire.ClientID
+	epochE, epochD   uint64
+}
+
+// TestEdgeEquivalence is the edge tier's core correctness gate: a
+// randomized interleaving of canonical hot-tile queries, background
+// queries, catalogs, taint-inducing baseline requests, and live update
+// batches through the edge, with every query response compared byte-for-
+// byte against the direct router answer for a mirrored client. It must
+// finish with actual cache hits, or it proved nothing.
+func TestEdgeEquivalence(t *testing.T) {
+	objects := GenerateNE(4_000, 11)
+	cs, err := NewClusterServer(objects, ClusterConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	eg, err := cs.Edge(EdgeOptions{AdmitThreshold: 1, Window: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := cs.Transport()
+
+	// Canonical tile queries: the crowd's repeated questions, concentrated
+	// enough that the edge admits and serves them.
+	var tiles []Query
+	for i := 0; i < 4; i++ {
+		c := Pt(0.40+0.05*float64(i), 0.55)
+		tiles = append(tiles, NewRange(RectFromCenter(c, 0.03, 0.03)))
+		tiles = append(tiles, NewKNN(c, 4+i))
+	}
+
+	mirrors := []*edgeMirror{
+		{edgeID: 1, directID: 101},
+		{edgeID: 2, directID: 102},
+		{edgeID: 3, directID: 103},
+	}
+	var writerEpoch uint64
+	rng := rand.New(rand.NewSource(7))
+
+	// compare sends the same request shape down both paths and fails on the
+	// first byte of divergence.
+	compare := func(step int, m *edgeMirror, build func(id wire.ClientID, epoch uint64) *wire.Request) {
+		t.Helper()
+		reqE := build(m.edgeID, m.epochE)
+		reqD := build(m.directID, m.epochD)
+		respE, errE := eg.RoundTrip(reqE)
+		respD, errD := direct.RoundTrip(reqD)
+		if (errE == nil) != (errD == nil) {
+			t.Fatalf("step %d: edge err %v vs direct err %v", step, errE, errD)
+		}
+		if errE != nil {
+			return
+		}
+		be := wire.EncodeResponse(nil, respE)
+		bd := wire.EncodeResponse(nil, respD)
+		if !bytes.Equal(be, bd) {
+			t.Fatalf("step %d: responses diverge (client %d/%d):\nedge   %+v\ndirect %+v",
+				step, m.edgeID, m.directID, respE, respD)
+		}
+		m.epochE, m.epochD = respE.Epoch, respD.Epoch
+		if m.epochE != m.epochD {
+			t.Fatalf("step %d: epochs diverged: %d vs %d", step, m.epochE, m.epochD)
+		}
+		cs.ReleaseResponse(respD)
+		cs.ReleaseResponse(respE)
+	}
+
+	var inserted uint32
+	for step := 0; step < 800; step++ {
+		m := mirrors[rng.Intn(len(mirrors))]
+		x := rng.Float64()
+		switch {
+		case x < 0.05:
+			// A live update batch through the edge: the invalidation stream
+			// both paths ride on advances mid-run.
+			inserted++
+			obj := Object{
+				ID:   ObjectID(1<<22 | inserted),
+				MBR:  RectFromCenter(Pt(0.40+rng.Float64()*0.2, 0.50+rng.Float64()*0.1), 0.001, 0.001),
+				Size: 64,
+			}
+			req := &wire.Request{Client: 50, Epoch: writerEpoch}
+			req.Updates = []wire.UpdateOp{{Kind: wire.UpdateInsert, Obj: obj.ID, To: obj.MBR, Size: obj.Size}}
+			resp, err := eg.RoundTrip(req)
+			if err != nil {
+				t.Fatalf("step %d: update: %v", step, err)
+			}
+			if len(resp.UpdateResults) != 1 || !resp.UpdateResults[0] {
+				t.Fatalf("step %d: update rejected: %v", step, resp.UpdateResults)
+			}
+			writerEpoch = resp.Epoch
+			cs.ReleaseResponse(resp)
+		case x < 0.12:
+			compare(step, m, func(id wire.ClientID, epoch uint64) *wire.Request {
+				return &wire.Request{Client: id, Epoch: epoch, Catalog: true}
+			})
+		case x < 0.15:
+			// Baseline fields taint the client at the edge; responses must
+			// still match exactly (both sides claim the same cached ids).
+			q := tiles[rng.Intn(len(tiles))]
+			claim := []ObjectID{objects[rng.Intn(len(objects))].ID}
+			compare(step, m, func(id wire.ClientID, epoch uint64) *wire.Request {
+				return &wire.Request{Client: id, Epoch: epoch, Q: q, CachedIDs: claim}
+			})
+		case x < 0.85:
+			q := tiles[rng.Intn(len(tiles))]
+			compare(step, m, func(id wire.ClientID, epoch uint64) *wire.Request {
+				return &wire.Request{Client: id, Epoch: epoch, Q: q}
+			})
+		default:
+			q := NewRange(RectFromCenter(Pt(rng.Float64(), rng.Float64()), 0.02, 0.02))
+			compare(step, m, func(id wire.ClientID, epoch uint64) *wire.Request {
+				return &wire.Request{Client: id, Epoch: epoch, Q: q}
+			})
+		}
+	}
+
+	snap := eg.Stats().Snapshot()
+	if snap.Hits == 0 {
+		t.Fatalf("equivalence run never hit the cache (stats %+v): the test proved nothing", snap)
+	}
+	if snap.Admissions == 0 || snap.Syncs == 0 {
+		t.Fatalf("edge machinery idle: %+v", snap)
+	}
+	t.Logf("edge equivalence: %s", snap)
+}
+
+// TestEdgeConcurrent hammers one edge from many goroutines — queries from
+// distinct clients racing update batches and syncs — so the race detector
+// sees every lock order the proxy has. Responses are only sanity-checked;
+// byte-equivalence under concurrency is TestEdgeEquivalence's serialized
+// job.
+func TestEdgeConcurrent(t *testing.T) {
+	objects := GenerateNE(3_000, 13)
+	cs, err := NewClusterServer(objects, ClusterConfig{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	eg, err := cs.Edge(EdgeOptions{AdmitThreshold: 1, Window: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 271))
+			var epoch uint64
+			for i := 0; i < 300; i++ {
+				var req *wire.Request
+				if g == 0 && i%10 == 0 {
+					req = &wire.Request{Client: 99, Epoch: epoch, Updates: []wire.UpdateOp{{
+						Kind: wire.UpdateInsert,
+						Obj:  ObjectID(1<<23 | uint32(i)),
+						To:   RectFromCenter(Pt(rng.Float64(), rng.Float64()), 0.001, 0.001),
+						Size: 64,
+					}}}
+				} else {
+					req = &wire.Request{
+						Client: wire.ClientID(g + 1),
+						Epoch:  epoch,
+						Q:      NewRange(RectFromCenter(Pt(0.4+0.01*float64(i%8), 0.55), 0.03, 0.03)),
+					}
+				}
+				resp, err := eg.RoundTrip(req)
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d op %d: %w", g, i, err)
+					return
+				}
+				if resp.Epoch < epoch {
+					errc <- fmt.Errorf("goroutine %d op %d: epoch went backwards %d -> %d", g, i, epoch, resp.Epoch)
+					return
+				}
+				epoch = resp.Epoch
+				cs.ReleaseResponse(resp)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

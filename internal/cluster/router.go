@@ -218,6 +218,12 @@ const (
 	defaultFailThreshold = 3
 )
 
+// Partition exposes the router's KD partition. An edge cache keys its
+// hotness accounting by partition cell (Partition.Locate on the query
+// center), so the tier in front of the router groups traffic exactly the
+// way the router shards it.
+func (r *Router) Partition() *Partition { return r.part }
+
 // Stats returns the router's live counters.
 func (r *Router) Stats() *metrics.ClusterStats { return r.stats }
 

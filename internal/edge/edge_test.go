@@ -1,0 +1,472 @@
+package edge
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/wire"
+)
+
+// change is one epoch's worth of upstream mutation: what a catalog quoting
+// an older epoch must have delivered in its invalidation window.
+type change struct {
+	epoch uint64
+	nodes []rtree.NodeID
+	objs  []rtree.ObjectID
+}
+
+// fakeUpstream is a scripted cluster: it answers catalogs the way the real
+// router does — the invalidation window is the union of every change after
+// the client's quoted epoch, not a one-shot global queue — and queries with
+// a fixed per-cell payload. It counts query forwards so tests can assert
+// exactly which requests reached it.
+type fakeUpstream struct {
+	epoch    uint64
+	log      []change
+	flushAll bool
+	queries  int
+	catalogs int
+	// vrootElems is the current virtual-root cut, shipped as the last index
+	// rep exactly like the router's synthesized vroot; tests mutate it to
+	// model shard-root growth.
+	vrootElems []wire.CutElem
+}
+
+func (f *fakeUpstream) RoundTrip(req *wire.Request) (*wire.Response, error) {
+	if req.Catalog {
+		f.catalogs++
+		resp := &wire.Response{
+			Epoch:    f.epoch,
+			FlushAll: f.flushAll,
+			RootID:   1,
+			RootMBR:  geom.Rect{MaxX: 1, MaxY: 1},
+		}
+		for _, ch := range f.log {
+			if ch.epoch > req.Epoch {
+				resp.InvalidNodes = append(resp.InvalidNodes, ch.nodes...)
+				resp.InvalidObjs = append(resp.InvalidObjs, ch.objs...)
+			}
+		}
+		return resp, nil
+	}
+	f.queries++
+	// Payload derived from the query center so distinct tiles cache
+	// distinct dependency sets: node id 100+cellX, object id 200+cellX.
+	cx := rtree.NodeID(100)
+	ox := rtree.ObjectID(200)
+	if pt := refPoint(req.Q); pt.X >= 0.5 {
+		cx, ox = 101, 201
+	}
+	return &wire.Response{
+		Objects: []wire.ObjectRep{{ID: ox, MBR: geom.Rect{MaxX: 0.1, MaxY: 0.1}, Size: 64}},
+		Index:   []wire.NodeRep{{ID: cx}, {ID: 1, Level: 1, Elems: f.vrootElems}},
+		RootID:  1,
+		RootMBR: geom.Rect{MaxX: 1, MaxY: 1},
+		Epoch:   f.epoch,
+	}, nil
+}
+
+func refPoint(q query.Query) geom.Point {
+	if q.Kind == query.Range {
+		return q.Window.Center()
+	}
+	return q.Center
+}
+
+// bump records one upstream change: the epoch advances and catalogs from
+// clients behind it will carry the given window.
+func (f *fakeUpstream) bump(nodes []rtree.NodeID, objs []rtree.ObjectID) {
+	f.epoch++
+	f.log = append(f.log, change{epoch: f.epoch, nodes: nodes, objs: objs})
+}
+
+func newTestEdge(t *testing.T, f *fakeUpstream, mut func(*Config)) *Edge {
+	t.Helper()
+	cfg := Config{
+		Upstream: f,
+		Locate: func(p geom.Point) int {
+			if p.X >= 0.5 {
+				return 1
+			}
+			return 0
+		},
+		Cells:          2,
+		AdmitThreshold: 1,
+		Window:         1 << 20, // never roll mid-test; cur alone drives hotness
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func leftQ() query.Query {
+	return query.NewRange(geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2})
+}
+func rightQ() query.Query { return query.NewKNN(geom.Point{X: 0.8, Y: 0.8}, 3) }
+
+// roundTrip drives one client query and returns the response epoch so the
+// caller can echo it like a real protocol client.
+func roundTrip(t *testing.T, e *Edge, id wire.ClientID, epoch uint64, q query.Query) uint64 {
+	t.Helper()
+	resp, err := e.RoundTrip(&wire.Request{Client: id, Epoch: epoch, Q: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.Epoch
+}
+
+func TestAdmissionThreshold(t *testing.T) {
+	f := &fakeUpstream{epoch: 3}
+	e := newTestEdge(t, f, func(c *Config) { c.AdmitThreshold = 3 })
+
+	// Arrivals 1 and 2 leave the cell below threshold: forwarded, nothing
+	// materialized. Arrival 3 crosses it (hotLocked counts the in-progress
+	// window) and admits; arrival 4 hits.
+	var ep uint64
+	for i := 0; i < 3; i++ {
+		ep = roundTrip(t, e, 7, ep, leftQ())
+	}
+	if got := e.Stats().Admissions.Load(); got != 1 {
+		t.Fatalf("admissions after 3 arrivals = %d, want 1 (threshold 3)", got)
+	}
+	before := f.queries
+	roundTrip(t, e, 7, ep, leftQ())
+	if f.queries != before {
+		t.Fatalf("4th arrival was forwarded (upstream queries %d -> %d), want cache hit", before, f.queries)
+	}
+	if e.Stats().Hits.Load() != 1 {
+		t.Fatalf("hits = %d, want 1", e.Stats().Hits.Load())
+	}
+}
+
+func TestHitRequiresCurrentStamp(t *testing.T) {
+	f := &fakeUpstream{epoch: 3}
+	e := newTestEdge(t, f, nil)
+
+	ep := roundTrip(t, e, 1, 0, leftQ()) // stamps client 1, admits
+	// Client 2 has never been forwarded under this state: even though the
+	// entry exists, it must be forwarded once to pick up its own window.
+	before := f.queries
+	ep2 := roundTrip(t, e, 2, ep, leftQ())
+	if f.queries != before+1 {
+		t.Fatal("unstamped client was served from cache")
+	}
+	// Now both are stamped and current: hits.
+	for _, c := range []struct {
+		id wire.ClientID
+		ep uint64
+	}{{1, ep}, {2, ep2}} {
+		before = f.queries
+		roundTrip(t, e, c.id, c.ep, leftQ())
+		if f.queries != before {
+			t.Fatalf("stamped client %d missed", c.id)
+		}
+	}
+	// A client quoting a stale epoch must reach the router for its window.
+	before = f.queries
+	roundTrip(t, e, 1, ep-1, leftQ())
+	if f.queries != before+1 {
+		t.Fatal("stale-epoch client was served from cache")
+	}
+}
+
+func TestInvalidationDropsByDeps(t *testing.T) {
+	f := &fakeUpstream{epoch: 1}
+	e := newTestEdge(t, f, nil)
+
+	epL := roundTrip(t, e, 1, 0, leftQ())  // deps {100} (vroot stripped), obj {200}
+	epR := roundTrip(t, e, 2, 0, rightQ()) // deps {101}, obj {201}
+	if e.Stats().Entries.Load() != 2 {
+		t.Fatalf("entries = %d, want 2", e.Stats().Entries.Load())
+	}
+
+	// An upstream change touching node 100 only: the left entry must drop,
+	// the right one survives — but every stamp is staled by the state bump.
+	f.bump([]rtree.NodeID{100}, nil)
+	if err := e.sync(true); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Invalidations.Load(); got != 1 {
+		t.Fatalf("invalidations = %d, want 1 (left entry only)", got)
+	}
+	if e.Stats().Entries.Load() != 1 {
+		t.Fatalf("entries after window = %d, want 1", e.Stats().Entries.Load())
+	}
+
+	// The surviving entry does not hit until its client is re-forwarded
+	// once under the new state.
+	before := f.queries
+	epR = roundTrip(t, e, 2, epR, rightQ())
+	if f.queries != before+1 {
+		t.Fatal("staled stamp was honored after invalidation window")
+	}
+	before = f.queries
+	roundTrip(t, e, 2, epR, rightQ())
+	if f.queries != before {
+		t.Fatal("re-stamped client missed on surviving entry")
+	}
+
+	// Object-id windows invalidate too: drop the right entry via object 201.
+	f.bump(nil, []rtree.ObjectID{201})
+	if err := e.sync(true); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Entries.Load() != 0 {
+		t.Fatalf("entries after object window = %d, want 0", e.Stats().Entries.Load())
+	}
+	_ = epL
+}
+
+func TestFlushAllDropsEverything(t *testing.T) {
+	f := &fakeUpstream{epoch: 1}
+	e := newTestEdge(t, f, nil)
+	roundTrip(t, e, 1, 0, leftQ())
+	roundTrip(t, e, 2, 0, rightQ())
+
+	f.epoch++
+	f.flushAll = true
+	if err := e.sync(true); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Entries.Load() != 0 || e.Stats().Flushes.Load() != 1 {
+		t.Fatalf("after FlushAll: entries=%d flushes=%d, want 0/1",
+			e.Stats().Entries.Load(), e.Stats().Flushes.Load())
+	}
+}
+
+func TestByteBudgetEvictsColdestCell(t *testing.T) {
+	f := &fakeUpstream{epoch: 1}
+	// Budget sized to exactly one entry (both cells cache identical payload
+	// shapes): the second admission must evict from the coldest cell.
+	one := wire.DefaultSizeModel().ResponseBytes(&wire.Response{
+		Objects: []wire.ObjectRep{{ID: 200, MBR: geom.Rect{MaxX: 0.1, MaxY: 0.1}, Size: 64}},
+		Index:   []wire.NodeRep{{ID: 100}, {ID: 1}},
+	})
+	e := newTestEdge(t, f, func(c *Config) { c.ByteBudget = one })
+
+	ep := roundTrip(t, e, 1, 0, leftQ())
+	if e.Stats().Entries.Load() != 1 {
+		t.Fatalf("entries = %d, want 1", e.Stats().Entries.Load())
+	}
+	// Heat the right cell hotter than the left, then admit there: the left
+	// entry is the eviction victim.
+	for i := 0; i < 3; i++ {
+		ep = roundTrip(t, e, 1, ep, rightQ())
+	}
+	if e.Stats().Evictions.Load() == 0 {
+		t.Fatalf("no evictions under a 1-byte budget (entries=%d bytes=%d)",
+			e.Stats().Entries.Load(), e.Stats().Bytes.Load())
+	}
+	// The survivor must be the hot right-cell entry; the cold left one went.
+	before := f.queries
+	roundTrip(t, e, 1, ep, rightQ())
+	if f.queries != before {
+		t.Fatal("hot right-cell entry was the eviction victim")
+	}
+	before = f.queries
+	roundTrip(t, e, 1, ep, leftQ())
+	if f.queries != before+1 {
+		t.Fatal("cold left-cell entry survived eviction")
+	}
+}
+
+func TestTaintedClientNeverHits(t *testing.T) {
+	f := &fakeUpstream{epoch: 1}
+	e := newTestEdge(t, f, nil)
+
+	ep := roundTrip(t, e, 1, 0, leftQ()) // admit via clean client
+	roundTrip(t, e, 1, ep, leftQ())      // sanity: clean client hits
+	if e.Stats().Hits.Load() != 1 {
+		t.Fatalf("clean client hits = %d, want 1", e.Stats().Hits.Load())
+	}
+
+	// Client 9 hands over page-caching state once: tainted forever after.
+	resp, err := e.RoundTrip(&wire.Request{Client: 9, Epoch: 0, Q: leftQ(), CachedIDs: []rtree.ObjectID{200}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		before := f.queries
+		resp, err = e.RoundTrip(&wire.Request{Client: 9, Epoch: resp.Epoch, Q: leftQ()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.queries != before+1 {
+			t.Fatalf("tainted client served from cache on clean query %d", i)
+		}
+	}
+}
+
+func TestOutOfBandWriterDetected(t *testing.T) {
+	f := &fakeUpstream{epoch: 1}
+	e := newTestEdge(t, f, nil)
+
+	ep := roundTrip(t, e, 1, 0, leftQ())
+	roundTrip(t, e, 1, ep, leftQ())
+	if e.Stats().Hits.Load() != 1 {
+		t.Fatal("expected a warm hit before the out-of-band write")
+	}
+
+	// A writer bypasses the edge: the upstream epoch advances without any
+	// edge-relayed update. The next forwarded response for a current-stamped
+	// client reveals the gap (resp.Epoch != req.Epoch) and must flag a sync;
+	// after that sync the stale entry is gone.
+	f.bump([]rtree.NodeID{100}, nil)
+	roundTrip(t, e, 2, 0, rightQ()) // fresh client forward observes the new epoch? stamps under old state
+	// Client 1 still stamped current: its forwarded catalog reveals the gap.
+	resp, err := e.RoundTrip(&wire.Request{Client: 1, Epoch: ep, Catalog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch == ep {
+		t.Fatal("test premise broken: upstream epoch did not advance")
+	}
+	// The edge must now refuse hits until it has re-synced and the client
+	// re-stamped; the left entry (dep node 100) must be dropped by that sync.
+	before := f.queries
+	resp2, err := e.RoundTrip(&wire.Request{Client: 1, Epoch: resp.Epoch, Q: leftQ()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.queries != before+1 {
+		t.Fatal("served a hit from an entry staled by an out-of-band writer")
+	}
+	_ = resp2
+	if e.Stats().Invalidations.Load() == 0 {
+		t.Fatal("out-of-band window never invalidated the dependent entry")
+	}
+}
+
+// TestVrootOnlyWindowRetainsEntries pins the point of stripping: every
+// update moves some shard root, so every client window carries the virtual
+// root's id — if entries depended on it, one update would flush the whole
+// cache. A window touching only the vroot must leave entries standing, and
+// hits must resume after one re-stamping forward.
+func TestVrootOnlyWindowRetainsEntries(t *testing.T) {
+	f := &fakeUpstream{epoch: 1}
+	e := newTestEdge(t, f, nil)
+
+	ep := roundTrip(t, e, 1, 0, leftQ())
+	roundTrip(t, e, 1, ep, leftQ())
+	if e.Stats().Hits.Load() != 1 {
+		t.Fatal("expected a warm hit before the vroot-only window")
+	}
+
+	// An update entirely inside a shard this query never visited: the only
+	// id the crossing window carries is the virtual root's.
+	f.bump([]rtree.NodeID{1}, nil)
+	if err := e.sync(true); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Invalidations.Load(); got != 0 {
+		t.Fatalf("invalidations = %d, want 0 — vroot-only window must not drop stripped entries", got)
+	}
+	if e.Stats().Entries.Load() != 1 {
+		t.Fatalf("entries = %d, want 1 after vroot-only window", e.Stats().Entries.Load())
+	}
+
+	// The state bump staled every stamp and the harvested vroot rep: one
+	// forward re-stamps the client and re-harvests, then hits resume on the
+	// retained entry.
+	ep = roundTrip(t, e, 1, ep, leftQ())
+	before := f.queries
+	roundTrip(t, e, 1, ep, leftQ())
+	if f.queries != before {
+		t.Fatal("retained entry did not serve after stamp refresh")
+	}
+}
+
+// TestRetentionSafetyChecksCurrentVrootChildren drives the one hazard
+// stripping opens: a shard the query never visited growing into its reach
+// surfaces only in the vroot rep. A current vroot child outside the entry's
+// deps that cannot be excluded geometrically must force a forward (and drop
+// the suspect entry); one that can be excluded must not cost the hit.
+func TestRetentionSafetyChecksCurrentVrootChildren(t *testing.T) {
+	f := &fakeUpstream{epoch: 1}
+	f.vrootElems = []wire.CutElem{
+		{Child: 100, MBR: geom.Rect{MaxX: 0.5, MaxY: 1}},
+		{Child: 101, MBR: geom.Rect{MinX: 0.5, MaxX: 1, MaxY: 1}},
+	}
+	e := newTestEdge(t, f, nil)
+
+	ep := roundTrip(t, e, 1, 0, leftQ()) // range over (0.1,0.1)-(0.2,0.2), deps {100}
+
+	// Phase 1: an unvisited shard root appears far from the query window —
+	// geometrically excludable, so the retained entry keeps hitting.
+	f.vrootElems = append(f.vrootElems,
+		wire.CutElem{Child: 103, MBR: geom.Rect{MinX: 2, MinY: 2, MaxX: 3, MaxY: 3}})
+	f.bump([]rtree.NodeID{1}, nil)
+	if err := e.sync(true); err != nil {
+		t.Fatal(err)
+	}
+	ep = roundTrip(t, e, 1, ep, leftQ()) // re-stamp + harvest the grown vroot
+	before := f.queries
+	roundTrip(t, e, 1, ep, leftQ())
+	if f.queries != before {
+		t.Fatal("disjoint unvisited vroot child blocked a safe hit")
+	}
+
+	// Phase 2: an unvisited shard root now overlaps the window — it may hold
+	// results the cached response misses, so the hit must not be served and
+	// the entry must drop for re-admission.
+	f.vrootElems = append(f.vrootElems,
+		wire.CutElem{Child: 102, MBR: geom.Rect{MinX: 0.05, MinY: 0.05, MaxX: 0.3, MaxY: 0.3}})
+	f.bump([]rtree.NodeID{1}, nil)
+	if err := e.sync(true); err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Entries.Load() != 1 {
+		t.Fatal("entry dropped by vroot-only window despite disjoint deps")
+	}
+	ep = roundTrip(t, e, 1, ep, leftQ()) // re-stamp + harvest
+	before = f.queries
+	roundTrip(t, e, 1, ep, leftQ())
+	if f.queries != before+1 {
+		t.Fatal("served a hit despite an unvisited vroot child overlapping the window")
+	}
+
+	// A kNN entry short of K keeps an unbounded contribution radius: any
+	// unvisited current child at all must force the forward.
+	epR := roundTrip(t, e, 2, ep, rightQ()) // K=3, 1 result => rk = +Inf
+	before = f.queries
+	resp, err := e.RoundTrip(&wire.Request{Client: 2, Epoch: epR, Q: rightQ()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.queries != before+1 {
+		t.Fatal("served a short-of-K kNN hit despite unvisited vroot children")
+	}
+	_ = resp
+}
+
+func TestCacheableExcludesStatefulRequests(t *testing.T) {
+	hand := []query.QueuedElem{{}}
+	cases := []struct {
+		name string
+		req  *wire.Request
+		want bool
+	}{
+		{"cold range", &wire.Request{Q: leftQ()}, true},
+		{"cold knn", &wire.Request{Q: rightQ()}, true},
+		{"catalog", &wire.Request{Catalog: true}, false},
+		{"noindex", &wire.Request{Q: leftQ(), NoIndex: true}, false},
+		{"handover", &wire.Request{Q: leftQ(), H: hand}, false},
+		{"cachedids", &wire.Request{Q: leftQ(), CachedIDs: []rtree.ObjectID{1}}, false},
+		{"semwindows", &wire.Request{Q: leftQ(), SemWindows: []geom.Rect{{}}}, false},
+		{"fmr", &wire.Request{Q: leftQ(), HasFMR: true}, false},
+		{"update", &wire.Request{Updates: []wire.UpdateOp{{}}}, false},
+		{"join", &wire.Request{Q: query.Query{Kind: query.Join}}, false},
+	}
+	for _, tc := range cases {
+		if got := cacheable(tc.req); got != tc.want {
+			t.Errorf("cacheable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

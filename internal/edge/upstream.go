@@ -1,0 +1,56 @@
+package edge
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/wire"
+)
+
+// UpstreamPool is a small pool of pipelined upstream connections: forwarded
+// requests are spread round-robin so one slow round trip never head-of-line
+// blocks the edge's whole forward path, while the connection count stays
+// far below one-per-client (the point of terminating clients at the edge).
+// Each member transport must itself be safe for concurrent RoundTrip calls
+// (wire.BinaryClientConn is).
+type UpstreamPool struct {
+	conns []wire.Transport
+	next  atomic.Uint64
+}
+
+// NewUpstreamPool dials n upstream connections. On any dial error the
+// already-opened connections are closed and the error returned.
+func NewUpstreamPool(n int, dial func() (wire.Transport, error)) (*UpstreamPool, error) {
+	if n <= 0 {
+		n = 2
+	}
+	p := &UpstreamPool{}
+	for i := 0; i < n; i++ {
+		t, err := dial()
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("edge: upstream dial %d/%d: %w", i+1, n, err)
+		}
+		p.conns = append(p.conns, t)
+	}
+	return p, nil
+}
+
+// RoundTrip implements wire.Transport.
+func (p *UpstreamPool) RoundTrip(req *wire.Request) (*wire.Response, error) {
+	i := p.next.Add(1) % uint64(len(p.conns))
+	return p.conns[i].RoundTrip(req)
+}
+
+// Close closes every pooled connection that exposes a Close method.
+func (p *UpstreamPool) Close() error {
+	var first error
+	for _, t := range p.conns {
+		if cl, ok := t.(interface{ Close() error }); ok {
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -62,6 +62,10 @@ type Config struct {
 	// Result.Retries/Failovers/Redials (wire it to the router's
 	// metrics.ClusterStats snapshot).
 	FailoverStats func() (retries, failovers, redials int64)
+	// EdgeStats, when set, is sampled before and after the run to fill
+	// Result.EdgeHits/EdgeMisses/EdgeForwards with this run's deltas (wire
+	// it to the edge tier's metrics.EdgeStats snapshot).
+	EdgeStats func() metrics.EdgeSnapshot
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -132,7 +136,12 @@ func Run(cfg Config) (*Result, error) {
 		wg    sync.WaitGroup
 		sizer = wire.DefaultSizeModel()
 		dur   = cfg.Duration.Seconds()
+
+		edgeBase metrics.EdgeSnapshot
 	)
+	if cfg.EdgeStats != nil {
+		edgeBase = cfg.EdgeStats()
+	}
 	workers := make([]*worker, cfg.Workers)
 	for i := range workers {
 		tr, err := cfg.NewTransport(i)
@@ -231,6 +240,13 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.FailoverStats != nil {
 		res.Retries, res.Failovers, res.Redials = cfg.FailoverStats()
+	}
+	if cfg.EdgeStats != nil {
+		now := cfg.EdgeStats()
+		res.EdgeTier = true
+		res.EdgeHits = now.Hits - edgeBase.Hits
+		res.EdgeMisses = now.Misses - edgeBase.Misses
+		res.EdgeForwards = now.Forwards - edgeBase.Forwards
 	}
 	// Achieved rate is completions over the offered window, not over
 	// elapsed-including-drain: every operation was *scheduled* inside

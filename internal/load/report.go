@@ -36,6 +36,11 @@ type Result struct {
 	Failovers int64 // replica promotions (cluster only)
 	Redials   int64 // shard reconnects after failure (cluster only)
 
+	EdgeTier     bool  // the run went through an edge cache tier
+	EdgeHits     int64 // queries the edge answered without touching the cluster
+	EdgeMisses   int64 // cacheable queries the edge had to forward
+	EdgeForwards int64 // all requests the edge relayed upstream
+
 	BytesUp   int64
 	BytesDown int64
 
@@ -113,6 +118,11 @@ type ScenarioReport struct {
 	Failovers int64 `json:"failovers"`
 	Redials   int64 `json:"redials"`
 
+	EdgeTier     bool  `json:"edge_tier"`
+	EdgeHits     int64 `json:"edge_hits"`
+	EdgeMisses   int64 `json:"edge_misses"`
+	EdgeForwards int64 `json:"edge_forwards"`
+
 	BytesUp   int64 `json:"bytes_up"`
 	BytesDown int64 `json:"bytes_down"`
 
@@ -160,6 +170,11 @@ func (r *Result) Report() ScenarioReport {
 		Failovers: r.Failovers,
 		Redials:   r.Redials,
 
+		EdgeTier:     r.EdgeTier,
+		EdgeHits:     r.EdgeHits,
+		EdgeMisses:   r.EdgeMisses,
+		EdgeForwards: r.EdgeForwards,
+
 		BytesUp:   r.BytesUp,
 		BytesDown: r.BytesDown,
 
@@ -198,6 +213,7 @@ var requiredKeys = []string{
 	"full_hit", "partial_hit", "partial_degraded", "miss",
 	"updates", "update_rejects", "shard_errors",
 	"retries", "failovers", "redials",
+	"edge_tier", "edge_hits", "edge_misses", "edge_forwards",
 	"bytes_up", "bytes_down",
 	"mean_us", "p50_us", "p99_us", "p999_us",
 	"slo_pass", "violations",
@@ -240,6 +256,8 @@ func ValidateReport(data []byte) error {
 			{"errors", r.Errors}, {"timeouts", r.Timeouts}, {"shed", r.Shed},
 			{"retries", r.Retries}, {"failovers", r.Failovers},
 			{"redials", r.Redials},
+			{"edge_hits", r.EdgeHits}, {"edge_misses", r.EdgeMisses},
+			{"edge_forwards", r.EdgeForwards},
 			{"bytes_up", r.BytesUp}, {"bytes_down", r.BytesDown},
 			{"mean_us", r.MeanUS}, {"p50_us", r.P50US},
 			{"p99_us", r.P99US}, {"p999_us", r.P999US},
@@ -277,9 +295,25 @@ func (r *Result) Fprint(w io.Writer) {
 		fmt.Fprintf(w, "  failover: retries=%d promotions=%d redials=%d\n",
 			r.Retries, r.Failovers, r.Redials)
 	}
+	if r.EdgeTier {
+		rate := 0.0
+		if t := r.EdgeHits + r.EdgeMisses; t > 0 {
+			rate = float64(r.EdgeHits) / float64(t)
+		}
+		fmt.Fprintf(w, "  edge: hits=%d misses=%d (%.1f%%) forwarded=%d upstream_cut=%.1f%%\n",
+			r.EdgeHits, r.EdgeMisses, 100*rate,
+			r.EdgeForwards, 100*(1-float64(r.EdgeForwards)/float64(max64(r.WireSent, 1))))
+	}
 	fmt.Fprintf(w, "  latency: mean=%v p50=%v p99=%v p999=%v  bytes: up=%d down=%d\n",
 		r.Mean.Round(time.Microsecond), r.P50, r.P99, r.P999, r.BytesUp, r.BytesDown)
 	for _, v := range r.Violations {
 		fmt.Fprintf(w, "  SLO violation: %s\n", v)
 	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -150,6 +150,17 @@ type Spec struct {
 	// UpdateBatch is how many mutations one OpUpdate request carries.
 	UpdateBatch int
 
+	// TileQuant, when positive, snaps hotspot query centers to a TileQuant x
+	// TileQuant grid — the map-tile querying pattern of production mobile
+	// apps, where clients in one area request canonical tiles rather than
+	// per-user windows. Identical hot queries are what a shared cache tier
+	// in front of the cluster can absorb.
+	TileQuant int
+	// CrowdCold forces hotspot operations to query cold (ClassMiss, no local
+	// answer, no handover): a flash crowd is new arrivals whose caches hold
+	// nothing about the place they just converged on.
+	CrowdCold bool
+
 	// Faults is the chaos schedule: shard kills and restarts fired at fixed
 	// fractions of the run (fault scenarios only; needs Config.Injector).
 	Faults []FaultEvent
@@ -268,10 +279,11 @@ func Matrix() []Spec {
 		},
 		{
 			Name:        "flash-crowd",
-			Description: "a hotspot ramps from 0 to 85% of traffic over the run",
-			RangeFrac:   0.50, KNNFrac: 0.45, UpdateFrac: 0.05,
+			Description: "a hotspot ramps to 85% of traffic in the first third of the run and holds; crowd members arrive cold and query canonical map tiles while the ambient update feed ships batched",
+			RangeFrac:   0.50, KNNFrac: 0.45, UpdateFrac: 0.01,
 			FullHitFrac: 0.20, PartialHitFrac: 0.40,
 			Poisson: true, Shape: ShapeFlashCrowd, HotFrac: 0.85, HotRadius: 0.03,
+			TileQuant: 32, CrowdCold: true, UpdateBatch: 4,
 			SLO: defaultSLO,
 		},
 		{
@@ -305,6 +317,15 @@ func Matrix() []Spec {
 			RangeFrac:   0.50, KNNFrac: 0.40, UpdateFrac: 0.10,
 			FullHitFrac: 0.20, PartialHitFrac: 0.45,
 			Poisson: true, Shape: ShapeHotShift, HotFrac: 0.8, HotRadius: 0.05,
+			SLO: defaultSLO,
+		},
+		{
+			Name:        "edge-hotspot",
+			Description: "a static crowd pinned inside one partition cell queries canonical tiles: the showcase for an edge cache absorbing a hotspot",
+			RangeFrac:   0.57, KNNFrac: 0.42, UpdateFrac: 0.01,
+			FullHitFrac: 0.15, PartialHitFrac: 0.35,
+			Poisson: true, Shape: ShapeChurn, Regions: 1, HotFrac: 0.92, HotRadius: 0.02,
+			TileQuant: 32, CrowdCold: true, UpdateBatch: 4,
 			SLO: defaultSLO,
 		},
 		{
@@ -395,7 +416,11 @@ func (g *Gen) Spec() Spec { return g.spec }
 // Next generates the operation scheduled at t seconds into the run.
 func (g *Gen) Next(t float64) Op {
 	user := uint64(g.rng.Int63n(int64(g.users)))
-	op := Op{User: user, Center: g.center(t, user)}
+	center, hot := g.center(t, user)
+	if hot && g.spec.TileQuant > 0 {
+		center = tileSnap(center, g.spec.TileQuant)
+	}
+	op := Op{User: user, Center: center}
 
 	x := g.rng.Float64()
 	switch {
@@ -403,6 +428,13 @@ func (g *Gen) Next(t float64) Op {
 		op.Kind = OpUpdate
 		op.Class = ClassUpdate
 		op.UpdateN = g.spec.UpdateBatch
+		if hot && g.spec.CrowdCold {
+			// The update stream is the ambient moving-object fleet; crowd
+			// members converge to watch, not to move objects. Without this,
+			// the update feed would concentrate into the hotspot with the
+			// crowd, which no moving-object workload does.
+			op.Center = homeOf(g.seed, user)
+		}
 		return op
 	case x < g.spec.UpdateFrac+g.spec.JoinFrac:
 		// Joins always run cold: handing over pair state is not modeled.
@@ -413,10 +445,24 @@ func (g *Gen) Next(t float64) Op {
 		return op
 	case x < g.spec.UpdateFrac+g.spec.JoinFrac+g.spec.KNNFrac:
 		op.Kind = OpKNN
-		op.Q = query.NewKNN(op.Center, 1+int(hash64(uint64(g.seed), user, 0x6b6e)%uint64(g.spec.KMax)))
+		k := 1 + int(hash64(uint64(g.seed), user, 0x6b6e)%uint64(g.spec.KMax))
+		if hot && g.spec.TileQuant > 0 {
+			// Tiled crowd queries are canonical per tile, not per user: k
+			// derives from the tile so everyone standing on it asks the
+			// identical question.
+			k = 1 + int(hash64(uint64(g.seed), tileIndex(op.Center, g.spec.TileQuant), 0x6b6e)%uint64(g.spec.KMax))
+		}
+		op.Q = query.NewKNN(op.Center, k)
 	default:
 		op.Kind = OpRange
 		op.Q = query.NewRange(geom.RectFromCenter(op.Center, g.spec.WindowSide, g.spec.WindowSide))
+	}
+
+	if hot && g.spec.CrowdCold {
+		// Crowd members just arrived: nothing in their caches covers the
+		// hotspot, so every crowd query goes to the wire cold.
+		op.Class = ClassMiss
+		return op
 	}
 
 	// Per-user cached-state sampling: a user's warmth is a deterministic
@@ -435,8 +481,46 @@ func (g *Gen) Next(t float64) Op {
 	return op
 }
 
-// center places the operation according to the scenario's shape.
-func (g *Gen) center(t float64, user uint64) geom.Point {
+// tileSnap moves p to the center of its map tile on a q x q grid.
+func tileSnap(p geom.Point, q int) geom.Point {
+	fq := float64(q)
+	snap := func(v float64) float64 {
+		i := math.Floor(v * fq)
+		if i >= fq {
+			i = fq - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		return (i + 0.5) / fq
+	}
+	return geom.Pt(snap(p.X), snap(p.Y))
+}
+
+// tileIndex identifies p's tile on a q x q grid.
+func tileIndex(p geom.Point, q int) uint64 {
+	fq := float64(q)
+	ix := int(math.Floor(p.X * fq))
+	iy := int(math.Floor(p.Y * fq))
+	if ix >= q {
+		ix = q - 1
+	}
+	if iy >= q {
+		iy = q - 1
+	}
+	if ix < 0 {
+		ix = 0
+	}
+	if iy < 0 {
+		iy = 0
+	}
+	return uint64(iy*q + ix)
+}
+
+// center places the operation according to the scenario's shape. The second
+// return reports hotspot membership: whether this operation was drawn into
+// the scenario's crowd (TileQuant and CrowdCold apply to those only).
+func (g *Gen) center(t float64, user uint64) (geom.Point, bool) {
 	s := g.spec
 	switch s.Shape {
 	case ShapeCommute:
@@ -447,28 +531,34 @@ func (g *Gen) center(t float64, user uint64) geom.Point {
 		return jitter(geom.Pt(
 			home.X+(work.X-home.X)*phase,
 			home.Y+(work.Y-home.Y)*phase,
-		), 0.01, g.rng)
+		), 0.01, g.rng), false
 	case ShapeFlashCrowd:
-		ramp := t / g.dur
-		if g.rng.Float64() < s.HotFrac*ramp {
-			return jitter(regionCenter(g.seed, 0), s.HotRadius, g.rng)
+		// The stadium fills over the first third of the run, then stays
+		// full: flash crowds spike fast and persist, they don't build
+		// linearly forever.
+		ramp := 3 * t / g.dur
+		if ramp > 1 {
+			ramp = 1
 		}
-		return homeOf(g.seed, user)
+		if g.rng.Float64() < s.HotFrac*ramp {
+			return jitter(regionCenter(g.seed, 0), s.HotRadius, g.rng), true
+		}
+		return homeOf(g.seed, user), false
 	case ShapeChurn:
 		idx := uint64(t/s.Period) % uint64(s.Regions)
 		if g.rng.Float64() < s.HotFrac {
-			return jitter(regionCenter(g.seed, idx), s.HotRadius, g.rng)
+			return jitter(regionCenter(g.seed, idx), s.HotRadius, g.rng), true
 		}
-		return homeOf(g.seed, user)
+		return homeOf(g.seed, user), false
 	case ShapeHotShift:
 		idx := uint64(0)
 		if t >= g.dur/2 {
 			idx = 1
 		}
 		if g.rng.Float64() < s.HotFrac {
-			return jitter(regionCenter(g.seed, idx), s.HotRadius, g.rng)
+			return jitter(regionCenter(g.seed, idx), s.HotRadius, g.rng), true
 		}
-		return homeOf(g.seed, user)
+		return homeOf(g.seed, user), false
 	case ShapeThrash:
 		// March a cold front across a coarse grid: every operation lands
 		// one cell further, so no cell stays warm long enough to matter.
@@ -476,7 +566,7 @@ func (g *Gen) center(t float64, user uint64) geom.Point {
 		c := g.rng.Uint64() % cells
 		cx := float64(c%8)/8 + 1.0/16
 		cy := float64(c/8)/8 + 1.0/16
-		return jitter(geom.Pt(cx, cy), 0.01, g.rng)
+		return jitter(geom.Pt(cx, cy), 0.01, g.rng), false
 	default: // ShapeUniform
 		if len(g.walkers) > 0 {
 			i := int(user % uint64(len(g.walkers)))
@@ -485,9 +575,9 @@ func (g *Gen) center(t float64, user uint64) geom.Point {
 				dt = 0
 			}
 			g.walkerAt[i] = t
-			return g.walkers[i].Advance(dt)
+			return g.walkers[i].Advance(dt), false
 		}
-		return homeOf(g.seed, user)
+		return homeOf(g.seed, user), false
 	}
 }
 

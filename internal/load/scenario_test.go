@@ -64,14 +64,25 @@ func TestGenMixPinned(t *testing.T) {
 			if got, want := frac(kind[OpJoin]), sp.JoinFrac; math.Abs(got-want) > tol {
 				t.Errorf("join frac %.3f, want %.3f", got, want)
 			}
+			// CrowdCold scenarios route every hotspot query to ClassMiss, so
+			// warmth sampling applies only to the background share. The
+			// flash-crowd ramp (3t/dur capped at 1) averages 5/6 over a run.
+			hotShare := 0.0
+			if sp.CrowdCold {
+				hotShare = sp.HotFrac
+				if sp.Shape == ShapeFlashCrowd {
+					hotShare *= 5.0 / 6
+				}
+			}
 			qf := sp.RangeFrac + sp.KNNFrac // the share warmth sampling applies to
-			if got, want := frac(class[ClassLocal]), qf*sp.FullHitFrac; math.Abs(got-want) > tol {
+			coldQF := qf * (1 - hotShare)
+			if got, want := frac(class[ClassLocal]), coldQF*sp.FullHitFrac; math.Abs(got-want) > tol {
 				t.Errorf("full-hit frac %.3f, want %.3f", got, want)
 			}
-			if got, want := frac(class[ClassPartial]), qf*sp.PartialHitFrac; math.Abs(got-want) > tol {
+			if got, want := frac(class[ClassPartial]), coldQF*sp.PartialHitFrac; math.Abs(got-want) > tol {
 				t.Errorf("partial-hit frac %.3f, want %.3f", got, want)
 			}
-			wantMiss := qf*(1-sp.FullHitFrac-sp.PartialHitFrac) + sp.JoinFrac
+			wantMiss := coldQF*(1-sp.FullHitFrac-sp.PartialHitFrac) + qf*hotShare + sp.JoinFrac
 			if got := frac(class[ClassMiss]); math.Abs(got-wantMiss) > tol {
 				t.Errorf("miss frac %.3f, want %.3f", got, wantMiss)
 			}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// EdgeStats counts the edge cache tier's traffic: what it answered itself,
+// what it forwarded upstream, and how its admission/eviction/invalidation
+// machinery churned. Written from many proxy goroutines at once, so every
+// field is an atomic; the zero value is ready.
+type EdgeStats struct {
+	// Hits counts queries answered from the edge cache without touching the
+	// cluster.
+	Hits atomic.Int64
+	// Misses counts cacheable queries that had to be forwarded (no entry,
+	// cold cell, stale client stamp, or a sync in progress).
+	Misses atomic.Int64
+	// Forwards counts every client request relayed upstream (cacheable
+	// misses, non-cacheable queries, catalogs, updates).
+	Forwards atomic.Int64
+	// Updates counts relayed update batches (a subset of Forwards); each one
+	// triggers an upstream sync before its ack is released.
+	Updates atomic.Int64
+	// Syncs counts upstream catalog round trips the edge issued for its own
+	// invalidation subscription.
+	Syncs atomic.Int64
+	// Admissions counts responses materialized into the cache.
+	Admissions atomic.Int64
+	// Evictions counts entries dropped by the byte budget.
+	Evictions atomic.Int64
+	// Invalidations counts entries dropped because a sync delivered an
+	// invalidation hitting their dependency set.
+	Invalidations atomic.Int64
+	// Flushes counts full cache drops (upstream FlushAll).
+	Flushes atomic.Int64
+	// Bytes and Entries track the current cache footprint (SizeModel bytes).
+	Bytes   atomic.Int64
+	Entries atomic.Int64
+}
+
+// EdgeSnapshot is a point-in-time copy of EdgeStats.
+type EdgeSnapshot struct {
+	Hits          int64
+	Misses        int64
+	Forwards      int64
+	Updates       int64
+	Syncs         int64
+	Admissions    int64
+	Evictions     int64
+	Invalidations int64
+	Flushes       int64
+	Bytes         int64
+	Entries       int64
+}
+
+// Snapshot captures the current counter values.
+func (s *EdgeStats) Snapshot() EdgeSnapshot {
+	return EdgeSnapshot{
+		Hits:          s.Hits.Load(),
+		Misses:        s.Misses.Load(),
+		Forwards:      s.Forwards.Load(),
+		Updates:       s.Updates.Load(),
+		Syncs:         s.Syncs.Load(),
+		Admissions:    s.Admissions.Load(),
+		Evictions:     s.Evictions.Load(),
+		Invalidations: s.Invalidations.Load(),
+		Flushes:       s.Flushes.Load(),
+		Bytes:         s.Bytes.Load(),
+		Entries:       s.Entries.Load(),
+	}
+}
+
+// HitRate returns the fraction of cacheable queries answered at the edge.
+func (s EdgeSnapshot) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// String renders the snapshot as a one-line status report.
+func (s EdgeSnapshot) String() string {
+	return fmt.Sprintf("edge: hits=%d misses=%d (%.1f%%) forwards=%d updates=%d syncs=%d admitted=%d evicted=%d invalidated=%d flushes=%d cache=%dB/%d entries",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Forwards, s.Updates, s.Syncs,
+		s.Admissions, s.Evictions, s.Invalidations, s.Flushes, s.Bytes, s.Entries)
+}

@@ -27,7 +27,8 @@ type Histogram struct {
 
 // bucketFor maps a duration to its bucket index: ceil(log2(microseconds)),
 // with the microsecond count rounded up so a duration never lands in a
-// bucket whose upper bound is below it (Quantile promises upper bounds).
+// bucket whose upper bound is below it (Quantile never reports past the
+// crossing bucket's upper edge).
 func bucketFor(d time.Duration) int {
 	us := int64((d + time.Microsecond - 1) / time.Microsecond)
 	if us <= 1 {
@@ -72,10 +73,14 @@ func (h *Histogram) Mean() time.Duration {
 	return time.Duration(h.sum.Load() / n)
 }
 
-// Quantile returns an upper bound for the q-quantile (0 < q <= 1) of the
-// observed durations: the upper edge of the bucket where the cumulative
-// count crosses q. With base-2 buckets the estimate is within 2x of the
-// true value, which is plenty for p50/p99 reporting.
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed durations
+// by locating the bucket where the cumulative count crosses q and
+// interpolating linearly inside it by rank position, assuming observations
+// are spread uniformly across the bucket. The estimate never exceeds the
+// crossing bucket's upper edge, so with base-2 buckets it stays within 2x
+// of the true value — and two distributions whose quantile falls in the
+// same bucket still report distinguishable values instead of both snapping
+// to the shared upper edge.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	total := h.Count()
 	if total == 0 {
@@ -87,10 +92,19 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	}
 	var cum int64
 	for i := range h.counts {
-		cum += h.counts[i].Load()
-		if cum >= rank {
-			return bucketUpper(i)
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
 		}
+		if cum+c >= rank {
+			var lower time.Duration
+			if i > 0 {
+				lower = bucketUpper(i - 1)
+			}
+			frac := float64(rank-cum) / float64(c)
+			return lower + time.Duration(frac*float64(bucketUpper(i)-lower))
+		}
+		cum += c
 	}
 	return bucketUpper(histBuckets - 1)
 }
@@ -105,6 +119,9 @@ type ServerStats struct {
 	TotalConns atomic.Int64
 	// RejectedConns counts connections turned away at the MaxConns limit.
 	RejectedConns atomic.Int64
+	// EdgeConns is the number of currently open connections that announced
+	// the edge-proxy handshake role (a subset of ActiveConns).
+	EdgeConns atomic.Int64
 	// Requests counts requests served (including ones that returned an
 	// application error to the client).
 	Requests atomic.Int64
@@ -131,6 +148,7 @@ type ServerSnapshot struct {
 	ActiveConns   int64
 	TotalConns    int64
 	RejectedConns int64
+	EdgeConns     int64
 	Requests      int64
 	Batches       int64
 	Errors        int64
@@ -148,6 +166,7 @@ func (s *ServerStats) Snapshot() ServerSnapshot {
 		ActiveConns:   s.ActiveConns.Load(),
 		TotalConns:    s.TotalConns.Load(),
 		RejectedConns: s.RejectedConns.Load(),
+		EdgeConns:     s.EdgeConns.Load(),
 		Requests:      s.Requests.Load(),
 		Batches:       s.Batches.Load(),
 		Errors:        s.Errors.Load(),

@@ -56,6 +56,38 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileInterpolates(t *testing.T) {
+	// Two distributions whose p99 lands in the same base-2 bucket must
+	// still report distinguishable values: the quantile interpolates by
+	// rank position inside the crossing bucket instead of snapping to its
+	// shared upper edge.
+	var all, mixed Histogram
+	for i := 0; i < 100; i++ {
+		all.Observe(10 * time.Microsecond) // bucket (8µs, 16µs]
+	}
+	for i := 0; i < 10; i++ {
+		mixed.Observe(time.Microsecond) // bucket (0, 1µs]
+	}
+	for i := 0; i < 90; i++ {
+		mixed.Observe(10 * time.Microsecond)
+	}
+	// mixed's rank-50 sits at position 40/90 of the slow bucket, all's at
+	// 50/100 — the faster distribution must report the smaller p50.
+	pm, pa := mixed.Quantile(0.50), all.Quantile(0.50)
+	if pm >= pa {
+		t.Errorf("p50 mixed=%v all=%v, want mixed < all", pm, pa)
+	}
+	for _, h := range []*Histogram{&all, &mixed} {
+		if q := h.Quantile(0.50); q <= 8*time.Microsecond || q > 16*time.Microsecond {
+			t.Errorf("p50 = %v, want within the crossing bucket (8µs, 16µs]", q)
+		}
+	}
+	// Monotone in q even inside one bucket.
+	if p50, p99 := all.Quantile(0.50), all.Quantile(0.99); p50 > p99 {
+		t.Errorf("quantiles out of order within a bucket: p50=%v p99=%v", p50, p99)
+	}
+}
+
 func TestHistogramQuantileEmpty(t *testing.T) {
 	var h Histogram
 	if q := h.Quantile(0.99); q != 0 {

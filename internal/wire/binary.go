@@ -48,8 +48,28 @@ const ProtoVersion = 1
 // preamble to its gob decoder, which parses it as an 8-byte message-length
 // of ~5.8e18, errors out immediately, and hangs up — so a binary client
 // probing an old server fails fast (and falls back to gob) instead of
-// waiting out a handshake deadline. Bytes 5..8 are reserved (zero).
+// waiting out a handshake deadline. Byte 5 carries the connection role
+// (RoleClient or RoleEdge); bytes 6..8 are reserved (zero). Old peers wrote
+// zero in byte 5, which is exactly RoleClient, so pre-role streams decode
+// unchanged; servers always ack with the plain client preamble, which old
+// clients already accept (they check only bytes 0..4).
 var handshakeMagic = [9]byte{0xF8, 'P', 'R', 'W', ProtoVersion, 0, 0, 0, 0}
+
+// Connection roles, carried in handshake preamble byte 5. An edge proxy
+// announces itself so the server can account for edge-tier connections
+// separately from end clients; the framing and message encodings are
+// identical for both roles.
+const (
+	RoleClient byte = 0
+	RoleEdge   byte = 1
+)
+
+// handshakePreamble returns the 9-byte preamble announcing the given role.
+func handshakePreamble(role byte) [9]byte {
+	p := handshakeMagic
+	p[5] = role
+	return p
+}
 
 // Frame types.
 const (
@@ -728,18 +748,24 @@ func DecodeResponse(body []byte) (*Response, error) {
 }
 
 // sniffBinary reports whether the stream opens with the binary handshake
-// preamble, consuming it when present. This is the single negotiation rule
-// shared by every serving path (NetServer, ServeConn, the reject path).
-func sniffBinary(br *bufio.Reader) (bool, error) {
+// preamble, consuming it when present, and returns the announced connection
+// role. This is the single negotiation rule shared by every serving path
+// (NetServer, ServeConn, the reject path). Only known roles are accepted;
+// an unknown role byte falls through to the gob path and dies there, which
+// is the same fate any non-preamble byte stream meets.
+func sniffBinary(br *bufio.Reader) (bool, byte, error) {
 	first, err := br.Peek(len(handshakeMagic))
 	if err != nil {
-		return false, err
+		return false, 0, err
 	}
-	if !bytes.Equal(first, handshakeMagic[:]) {
-		return false, nil
+	role := first[5]
+	if !bytes.Equal(first[:5], handshakeMagic[:5]) ||
+		(role != RoleClient && role != RoleEdge) ||
+		first[6] != 0 || first[7] != 0 || first[8] != 0 {
+		return false, 0, nil
 	}
 	_, err = br.Discard(len(handshakeMagic))
-	return true, err
+	return true, role, err
 }
 
 // writeFrame emits one length-prefixed frame and flushes, so the message

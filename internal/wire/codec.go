@@ -99,7 +99,7 @@ type BatchHandler func(reqs []*Request) (resps []*Response, errs []error)
 // provides the concurrent, out-of-order serving path.
 func ServeConn(rw io.ReadWriter, handle Handler) error {
 	br := bufio.NewReader(rw)
-	isBinary, err := sniffBinary(br)
+	isBinary, _, err := sniffBinary(br)
 	if err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
 			return nil

@@ -43,8 +43,16 @@ type frameResult struct {
 // the peer answers with anything but the expected preamble, and the caller
 // should then fall back to NewClientConn (gob).
 func NewBinaryClientConn(rw io.ReadWriter) (*BinaryClientConn, error) {
+	return NewBinaryClientConnRole(rw, RoleClient)
+}
+
+// NewBinaryClientConnRole is NewBinaryClientConn announcing a specific
+// connection role in the handshake preamble (an edge proxy's upstream pool
+// uses RoleEdge). Servers ack with the plain client preamble either way.
+func NewBinaryClientConnRole(rw io.ReadWriter, role byte) (*BinaryClientConn, error) {
+	preamble := handshakePreamble(role)
 	bw := bufio.NewWriter(rw)
-	if _, err := bw.Write(handshakeMagic[:]); err != nil {
+	if _, err := bw.Write(preamble[:]); err != nil {
 		return nil, fmt.Errorf("wire: handshake send: %w", err)
 	}
 	if err := bw.Flush(); err != nil {

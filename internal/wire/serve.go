@@ -186,7 +186,7 @@ func rejectConn(conn net.Conn) {
 	conn.SetDeadline(time.Now().Add(5 * time.Second))
 	const limitMsg = "server at connection limit"
 	br := bufio.NewReaderSize(conn, len(handshakeMagic))
-	if isBinary, err := sniffBinary(br); err == nil && isBinary {
+	if isBinary, _, err := sniffBinary(br); err == nil && isBinary {
 		bw := bufio.NewWriter(conn)
 		if _, err := bw.Write(handshakeMagic[:]); err != nil {
 			return
@@ -264,11 +264,15 @@ func (s *NetServer) serveConn(conn net.Conn) {
 	if s.cfg.ReadTimeout > 0 {
 		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 	}
-	isBinary, err := sniffBinary(br)
+	isBinary, role, err := sniffBinary(br)
 	if err != nil {
 		return
 	}
 	if isBinary {
+		if role == RoleEdge {
+			s.stats.EdgeConns.Add(1)
+			defer s.stats.EdgeConns.Add(-1)
+		}
 		s.serveBinary(conn, cc, br)
 		return
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/edge"
 	"repro/internal/metrics"
 	"repro/internal/rtree"
 	"repro/internal/server"
@@ -175,6 +176,81 @@ func (cs *ClusterServer) ShardObjects() []int {
 // Close stops every shard's background update writer, waiting for queued
 // batches to be applied.
 func (cs *ClusterServer) Close() { cs.cluster.Close() }
+
+// EdgeOptions parameterizes an edge cache tier in front of the cluster;
+// zero values take the edge package defaults.
+type EdgeOptions struct {
+	// ByteBudget caps the edge cache (SizeModel bytes; default 32 MiB).
+	ByteBudget int
+	// AdmitThreshold is the per-cell hotness admission bar and Window the
+	// hotness window length in queries.
+	AdmitThreshold float64
+	Window         int
+	// SyncInterval bounds staleness against writers that bypass the edge;
+	// zero keeps the subscription purely evidence/update-driven (correct
+	// whenever all updates flow through the edge).
+	SyncInterval time.Duration
+	// Upstream overrides the transport the edge forwards to; nil uses the
+	// in-process router directly. A remote edge node sets this to a pool of
+	// pipelined wire connections back to the router (edge.NewUpstreamPool),
+	// keeping the cluster's partition geometry for its cache cells.
+	Upstream Transport
+	// ReleaseUpstream recycles forwarded responses the edge has finished
+	// with; must match Upstream's allocation discipline. Nil with a non-nil
+	// Upstream leaves responses to the garbage collector (correct for
+	// decoded wire responses, which are not pooled).
+	ReleaseUpstream func(*wire.Response)
+}
+
+// Edge builds an edge cache tier fronting this cluster: a wire.Transport
+// that answers popular cold range/kNN queries from a snapshot-pinned cache
+// keyed by the cluster's own KD partition cells and forwards everything
+// else to the router (docs/EDGE.md). Responses returned by the edge are
+// owned by the caller; ReleaseResponse still accepts them.
+func (cs *ClusterServer) Edge(opts EdgeOptions) (*edge.Edge, error) {
+	part := cs.cluster.Router.Partition()
+	upstream, release := Transport(cs.Transport()), cs.ReleaseResponse
+	if opts.Upstream != nil {
+		upstream, release = opts.Upstream, opts.ReleaseUpstream
+	}
+	e, err := edge.New(edge.Config{
+		Upstream:        upstream,
+		Locate:          part.Locate,
+		Cells:           part.Shards(),
+		ReleaseUpstream: release,
+		ByteBudget:      opts.ByteBudget,
+		AdmitThreshold:  opts.AdmitThreshold,
+		Window:          opts.Window,
+		SyncInterval:    opts.SyncInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return e, nil
+}
+
+// EdgeNetServer builds the TCP serving layer with an edge cache tier
+// between the listener and the router: prodb -edge. Clients speak the
+// identical wire protocol; popular queries never reach the shards.
+func (cs *ClusterServer) EdgeNetServer(e *edge.Edge, opts ServeOptions) *wire.NetServer {
+	handler := func(req *wire.Request) (*wire.Response, error) {
+		if len(req.Updates) > 0 && !cs.remoteUpdates.Load() {
+			return nil, ErrUpdatesDisabled
+		}
+		return e.RoundTrip(req)
+	}
+	return wire.NewNetServer(handler, wire.ServeConfig{
+		MaxConns:    opts.MaxConns,
+		MaxInflight: opts.MaxInflight,
+		MaxPipeline: opts.MaxPipeline,
+		ReadTimeout: opts.ReadTimeout,
+		Stats:       &cs.stats,
+		// Edge responses are caller-owned (hits are freshly built, misses
+		// come from the router pool but were deep-copied on admission), so
+		// recycling them into the router pool stays safe.
+		Release: cs.cluster.Router.ReleaseResponse,
+	})
+}
 
 // DialCluster connects to independently served shard processes (one prodb
 // per shard) and returns a client-side scatter-gather transport over them:
