@@ -21,6 +21,7 @@
 //	prodb -follower                       # warm standby: primary-only updates
 //	prodb -cluster 4 -wal /var/lib/prodb  # durable shards (WAL + checkpoints)
 //	prodb -cluster 4 -replicas            # warm standby per shard
+//	prodb -cluster 4 -elastic             # online split/merge rebalancing
 //	prodb -stats 10s                      # periodic serving stats
 //	prodb -pprof localhost:6060           # expose net/http/pprof for profiling
 //
@@ -41,6 +42,7 @@ import (
 
 	"repro"
 	"repro/internal/dataset"
+	"repro/internal/elastic"
 	"repro/internal/metrics"
 	"repro/internal/wire"
 )
@@ -63,6 +65,8 @@ func main() {
 		edgeSync = flag.Duration("edge-sync", 250*time.Millisecond, "edge mode: time floor on the invalidation subscription (0 = evidence/update-driven only)")
 		walDir   = flag.String("wal", "", "cluster mode: per-shard WAL+checkpoint directory for crash recovery (empty = memory only)")
 		replicas = flag.Bool("replicas", false, "cluster mode: run a warm standby per shard for transparent failover")
+		elastOn  = flag.Bool("elastic", false, "cluster mode: run the load-driven rebalancer — hot shards split online, cold sibling pairs merge back (docs/ELASTIC.md)")
+		splitAt  = flag.Int64("split-objects", 0, "elastic mode: split a shard at this object count (0 derives twice the initial per-shard count)")
 		statsEv  = flag.Duration("stats", 0, "print serving stats at this interval (0 = off)")
 		drainTO  = flag.Duration("drain", 15*time.Second, "graceful shutdown drain timeout")
 		pprofAt  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
@@ -106,6 +110,10 @@ func main() {
 	}
 	if (*walDir != "" || *replicas) && *clusterN <= 1 {
 		fmt.Fprintln(os.Stderr, "prodb: -wal and -replicas require -cluster N (single-node durability is not served yet)")
+		os.Exit(2)
+	}
+	if *elastOn && *clusterN <= 1 {
+		fmt.Fprintln(os.Stderr, "prodb: -elastic requires -cluster N (a single node has nothing to split)")
 		os.Exit(2)
 	}
 	if *edgeMode && *clusterN <= 1 {
@@ -184,9 +192,33 @@ func main() {
 		} else {
 			net1 = cs.NetServer(opts)
 		}
+		if *elastOn {
+			split := *splitAt
+			if split == 0 {
+				split = 2*int64(len(objects))/int64(*clusterN) + 1
+			}
+			_, stopRb, err := cs.StartRebalancer(elastic.Config{
+				SplitObjects: split,
+				MergeObjects: split / 4,
+				Cooldown:     5 * time.Second,
+				Interval:     time.Second,
+				OnEvent: func(ev elastic.Event) {
+					fmt.Printf("elastic: %s shard=%d objects=%d qps=%.0f err=%v\n",
+						ev.Kind, ev.Shard, ev.Objects, ev.QPS, ev.Err)
+				},
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prodb: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("elastic: rebalancer online (split at %d objects, merge below %d)\n", split, split/4)
+			csClose := cs.Close
+			closeFn = func() { stopRb(); csClose() }
+		} else {
+			closeFn = cs.Close
+		}
 		statsFn = cs.Stats
 		clusterStats = cs.ClusterStats
-		closeFn = cs.Close
 	} else {
 		srv := repro.NewServer(objects, repro.ServerConfig{Form: indexForm})
 		srv.SetRemoteUpdates(*updates)

@@ -9,6 +9,8 @@
 //
 //	proload -inprocess 4 -scenario steady -qps 5000 -duration 5s
 //	proload -inprocess 4 -edge -scenario flash-crowd       # through an edge cache
+//	proload -inprocess 4 -elastic -scenario shard-skew     # rebalancer splits the hot shard
+//	proload -inprocess 4 -elastic-force -scenario steady   # force a mid-run split + merge
 //	proload -addr :7001,:7002,:7003,:7004 -scenario all -json out.json
 //	proload -check -json out.json -scenario flash-crowd    # exit 1 on SLO fail
 //	proload -inprocess 4 -scenario shard-crash-recovery -check  # chaos gate
@@ -37,6 +39,7 @@ import (
 	"repro"
 	"repro/internal/cluster"
 	"repro/internal/edge"
+	"repro/internal/elastic"
 	"repro/internal/load"
 	"repro/internal/metrics"
 	"repro/internal/wire"
@@ -44,23 +47,26 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "", "comma-separated shard addresses (one = single server, several = client-side cluster)")
-		inprocess = flag.Int("inprocess", 0, "build an in-process cluster with this many shards instead of dialing")
-		edgeOn    = flag.Bool("edge", false, "route all workers through one in-process edge cache tier in front of the cluster (requires -inprocess)")
-		nethop    = flag.Bool("nethop", false, "serve the in-process cluster over loopback TCP and cross it per request: workers dial it directly, or under -edge the edge forwards over a pipelined upstream pool while cache hits skip the hop (requires -inprocess)")
-		objects   = flag.Int("objects", 20000, "in-process dataset cardinality")
-		ds        = flag.String("dataset", "ne", "in-process dataset: ne or rd")
-		seed      = flag.Int64("seed", 1, "deterministic operation-stream seed")
-		scenario  = flag.String("scenario", "steady", "scenario names, comma-separated, or all")
-		qps       = flag.Float64("qps", 2000, "open-loop target arrival rate (all workers combined)")
-		duration  = flag.Duration("duration", 3*time.Second, "run length per scenario")
-		users     = flag.Int("users", 1_000_000, "simulated user population")
-		workers   = flag.Int("workers", 8, "pacing loops / connections")
-		timeout   = flag.Duration("timeout", 2*time.Second, "latency above which a completed op also counts as a timeout")
-		jsonOut   = flag.String("json", "", "write the machine-readable report to this file (- for stdout)")
-		check     = flag.Bool("check", false, "exit 1 when any scenario violates its SLO envelope")
-		validate  = flag.String("validate", "", "validate an existing proload JSON report against the schema and exit")
-		list      = flag.Bool("list", false, "print the scenario matrix and exit")
+		addr         = flag.String("addr", "", "comma-separated shard addresses (one = single server, several = client-side cluster)")
+		inprocess    = flag.Int("inprocess", 0, "build an in-process cluster with this many shards instead of dialing")
+		edgeOn       = flag.Bool("edge", false, "route all workers through one in-process edge cache tier in front of the cluster (requires -inprocess)")
+		nethop       = flag.Bool("nethop", false, "serve the in-process cluster over loopback TCP and cross it per request: workers dial it directly, or under -edge the edge forwards over a pipelined upstream pool while cache hits skip the hop (requires -inprocess)")
+		objects      = flag.Int("objects", 20000, "in-process dataset cardinality")
+		ds           = flag.String("dataset", "ne", "in-process dataset: ne or rd")
+		seed         = flag.Int64("seed", 1, "deterministic operation-stream seed")
+		scenario     = flag.String("scenario", "steady", "scenario names, comma-separated, or all")
+		qps          = flag.Float64("qps", 2000, "open-loop target arrival rate (all workers combined)")
+		duration     = flag.Duration("duration", 3*time.Second, "run length per scenario")
+		users        = flag.Int("users", 1_000_000, "simulated user population")
+		workers      = flag.Int("workers", 8, "pacing loops / connections")
+		timeout      = flag.Duration("timeout", 2*time.Second, "latency above which a completed op also counts as a timeout")
+		elasticOn    = flag.Bool("elastic", false, "run a load-driven rebalancer over the in-process cluster during each scenario: hot shards split online, cold sibling pairs merge back (requires -inprocess)")
+		elasticForce = flag.Bool("elastic-force", false, "force one online shard split a third of the way into each run and the matching merge at two thirds; exit 1 if either did not complete (requires -inprocess)")
+		splitObjects = flag.Int64("split-objects", 0, "rebalancer split threshold in objects per shard (0 derives twice the initial per-shard count)")
+		jsonOut      = flag.String("json", "", "write the machine-readable report to this file (- for stdout)")
+		check        = flag.Bool("check", false, "exit 1 when any scenario violates its SLO envelope")
+		validate     = flag.String("validate", "", "validate an existing proload JSON report against the schema and exit")
+		list         = flag.Bool("list", false, "print the scenario matrix and exit")
 	)
 	flag.Parse()
 
@@ -94,7 +100,10 @@ func main() {
 	// across the matrix, as they would in production). Every chaos scenario
 	// gets a freshly built durable cluster: faults permanently degrade one —
 	// replication stops at the first kill — and a second scenario must not
-	// inherit the wreckage of the first.
+	// inherit the wreckage of the first. Growth scenarios (GrowUpdates)
+	// likewise get their own backend: they permanently inflate and skew the
+	// dataset, which would silently slow every scenario that runs after
+	// them in the matrix.
 	var shared *backend
 	defer func() {
 		if shared != nil {
@@ -104,6 +113,9 @@ func main() {
 	acquire := func(sp load.Spec) (*backend, error) {
 		if len(sp.Faults) > 0 {
 			return connect(*addr, *inprocess, *objects, *ds, *seed, true, *edgeOn, *nethop)
+		}
+		if sp.GrowUpdates && *addr == "" {
+			return connect(*addr, *inprocess, *objects, *ds, *seed, false, *edgeOn, *nethop)
 		}
 		if shared == nil {
 			var err error
@@ -121,6 +133,25 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if (*elasticOn || *elasticForce) && backend.cs == nil {
+			fatal(fmt.Errorf("-elastic and -elastic-force drive online topology changes and need the in-process backend (-inprocess), not -addr"))
+		}
+		var rbStop func()
+		if *elasticOn {
+			rbStop = startRebalancer(backend.cs, *splitObjects, *objects)
+		}
+		var forceDone chan struct{}
+		if *elasticForce {
+			forceDone = forceElastic(backend.cs, *duration)
+		}
+		// Baseline for the post-stop re-sample below: the rebalancer can
+		// land an operation between load.Run's own final sample and the
+		// stop, so the authoritative delta is taken once it has halted.
+		esSample := backend.elasticStats()
+		var esSplits, esMerges, esHand int64
+		if esSample != nil {
+			esSplits, esMerges, esHand = esSample()
+		}
 		var events atomic.Int64
 		r, err := load.Run(load.Config{
 			Spec:          sp,
@@ -136,6 +167,7 @@ func main() {
 			Injector:      backend.injector(),
 			FailoverStats: backend.failoverStats,
 			EdgeStats:     backend.edgeStats(),
+			ElasticStats:  backend.elasticStats(),
 			OnEvent: func(worker int, err error) {
 				// A dead backend fails every paced op; log the first few and
 				// then sample, the counters carry the full tally.
@@ -144,6 +176,18 @@ func main() {
 				}
 			},
 		})
+		if rbStop != nil {
+			rbStop()
+		}
+		if forceDone != nil {
+			<-forceDone
+		}
+		if r != nil && esSample != nil && (rbStop != nil || forceDone != nil) {
+			s, m, h := esSample()
+			r.Elastic = true
+			r.Splits, r.Merges = s-esSplits, m-esMerges
+			r.Handover = time.Duration(h - esHand)
+		}
 		if backend != shared {
 			backend.close()
 		}
@@ -152,6 +196,10 @@ func main() {
 		}
 		if n := events.Load(); n > 10 {
 			fmt.Fprintf(os.Stderr, "proload: %d failure events total (log sampled)\n", n)
+		}
+		if *elasticForce && (r.Splits == 0 || r.Merges == 0 || r.Errors > 0) {
+			r.Fprint(os.Stdout)
+			fatal(fmt.Errorf("elastic-force: scenario %q finished with splits=%d merges=%d errors=%d; want at least one split and one merge with zero protocol errors", sp.Name, r.Splits, r.Merges, r.Errors))
 		}
 		r.Fprint(os.Stdout)
 		results = append(results, r)
@@ -330,6 +378,88 @@ func (b *backend) edgeStats() func() metrics.EdgeSnapshot {
 		return nil
 	}
 	return b.edge.Stats().Snapshot
+}
+
+// elasticStats exposes the router's topology-operation counters to the
+// harness; nil for dialed backends.
+func (b *backend) elasticStats() func() (int64, int64, int64) {
+	if b.cs == nil {
+		return nil
+	}
+	st := b.cs.Elastic().Stats()
+	return func() (int64, int64, int64) {
+		return st.Splits.Load(), st.Merges.Load(), st.HandoverNanos.Load()
+	}
+}
+
+// startRebalancer runs the load-driven rebalancer over the in-process
+// cluster for one scenario. The split threshold defaults to twice the
+// initial per-shard object count, so only genuinely skewed growth triggers;
+// merge thresholds sit at a quarter of split (well inside the anti-flap
+// band). Returns the stop function.
+func startRebalancer(cs *repro.ClusterServer, splitObjects int64, objects int) func() {
+	if splitObjects <= 0 {
+		shards := len(cs.LiveShards())
+		if shards < 1 {
+			shards = 1
+		}
+		splitObjects = 2*int64(objects)/int64(shards) + 1
+	}
+	_, stop, err := cs.StartRebalancer(elastic.Config{
+		SplitObjects: splitObjects,
+		MergeObjects: splitObjects / 4,
+		Cooldown:     500 * time.Millisecond,
+		Interval:     100 * time.Millisecond,
+		OnEvent: func(ev elastic.Event) {
+			fmt.Fprintf(os.Stderr, "proload: elastic %s shard=%d target=%d objects=%d qps=%.0f err=%v\n",
+				ev.Kind, ev.Shard, ev.Target, ev.Objects, ev.QPS, ev.Err)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return stop
+}
+
+// forceElastic drives one deterministic split/merge cycle mid-run: the
+// shard owning the most objects splits a third of the way in, and the pair
+// folds back at two thirds — the CI smoke gate for online topology changes
+// under live open-loop load. Failures are printed and left for the
+// -elastic-force exit check to catch via the run's split/merge counters.
+func forceElastic(cs *repro.ClusterServer, dur time.Duration) chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(dur / 3)
+		st := cs.Elastic().Stats()
+		hot, best := -1, int64(-1)
+		for _, s := range cs.LiveShards() {
+			if n := st.Shard(s).Objects.Load(); n > best {
+				hot, best = s, n
+			}
+		}
+		if hot < 0 {
+			return
+		}
+		if err := cs.SplitShard(hot); err != nil {
+			fmt.Fprintf(os.Stderr, "proload: forced split of shard %d: %v\n", hot, err)
+			return
+		}
+		fresh := cs.Shards() - 1
+		fmt.Fprintf(os.Stderr, "proload: forced split of shard %d -> slot %d\n", hot, fresh)
+		time.Sleep(dur / 3)
+		s, ok := cs.SiblingOf(fresh)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "proload: forced merge skipped: slot %d no longer has a sibling\n", fresh)
+			return
+		}
+		if err := cs.MergeShards(s, fresh); err != nil {
+			fmt.Fprintf(os.Stderr, "proload: forced merge of (%d,%d): %v\n", s, fresh, err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "proload: forced merge of slot %d back into shard %d\n", fresh, s)
+	}()
+	return done
 }
 
 // newTransport hands a worker its connection: the shared in-process

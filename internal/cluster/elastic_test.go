@@ -1,0 +1,476 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/query"
+	"repro/internal/rtree"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// Elastic topology correctness: splitting and merging shards online must be
+// invisible to clients — the same update history produces the same query
+// results as a single-node server, before, during, and after every
+// topology change (docs/ELASTIC.md).
+
+// buildBothElastic is buildBoth returning the InProcess handle (for
+// SplitShard/MergeShards) instead of just the router.
+func buildBothElastic(t testing.TB, objs []dataset.Object, n int, cfg InProcessConfig) (*server.Server, *InProcess, func()) {
+	t.Helper()
+	sizes := make(map[rtree.ObjectID]int, len(objs))
+	for _, o := range objs {
+		sizes[o.ID] = o.Size
+	}
+	single := buildServer(objs, sizes)
+	cfg.Shards = n
+	cfg.Tree = rtree.Params{MaxEntries: testMaxEntries}
+	cfg.Sizer = func(id rtree.ObjectID) int { return sizes[id] }
+	p, err := NewInProcess(objs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return single, p, func() {
+		single.Close()
+		p.Close()
+	}
+}
+
+// checkEquivalence runs a spread of range/kNN/join queries against both
+// backends and compares normalized results.
+func checkEquivalence(t *testing.T, tag string, single *server.Server, router *Router, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for qi := 0; qi < 12; qi++ {
+		c := geom.Pt(rng.Float64(), rng.Float64())
+		var q query.Query
+		switch qi % 3 {
+		case 0:
+			q = query.NewRange(geom.RectFromCenter(c, 0.02+rng.Float64()*0.25, 0.02+rng.Float64()*0.25))
+		case 1:
+			q = query.NewKNN(c, 1+rng.Intn(16))
+		default:
+			q = query.NewJoin(geom.RectFromCenter(c, 0.1+rng.Float64()*0.2, 0.1+rng.Float64()*0.2), 0.002+rng.Float64()*0.01)
+		}
+		qtag := fmt.Sprintf("%s query %d (%s)", tag, qi, q.Kind)
+		sResp, _ := single.Execute(&wire.Request{Client: wire.ClientID(700 + qi), Q: q})
+		cResp, err := router.RoundTrip(&wire.Request{Client: wire.ClientID(700 + qi), Q: q})
+		if err != nil {
+			t.Fatalf("%s: %v", qtag, err)
+		}
+		switch q.Kind {
+		case query.Range:
+			compareRange(t, qtag, sResp, cResp)
+		case query.KNN:
+			compareKNN(t, qtag, q, sResp, cResp)
+		default:
+			compareJoin(t, qtag, sResp, cResp)
+		}
+	}
+	// Full-space sweep: the strongest content check.
+	q := query.NewRange(geom.R(-10, -10, 10, 10))
+	sResp, _ := single.Execute(&wire.Request{Client: 699, Q: q})
+	cResp, err := router.RoundTrip(&wire.Request{Client: 699, Q: q})
+	if err != nil {
+		t.Fatalf("%s full sweep: %v", tag, err)
+	}
+	compareRange(t, tag+" full sweep", sResp, cResp)
+}
+
+// hottestLive returns the live shard owning the most objects per the gauges.
+func hottestLive(p *InProcess) int {
+	best, bestN := -1, int64(-1)
+	for _, s := range p.LiveShards() {
+		if n := p.Router.Stats().Shard(s).Objects.Load(); n > bestN {
+			best, bestN = s, n
+		}
+	}
+	return best
+}
+
+// gaugeSum adds up the live shards' object-count gauges.
+func gaugeSum(p *InProcess) int64 {
+	var sum int64
+	for _, s := range p.LiveShards() {
+		sum += p.Router.Stats().Shard(s).Objects.Load()
+	}
+	return sum
+}
+
+// TestClusterElasticSplitMergeEquivalence interleaves synchronous update
+// batches with splits and merges, checking full equivalence and gauge
+// consistency after every topology change.
+func TestClusterElasticSplitMergeEquivalence(t *testing.T) {
+	objs := genObjects(2400, 11)
+	single, p, cleanup := buildBothElastic(t, objs, 2, InProcessConfig{})
+	defer cleanup()
+	router := p.Router
+	upd := newUpdateStream(5, objs)
+
+	applyBatch := func(round int) {
+		t.Helper()
+		ops := upd.batch(50)
+		sResp := single.ExecuteUpdates(&wire.Request{Client: 900, Updates: ops})
+		cResp, err := router.RoundTrip(&wire.Request{Client: 900, Updates: ops})
+		if err != nil {
+			t.Fatalf("round %d updates: %v", round, err)
+		}
+		for i := range sResp.UpdateResults {
+			if sResp.UpdateResults[i] != cResp.UpdateResults[i] {
+				t.Fatalf("round %d op %d (%+v): ack %v, want %v",
+					round, i, ops[i], cResp.UpdateResults[i], sResp.UpdateResults[i])
+			}
+		}
+	}
+	checkGauges := func(tag string) {
+		t.Helper()
+		if got, want := gaugeSum(p), int64(len(upd.rects)); got != want {
+			t.Fatalf("%s: object gauges sum to %d, want %d", tag, got, want)
+		}
+	}
+
+	// Round 0: baseline.
+	checkEquivalence(t, "baseline", single, router, 1000)
+	checkGauges("baseline")
+
+	type topoOp struct {
+		name string
+		run  func() error
+	}
+	schedule := []topoOp{
+		{"split#1", func() error { return p.SplitShard(hottestLive(p)) }},
+		{"split#2", func() error { return p.SplitShard(hottestLive(p)) }},
+		{"split#3", func() error { return p.SplitShard(hottestLive(p)) }},
+		{"merge#1", func() error {
+			// Merge the most recently split pair: the newest slot is always a
+			// leaf and its sibling survives by construction.
+			tnew := len(p.Router.shards) - 1
+			s, ok := p.SiblingOf(tnew)
+			if !ok {
+				return fmt.Errorf("slot %d has no mergeable sibling", tnew)
+			}
+			return p.MergeShards(s, tnew)
+		}},
+		{"split#4", func() error { return p.SplitShard(hottestLive(p)) }},
+		{"merge#2", func() error {
+			tnew := len(p.Router.shards) - 1
+			s, ok := p.SiblingOf(tnew)
+			if !ok {
+				return fmt.Errorf("slot %d has no mergeable sibling", tnew)
+			}
+			return p.MergeShards(s, tnew)
+		}},
+	}
+	for round, op := range schedule {
+		applyBatch(round)
+		if err := op.run(); err != nil {
+			t.Fatalf("%s: %v", op.name, err)
+		}
+		checkEquivalence(t, op.name, single, router, int64(2000+round))
+		checkGauges(op.name)
+		applyBatch(round + 100) // updates must route correctly on the new topology
+		checkEquivalence(t, op.name+"+updates", single, router, int64(3000+round))
+		checkGauges(op.name + "+updates")
+	}
+
+	snap := router.Stats().Snapshot()
+	if snap.Splits != 4 || snap.Merges != 2 {
+		t.Fatalf("counters: %d splits / %d merges, want 4 / 2", snap.Splits, snap.Merges)
+	}
+	if len(p.LiveShards()) != 4 {
+		t.Fatalf("live shards = %v, want 4 live", p.LiveShards())
+	}
+	if snap.HandoverNanos <= 0 {
+		t.Fatal("handover duration not recorded")
+	}
+}
+
+// TestClusterElasticDurable runs a split and a merge over a WAL-backed,
+// replicated cluster — covering the durable Spawn path (packed image, fresh
+// WAL dir, initial checkpoint, standby) — then crash-restarts the spawned
+// shard and checks contents survived.
+func TestClusterElasticDurable(t *testing.T) {
+	objs := genObjects(1200, 17)
+	single, p, cleanup := buildBothElastic(t, objs, 2, InProcessConfig{
+		WALDir:   t.TempDir(),
+		Replicas: true,
+	})
+	defer cleanup()
+	upd := newUpdateStream(23, objs)
+
+	if err := p.SplitShard(0); err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalence(t, "durable split", single, p.Router, 4000)
+
+	// Stream updates so the spawned shard's WAL holds a tail past its
+	// initial checkpoint, then crash-restart it.
+	for i := 0; i < 5; i++ {
+		ops := upd.batch(40)
+		single.ExecuteUpdates(&wire.Request{Client: 901, Updates: ops})
+		if _, err := p.Router.RoundTrip(&wire.Request{Client: 901, Updates: ops}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spawned := 2 // slot the split created
+	p.Kill(spawned)
+	if err := p.Restart(spawned); err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalence(t, "after restart", single, p.Router, 4100)
+
+	s, ok := p.SiblingOf(spawned)
+	if !ok {
+		t.Fatalf("slot %d has no sibling", spawned)
+	}
+	if err := p.MergeShards(s, spawned); err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalence(t, "durable merge", single, p.Router, 4200)
+}
+
+// TestClusterElasticConcurrent splits and merges while query workers and an
+// update stream hammer both backends — the -race exercise of the epoch
+// fence, the handover window, and the dual-routing hook. After the storm the
+// contents must be identical.
+func TestClusterElasticConcurrent(t *testing.T) {
+	objs := genObjects(1500, 43)
+	single, p, cleanup := buildBothElastic(t, objs, 2, InProcessConfig{})
+	defer cleanup()
+	router := p.Router
+
+	upd := newUpdateStream(99, objs)
+	batches := make([][]wire.UpdateOp, 30)
+	for i := range batches {
+		batches[i] = upd.batch(24)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, ops := range batches {
+			single.ExecuteUpdates(&wire.Request{Client: 901, Updates: ops})
+			if _, err := router.RoundTrip(&wire.Request{Client: 901, Updates: ops}); err != nil {
+				t.Errorf("cluster updates: %v", err)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 60; i++ {
+				c := geom.Pt(rng.Float64(), rng.Float64())
+				var q query.Query
+				if i%2 == 0 {
+					q = query.NewRange(geom.RectFromCenter(c, 0.05, 0.05))
+				} else {
+					q = query.NewKNN(c, 5)
+				}
+				if _, err := router.RoundTrip(&wire.Request{Client: wire.ClientID(100 + w), Q: q}); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				single.Execute(&wire.Request{Client: wire.ClientID(100 + w), Q: q})
+			}
+		}(w)
+	}
+	// Topology churn concurrent with everything above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for cycle := 0; cycle < 3; cycle++ {
+			s := hottestLive(p)
+			if err := p.SplitShard(s); err != nil {
+				t.Errorf("concurrent split: %v", err)
+				return
+			}
+			tnew := router.Shards() - 1
+			if cycle%2 == 0 {
+				sib, ok := p.SiblingOf(tnew)
+				if !ok {
+					t.Errorf("slot %d lost its sibling", tnew)
+					return
+				}
+				if err := p.MergeShards(sib, tnew); err != nil {
+					t.Errorf("concurrent merge: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	q := query.NewRange(geom.R(0, 0, 1, 1))
+	sResp, _ := single.Execute(&wire.Request{Client: 1, Q: q})
+	cResp, err := router.RoundTrip(&wire.Request{Client: 1, Q: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareRange(t, "final full range", sResp, cResp)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		c := geom.Pt(rng.Float64(), rng.Float64())
+		kq := query.NewKNN(c, 8)
+		sResp, _ := single.Execute(&wire.Request{Client: 2, Q: kq})
+		cResp, err := router.RoundTrip(&wire.Request{Client: 2, Q: kq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareKNN(t, fmt.Sprintf("final knn %d", i), kq, sResp, cResp)
+	}
+	if got := gaugeSum(p); got != int64(len(upd.rects)) {
+		t.Fatalf("object gauges sum to %d, want %d", got, len(upd.rects))
+	}
+}
+
+// TestClusterElasticErrors pins the rejection paths: bad slots, non-sibling
+// merges, and operations on retired slots must fail without disturbing the
+// live topology.
+func TestClusterElasticErrors(t *testing.T) {
+	objs := genObjects(600, 3)
+	single, p, cleanup := buildBothElastic(t, objs, 2, InProcessConfig{})
+	defer cleanup()
+
+	if err := p.SplitShard(7); err == nil {
+		t.Fatal("splitting a nonexistent slot succeeded")
+	}
+	if err := p.MergeShards(0, 7); err == nil {
+		t.Fatal("merging a nonexistent slot succeeded")
+	}
+	// Split 0 → slot 2; now 1 and 2 are not siblings (2's sibling is 0).
+	if err := p.SplitShard(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MergeShards(1, 2); err == nil {
+		t.Fatal("merging non-siblings succeeded")
+	}
+	if err := p.MergeShards(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Slot 2 is retired: splitting or merging it must fail.
+	if err := p.SplitShard(2); err == nil {
+		t.Fatal("splitting a retired slot succeeded")
+	}
+	if err := p.MergeShards(0, 2); err == nil {
+		t.Fatal("re-merging a retired slot succeeded")
+	}
+	checkEquivalence(t, "after rejections", single, p.Router, 5000)
+}
+
+// TestClientOverClusterElastic drives real proactive-caching clients (cache
+// cuts, remainder handover, epoch tracking) across live splits and merges.
+// A split must NOT flush clients — it surfaces as an ordinary invalidation
+// window — while a merge must flush (the retired slot's node ids cannot be
+// invalidated individually). Query results must match a single-node client
+// throughout.
+func TestClientOverClusterElastic(t *testing.T) {
+	objs := genObjects(2000, 29)
+	single, p, cleanup := buildBothElastic(t, objs, 4, InProcessConfig{})
+	defer cleanup()
+	router := p.Router
+
+	clSingle := newTestClient(t, singleTransport(single), 7)
+	clCluster := newTestClient(t, router, 7)
+	rng := rand.New(rand.NewSource(321))
+	upd := newUpdateStream(17, objs)
+	hot := geom.Pt(0.5, 0.5)
+
+	step := func(i int, tag string) {
+		t.Helper()
+		if i%6 == 5 {
+			ops := upd.batch(25)
+			single.ExecuteUpdates(&wire.Request{Client: 900, Updates: ops})
+			if _, err := router.RoundTrip(&wire.Request{Client: 900, Updates: ops}); err != nil {
+				t.Fatalf("%s %d: updates: %v", tag, i, err)
+			}
+		}
+		hot = geom.Pt(clamp01(hot.X+(rng.Float64()-0.5)*0.15), clamp01(hot.Y+(rng.Float64()-0.5)*0.15))
+		var q query.Query
+		if i%2 == 0 {
+			q = query.NewRange(geom.RectFromCenter(hot, 0.05, 0.05))
+		} else {
+			q = query.NewKNN(hot, 6)
+		}
+		repS, err := clSingle.Query(q)
+		if err != nil {
+			t.Fatalf("%s %d: single: %v", tag, i, err)
+		}
+		repC, err := clCluster.Query(q)
+		if err != nil {
+			t.Fatalf("%s %d: cluster: %v", tag, i, err)
+		}
+		w, g := sortedIDs(repS.Results), sortedIDs(repC.Results)
+		if len(w) != len(g) {
+			t.Fatalf("%s %d (%s): %d results, want %d", tag, i, q.Kind, len(g), len(w))
+		}
+		if q.Kind != query.KNN {
+			for j := range w {
+				if w[j] != g[j] {
+					t.Fatalf("%s %d: result %d = %d, want %d", tag, i, j, g[j], w[j])
+				}
+			}
+		}
+	}
+
+	for i := 0; i < 20; i++ {
+		step(i, "warm")
+	}
+
+	// A watcher client brought current right before the split.
+	const watcher = wire.ClientID(55)
+	cat, err := router.RoundTrip(&wire.Request{Client: watcher, Catalog: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	watchEpoch := cat.Epoch
+
+	if err := p.SplitShard(hottestLive(p)); err != nil {
+		t.Fatal(err)
+	}
+
+	cat, err = router.RoundTrip(&wire.Request{Client: watcher, Catalog: true, Epoch: watchEpoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.FlushAll {
+		t.Fatal("split flushed clients; it must surface as an invalidation window")
+	}
+	watchEpoch = cat.Epoch
+
+	for i := 0; i < 20; i++ {
+		step(i, "post-split")
+	}
+
+	tnew := router.Shards() - 1
+	sib, ok := p.SiblingOf(tnew)
+	if !ok {
+		t.Fatalf("slot %d has no sibling", tnew)
+	}
+	if err := p.MergeShards(sib, tnew); err != nil {
+		t.Fatal(err)
+	}
+
+	cat, err = router.RoundTrip(&wire.Request{Client: watcher, Catalog: true, Epoch: watchEpoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cat.FlushAll {
+		t.Fatal("merge did not flush clients; retired-slot refs would dangle")
+	}
+
+	for i := 0; i < 20; i++ {
+		step(i, "post-merge")
+	}
+}

@@ -116,6 +116,13 @@ func (t *epochTable) flushAll() {
 // lookup copies the vector and root set registered under (client, virtual)
 // into dst slices (each len nshards). It reports false when the client or
 // the virtual epoch is unknown — the caller must then flush the client.
+//
+// A stored vector may be shorter than dst when the cluster grew (an elastic
+// split adds a slot without flushing clients): the new slots pad with epoch
+// 0 — always-safe under-claiming, the new shard's whole history is "not yet
+// delivered" — and root InvalidNode, which can never equal the live root,
+// so the client's very next response carries the virtual-root invalidation
+// the topology change owes it.
 func (t *epochTable) lookup(id wire.ClientID, virtual uint64, dstVec []uint64, dstRoots []rtree.NodeID) bool {
 	sh := t.shard(id)
 	sh.mu.Lock()
@@ -126,8 +133,14 @@ func (t *epochTable) lookup(id wire.ClientID, virtual uint64, dstVec []uint64, d
 	}
 	for i := len(st.ring) - 1; i >= 0; i-- {
 		if st.ring[i].virtual == virtual {
-			copy(dstVec, st.ring[i].vec)
-			copy(dstRoots, st.ring[i].roots)
+			n := copy(dstVec, st.ring[i].vec)
+			for j := n; j < len(dstVec); j++ {
+				dstVec[j] = 0
+			}
+			n = copy(dstRoots, st.ring[i].roots)
+			for j := n; j < len(dstRoots); j++ {
+				dstRoots[j] = rtree.InvalidNode
+			}
 			return true
 		}
 	}

@@ -67,16 +67,35 @@ type InProcessConfig struct {
 // InProcess is a running in-process cluster.
 type InProcess struct {
 	Router  *Router
-	Servers []*server.Server // the shard primaries as built (stale after Kill/Restart)
+	Servers []*server.Server // the shard primaries as built or spawned (stale after Kill/Restart)
 	Counts  []int            // objects owned per shard at build time
 
+	cfg InProcessConfig // defaults materialized; reused by elastic Spawn
+
+	pmu   sync.Mutex // guards procs growth (elastic splits append slots)
 	procs []*procShard
+}
+
+// proc returns slot s's shard process (nil for never-populated slots).
+func (p *InProcess) proc(s int) *procShard {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	if s < 0 || s >= len(p.procs) {
+		return nil
+	}
+	return p.procs[s]
 }
 
 // Close stops every shard's background update writer, replication pump, and
 // WAL handle.
 func (p *InProcess) Close() {
-	for _, ps := range p.procs {
+	p.pmu.Lock()
+	procs := append([]*procShard(nil), p.procs...)
+	p.pmu.Unlock()
+	for _, ps := range procs {
+		if ps == nil {
+			continue
+		}
 		ps.kill()
 		if ps.replica != nil {
 			ps.replica.Close()
@@ -88,14 +107,46 @@ func (p *InProcess) Close() {
 // writer drains, the replication stream stops for good, and the WAL handle
 // closes so a Restart can recover from disk. Idempotent. The router rides
 // it out through retry, replica promotion, or redial-after-Restart.
-func (p *InProcess) Kill(s int) { p.procs[s].kill() }
+func (p *InProcess) Kill(s int) {
+	if ps := p.proc(s); ps != nil {
+		ps.kill()
+	}
+}
 
 // Restart recovers a killed shard from its WAL (checkpoint + tail replay)
 // and brings it back as the shard's primary; the router's next redial binds
 // to it. The restarted primary runs without a standby — its replica may
 // already have been promoted, and re-streaming into it would double-apply.
 // Restart of a live shard is a no-op.
-func (p *InProcess) Restart(s int) error { return p.procs[s].restart() }
+func (p *InProcess) Restart(s int) error {
+	ps := p.proc(s)
+	if ps == nil {
+		return fmt.Errorf("cluster: restart: no shard in slot %d", s)
+	}
+	return ps.restart()
+}
+
+// SplitShard splits shard s online (docs/ELASTIC.md): the far half of its
+// region moves to a freshly spawned in-process shard behind an epoch-fenced
+// cutover. The new slot gets its own WAL directory and standby when the
+// cluster was configured with them.
+func (p *InProcess) SplitShard(s int) error { return p.Router.SplitShard(s, p) }
+
+// MergeShards folds shard t back into its KD sibling s and retires t's
+// server. All clients flush (the dead slot's node ids cannot be
+// invalidated individually).
+func (p *InProcess) MergeShards(s, t int) error { return p.Router.MergeShards(s, t, p) }
+
+// LiveShards returns the slots that currently own a region.
+func (p *InProcess) LiveShards() []int { return p.Router.LiveShards() }
+
+// SiblingOf returns shard s's KD sibling when both are leaves — the only
+// pair MergeShards accepts.
+func (p *InProcess) SiblingOf(s int) (int, bool) { return p.Router.SiblingOf(s) }
+
+// Stats exposes the router's counters; with SplitShard/MergeShards and
+// LiveShards/SiblingOf this completes the elastic.Cluster surface.
+func (p *InProcess) Stats() *metrics.ClusterStats { return p.Router.Stats() }
 
 // errShardDown is what a killed shard's transport returns: the process is
 // gone, so every round trip fails until the router redials a restarted one.
@@ -272,7 +323,8 @@ func NewInProcess(objects []dataset.Object, cfg InProcessConfig) (*InProcess, er
 		return nil, err
 	}
 	split := part.Split(objects)
-	p := &InProcess{Counts: make([]int, n)}
+	cfg.Shards = n
+	p := &InProcess{Counts: make([]int, n), cfg: cfg}
 	shards := make([]Shard, n)
 	for s := range split {
 		if len(split[s]) == 0 {
@@ -385,5 +437,111 @@ func NewInProcess(objects []dataset.Object, cfg InProcessConfig) (*InProcess, er
 		p.Close()
 		return nil, err
 	}
+	// Seed the per-shard object-count gauges the rebalancer triggers on;
+	// from here the router maintains them on every acked update.
+	for s, c := range p.Counts {
+		p.Router.Stats().Shard(s).Objects.Store(int64(c))
+	}
 	return p, nil
+}
+
+// Spawn stands up a fresh shard process for slot t from a bulk-loaded
+// packed image — the split's transfer format: the donor's half bulk-loads
+// into a tree, serializes through AppendImage, and the spawned server opens
+// the deserialized copy, exactly as a remote spawn would receive it. The
+// slot gets its own WAL directory (with an initial checkpoint covering the
+// image) and a warm standby opened from the same image when the cluster is
+// configured with durability or replicas. Called by Router.SplitShard;
+// not for direct use.
+func (p *InProcess) Spawn(t int, items []rtree.Item, size func(rtree.ObjectID) int) (Shard, error) {
+	cfg := p.cfg
+	img := rtree.BulkLoad(cfg.Tree, items, cfg.BulkFill).AppendImage(nil)
+	tree, err := rtree.ReadImage(img)
+	if err != nil {
+		return Shard{}, fmt.Errorf("cluster: spawn shard %d image: %w", t, err)
+	}
+	ps := &procShard{idx: t, sizer: size, baseCfg: cfg.Server, walOpts: cfg.WAL}
+	srvCfg := cfg.Server
+	if cfg.WALDir != "" {
+		// Slots are never reused, so shard-<t> is necessarily a fresh
+		// directory the first time slot t spawns in this WALDir.
+		dir := filepath.Join(cfg.WALDir, fmt.Sprintf("shard-%d", t))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return Shard{}, fmt.Errorf("cluster: spawn shard %d wal dir: %w", t, err)
+		}
+		l, err := wal.Open(dir, cfg.WAL)
+		if err != nil {
+			return Shard{}, fmt.Errorf("cluster: spawn shard %d wal: %w", t, err)
+		}
+		ps.walDir = dir
+		ps.log = l
+		srvCfg.WAL = l
+	}
+	if cfg.Replicas {
+		repTree, err := rtree.ReadImage(img)
+		if err != nil {
+			if ps.log != nil {
+				ps.log.Close()
+			}
+			return Shard{}, fmt.Errorf("cluster: spawn shard %d standby image: %w", t, err)
+		}
+		rep := server.New(repTree, size, cfg.Server)
+		ps.replica = rep
+		ps.repl = newReplicator(rep)
+		srvCfg.OnApplied = ps.repl.tap
+	}
+	sh := server.New(tree, size, srvCfg)
+	if srvCfg.WAL != nil {
+		if err := sh.Checkpoint(); err != nil {
+			sh.Close()
+			if ps.repl != nil {
+				ps.repl.stop()
+			}
+			if ps.replica != nil {
+				ps.replica.Close()
+			}
+			ps.log.Close()
+			return Shard{}, fmt.Errorf("cluster: spawn shard %d initial checkpoint: %w", t, err)
+		}
+	}
+	ps.cur.Store(sh)
+	p.pmu.Lock()
+	for len(p.procs) <= t {
+		p.procs = append(p.procs, nil)
+	}
+	p.procs[t] = ps
+	p.Servers = append(p.Servers, sh)
+	p.pmu.Unlock()
+	shard := Shard{
+		T:       boundTransport{ps: ps, srv: sh},
+		Release: sh.ReleaseResponse,
+		Redial:  ps.redial,
+	}
+	if ps.replica != nil {
+		rep := ps.replica
+		shard.Replica = wire.TransportFunc(func(req *wire.Request) (*wire.Response, error) {
+			if len(req.Updates) > 0 {
+				return rep.ExecuteUpdates(req), nil
+			}
+			resp, _ := rep.Execute(req)
+			return resp, nil
+		})
+		shard.ReplicaRelease = rep.ReleaseResponse
+	}
+	return shard, nil
+}
+
+// Retire tears down slot t's process after a merge drained it (or after a
+// split aborted before installing it): server closed, WAL closed, standby
+// released. Called by the router; not for direct use.
+func (p *InProcess) Retire(t int) {
+	ps := p.proc(t)
+	if ps == nil {
+		return
+	}
+	ps.kill()
+	if ps.replica != nil {
+		ps.replica.Close()
+		ps.replica = nil
+	}
 }

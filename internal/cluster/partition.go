@@ -33,6 +33,13 @@ type Partition struct {
 	n    int
 	root *kdNode
 
+	// live marks which shard slots currently own a leaf. A build-time
+	// partition is fully live; elastic merges retire slots (the KD leaf
+	// disappears but the ordinal is never renumbered, because virtual
+	// NodeIDs encode it) and elastic splits may revive them
+	// (partition_elastic.go).
+	live []bool
+
 	// Regions are the shard regions clipped to the build dataset's bounding
 	// rectangle, for display and testing. Locate is the authority: the cut
 	// planes partition the whole plane, so objects inserted outside the
@@ -71,7 +78,10 @@ func MakePartition(objects []dataset.Object, n int) (*Partition, error) {
 			bounds = bounds.Union(o.MBR)
 		}
 	}
-	p := &Partition{n: n, Regions: make([]geom.Rect, n)}
+	p := &Partition{n: n, live: make([]bool, n), Regions: make([]geom.Rect, n)}
+	for s := range p.live {
+		p.live[s] = true
+	}
 	next := 0
 	p.root = p.build(centers, bounds, n, &next)
 	return p, nil

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -188,5 +189,153 @@ func TestEpochTableEviction(t *testing.T) {
 	roots := make([]rtree.NodeID, 1)
 	if tab.lookup(0, v, vec, roots) {
 		t.Fatal("client 0 survived eviction")
+	}
+}
+
+// TestPartitionSplitMergeCycles drives a long randomized sequence of
+// SplitLeaf/MergeLeaves cycles and holds the plane-covering invariants at
+// every step: Locate always lands on a live leaf, center ownership
+// (LocateRect == Locate of the center) never breaks, and unwinding the whole
+// stack restores the original routing exactly.
+func TestPartitionSplitMergeCycles(t *testing.T) {
+	objs := genObjects(2000, 7)
+	orig, err := MakePartition(objs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := orig
+	rng := rand.New(rand.NewSource(123))
+
+	checkInvariants := func(step string) {
+		t.Helper()
+		live := map[int]bool{}
+		for _, s := range cur.LiveShards() {
+			live[s] = true
+		}
+		for i := 0; i < 400; i++ {
+			pt := geom.Pt(rng.Float64()*3-1, rng.Float64()*3-1)
+			s := cur.Locate(pt)
+			if !live[s] {
+				t.Fatalf("%s: Locate(%v) = %d, a dead slot", step, pt, s)
+			}
+			rc := geom.RectFromCenter(pt, 0.01+rng.Float64()*0.1, 0.01+rng.Float64()*0.1)
+			if got := cur.LocateRect(rc); got != cur.Locate(rc.Center()) {
+				t.Fatalf("%s: center ownership broken: LocateRect=%d Locate(center)=%d", step, got, cur.Locate(rc.Center()))
+			}
+		}
+	}
+
+	type splitOp struct{ s, t int }
+	var stack []splitOp
+	next := 4
+	for cycle := 0; cycle < 60; cycle++ {
+		if rng.Intn(2) == 0 || len(stack) == 0 {
+			live := cur.LiveShards()
+			s := live[rng.Intn(len(live))]
+			region := cur.LeafRegion(s)
+			axis := rng.Intn(2)
+			var lo, hi float64
+			if axis == 0 {
+				lo, hi = region.MinX, region.MaxX
+			} else {
+				lo, hi = region.MinY, region.MaxY
+			}
+			if hi-lo < 1e-9 {
+				continue // degenerate display region; skip this cycle
+			}
+			cut := lo + (0.25+0.5*rng.Float64())*(hi-lo)
+			q, err := cur.SplitLeaf(s, next, axis, cut)
+			if err != nil {
+				t.Fatalf("cycle %d: SplitLeaf(%d,%d,axis=%d,cut=%v): %v", cycle, s, next, axis, cut, err)
+			}
+			// The split must be invisible to routing except inside s's old
+			// cell: points previously owned by other shards keep their owner.
+			for i := 0; i < 200; i++ {
+				pt := geom.Pt(rng.Float64()*3-1, rng.Float64()*3-1)
+				before := cur.Locate(pt)
+				after := q.Locate(pt)
+				if before != s && after != before {
+					t.Fatalf("cycle %d: split of %d moved a point owned by %d to %d", cycle, s, before, after)
+				}
+				if before == s && after != s && after != next {
+					t.Fatalf("cycle %d: split of %d sent a point to unrelated shard %d", cycle, s, after)
+				}
+			}
+			// The new pair must be siblings both ways.
+			if sib, ok := q.SiblingOf(next); !ok || sib != s {
+				t.Fatalf("cycle %d: SiblingOf(%d) = %d,%v want %d", cycle, next, sib, ok, s)
+			}
+			cur = q
+			stack = append(stack, splitOp{s, next})
+			next++
+		} else {
+			op := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			q, err := cur.MergeLeaves(op.s, op.t)
+			if err != nil {
+				t.Fatalf("cycle %d: MergeLeaves(%d,%d): %v", cycle, op.s, op.t, err)
+			}
+			if q.Live(op.t) {
+				t.Fatalf("cycle %d: slot %d still live after merge", cycle, op.t)
+			}
+			cur = q
+		}
+		if got, want := len(cur.LiveShards()), 4+len(stack); got != want {
+			t.Fatalf("cycle %d: %d live shards, want %d", cycle, got, want)
+		}
+		checkInvariants(fmt.Sprintf("cycle %d", cycle))
+	}
+
+	// Unwind: merging every split back must restore the original routing.
+	for len(stack) > 0 {
+		op := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		q, err := cur.MergeLeaves(op.s, op.t)
+		if err != nil {
+			t.Fatalf("unwind MergeLeaves(%d,%d): %v", op.s, op.t, err)
+		}
+		cur = q
+	}
+	for i := 0; i < 3000; i++ {
+		pt := geom.Pt(rng.Float64()*3-1, rng.Float64()*3-1)
+		if got, want := cur.Locate(pt), orig.Locate(pt); got != want {
+			t.Fatalf("unwound partition routes %v to %d, original to %d", pt, got, want)
+		}
+	}
+}
+
+// TestPartitionSplitLeafErrors pins SplitLeaf's validation.
+func TestPartitionSplitLeafErrors(t *testing.T) {
+	objs := genObjects(500, 9)
+	part, err := MakePartition(objs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := part.LeafRegion(0)
+	cut := (region.MinX + region.MaxX) / 2
+	if _, err := part.SplitLeaf(0, 1, 0, cut); err == nil {
+		t.Fatal("splitting into a live slot succeeded")
+	}
+	if _, err := part.SplitLeaf(0, 5, 0, cut); err == nil {
+		t.Fatal("splitting into a non-contiguous slot succeeded")
+	}
+	if _, err := part.SplitLeaf(0, 2, 0, region.MaxX+100); err == nil {
+		t.Fatal("cut outside the leaf cell succeeded")
+	}
+	q, err := part.SplitLeaf(0, 2, 0, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.MergeLeaves(1, 2); err == nil {
+		t.Fatal("MergeLeaves of non-siblings succeeded")
+	}
+	// Either sibling may survive: retiring slot 0 with slot 2 surviving is
+	// legal at the partition level.
+	m, err := q.MergeLeaves(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Live(0) || !m.Live(2) {
+		t.Fatalf("after MergeLeaves(2,0): live = %v", m.LiveShards())
 	}
 }

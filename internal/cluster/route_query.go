@@ -194,6 +194,13 @@ func (r *Router) classifySingle(st *routeState, req *wire.Request, qe query.Queu
 		}
 	default:
 		if s, local, ok := splitVirtual(ref.Node, st.nsh); ok {
+			if st.meta[s].id == rtree.InvalidNode {
+				// The slot was merged away: its ids can never be expanded
+				// again, so the ref drops like any dangling reference (the
+				// client is being flushed in this same response — a merge
+				// flushes the whole epoch table).
+				return
+			}
 			lr := ref
 			lr.Node = local
 			st.appendSub(req.Q, s, query.QueuedElem{Elem: query.Single(lr), Deferred: qe.Deferred})
@@ -216,6 +223,9 @@ func (r *Router) pairSides(st *routeState, req *wire.Request, ref query.Ref, dst
 		return dst
 	default:
 		if s, local, ok := splitVirtual(ref.Node, st.nsh); ok {
+			if st.meta[s].id == rtree.InvalidNode {
+				return dst // merged-away slot: dangling ref, drop
+			}
 			lr := ref
 			lr.Node = local
 			dst = append(dst, pairSide{shard: s, ref: lr})

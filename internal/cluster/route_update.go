@@ -144,17 +144,40 @@ func (r *Router) applyChunk(st *routeState, req *wire.Request, resp *wire.Respon
 		})
 	}
 	if crossOps != nil {
-		if _, err := r.updatePhase(st, req, resp, crossOps); err != nil {
+		phase2, err := r.updatePhase(st, req, resp, crossOps)
+		if err != nil {
 			return err
+		}
+		for s2 := range phase2 {
+			for _, acked := range phase2[s2] {
+				if acked {
+					r.stats.Shard(s2).Objects.Add(1)
+				}
+			}
 		}
 	}
 
 	for i, rt := range routes {
 		results[i] = phase[rt.shard][rt.idx]
-		// An acked delete retires the object: drop its learned payload
-		// size so insert/delete churn cannot grow the overlay forever.
-		if results[i] && ops[i].Kind == wire.UpdateDelete {
+		if !results[i] {
+			continue
+		}
+		// Maintain the per-shard object-count gauges the rebalancer
+		// triggers on: inserts and deletes move the owner's count, and a
+		// cross-shard move decrements here with the re-insert counted in
+		// phase two above.
+		switch ops[i].Kind {
+		case wire.UpdateInsert:
+			r.stats.Shard(rt.shard).Objects.Add(1)
+		case wire.UpdateDelete:
+			r.stats.Shard(rt.shard).Objects.Add(-1)
+			// An acked delete retires the object: drop its learned payload
+			// size so insert/delete churn cannot grow the overlay forever.
 			r.wireSizes.Delete(ops[i].Obj)
+		case wire.UpdateMove:
+			if rt.cross {
+				r.stats.Shard(rt.shard).Objects.Add(-1)
+			}
 		}
 	}
 	return nil

@@ -124,6 +124,20 @@ type rootInfo struct {
 // into the virtual namespace clients see (docs/CLUSTER.md). A Router is
 // itself a wire.Transport, safe for any number of concurrent callers.
 type Router struct {
+	// topo fences the shard topology: every request holds it for read, and
+	// an elastic cutover (SplitShard/MergeShards install phase) holds it for
+	// write — which is exactly the "in-flight requests drain against the old
+	// owner" semantics, since the write lock waits out every reader. All
+	// slot-indexed slices below, plus part, are mutated only under the write
+	// lock and therefore read freely under the read lock.
+	topo sync.RWMutex
+	// topoOpMu serializes whole split/merge operations (each spans several
+	// topo critical sections).
+	topoOpMu sync.Mutex
+	// ho is the live handover window of an in-progress split (elastic.go);
+	// nil outside one. Written under topo write lock.
+	ho *handoverState
+
 	shards  []Shard
 	part    *Partition
 	sizer   func(rtree.ObjectID) int
@@ -132,14 +146,16 @@ type Router struct {
 
 	// eps holds the live endpoint per shard; failMu serializes failover
 	// decisions and consecErr counts failures since the last success.
-	eps       []atomic.Pointer[endpoint]
-	failMu    []sync.Mutex
-	consecErr []atomic.Int32
+	// Elements are pointers so an elastic split can grow the slices without
+	// copying lock-bearing values.
+	eps       []*atomic.Pointer[endpoint]
+	failMu    []*sync.Mutex
+	consecErr []*atomic.Int32
 	retries   int
 	backoff   time.Duration
 	threshold int
 
-	meta   []shardMeta
+	meta   []*shardMeta
 	epochs *epochTable
 
 	// wireSizes tracks payload sizes of objects inserted through the
@@ -173,14 +189,20 @@ func New(shards []Shard, cfg Config) (*Router, error) {
 		sizer:     cfg.Sizer,
 		stats:     cfg.Stats,
 		onError:   cfg.OnShardError,
-		eps:       make([]atomic.Pointer[endpoint], len(shards)),
-		failMu:    make([]sync.Mutex, len(shards)),
-		consecErr: make([]atomic.Int32, len(shards)),
+		eps:       make([]*atomic.Pointer[endpoint], len(shards)),
+		failMu:    make([]*sync.Mutex, len(shards)),
+		consecErr: make([]*atomic.Int32, len(shards)),
 		retries:   cfg.RetryAttempts,
 		backoff:   cfg.RetryBackoff,
 		threshold: cfg.FailThreshold,
-		meta:      make([]shardMeta, len(shards)),
+		meta:      make([]*shardMeta, len(shards)),
 		epochs:    newEpochTable(len(shards), cfg.EpochRing, cfg.MaxClients),
+	}
+	for s := range shards {
+		r.eps[s] = &atomic.Pointer[endpoint]{}
+		r.failMu[s] = &sync.Mutex{}
+		r.consecErr[s] = &atomic.Int32{}
+		r.meta[s] = &shardMeta{}
 	}
 	if r.retries == 0 {
 		r.retries = defaultRetryAttempts
@@ -221,14 +243,39 @@ const (
 // Partition exposes the router's KD partition. An edge cache keys its
 // hotness accounting by partition cell (Partition.Locate on the query
 // center), so the tier in front of the router groups traffic exactly the
-// way the router shards it.
-func (r *Router) Partition() *Partition { return r.part }
+// way the router shards it. Partitions are immutable; an elastic topology
+// change swaps in a fresh one, so callers see a consistent (if possibly
+// stale) geometry.
+func (r *Router) Partition() *Partition {
+	r.topo.RLock()
+	defer r.topo.RUnlock()
+	return r.part
+}
 
 // Stats returns the router's live counters.
 func (r *Router) Stats() *metrics.ClusterStats { return r.stats }
 
-// Shards returns the cluster size.
-func (r *Router) Shards() int { return len(r.shards) }
+// Shards returns the shard slot count, dead slots included.
+func (r *Router) Shards() int {
+	r.topo.RLock()
+	defer r.topo.RUnlock()
+	return len(r.shards)
+}
+
+// LiveShards returns the ordinals of the slots that currently own a region.
+func (r *Router) LiveShards() []int {
+	r.topo.RLock()
+	defer r.topo.RUnlock()
+	return r.part.LiveShards()
+}
+
+// SiblingOf returns the slot sharing s's KD parent when both are leaves —
+// the only pair MergeShards accepts.
+func (r *Router) SiblingOf(s int) (int, bool) {
+	r.topo.RLock()
+	defer r.topo.RUnlock()
+	return r.part.SiblingOf(s)
+}
 
 // Close closes every shard transport that is closable (dialed TCP conns),
 // including replicas and any endpoint swapped in by failover.
@@ -255,7 +302,7 @@ func (r *Router) Close() error {
 
 // observe folds a sub-response into the shard's last-known metadata.
 func (r *Router) observe(s int, resp *wire.Response) {
-	m := &r.meta[s]
+	m := r.meta[s]
 	m.mu.Lock()
 	if resp.Epoch > m.epoch {
 		m.epoch = resp.Epoch
@@ -269,7 +316,7 @@ func (r *Router) observe(s int, resp *wire.Response) {
 
 // observeLevel records a shard root's level when its rep ships by.
 func (r *Router) observeLevel(s int, level int) {
-	m := &r.meta[s]
+	m := r.meta[s]
 	m.mu.Lock()
 	if level > m.rootLevel {
 		m.rootLevel = level
@@ -290,7 +337,7 @@ func (r *Router) release(s int, resp *wire.Response) {
 // snapshotMeta copies every shard's metadata into the request state.
 func (r *Router) snapshotMeta(st *routeState) {
 	for s := range r.meta {
-		m := &r.meta[s]
+		m := r.meta[s]
 		m.mu.Lock()
 		st.meta[s] = rootInfo{id: m.rootID, mbr: m.rootMBR, level: m.rootLevel, epoch: m.epoch}
 		m.mu.Unlock()
@@ -494,7 +541,7 @@ func (r *Router) roundTripShard(s int, req *wire.Request) (*wire.Response, error
 		if attempt >= budget {
 			return nil, lastErr
 		}
-		r.stats.PerShard[s].Retries.Add(1)
+		r.stats.Shard(s).Retries.Add(1)
 		if !failedOver {
 			// A swapped endpoint is worth probing immediately; otherwise
 			// give the shard a moment before the next attempt.
@@ -531,12 +578,12 @@ func (r *Router) failover(s int, failed *endpoint) bool {
 		// nobody trusts invalidation windows that straddle the gap, and the
 		// shard's observed epoch restarts from the replica's own counter.
 		r.eps[s].Store(&endpoint{t: sh.Replica, release: sh.ReplicaRelease, replica: true})
-		m := &r.meta[s]
+		m := r.meta[s]
 		m.mu.Lock()
 		m.epoch = 0
 		m.mu.Unlock()
 		r.epochs.flushAll()
-		r.stats.PerShard[s].Failovers.Add(1)
+		r.stats.Shard(s).Failovers.Add(1)
 		r.consecErr[s].Store(0)
 		return true
 	}
@@ -549,7 +596,7 @@ func (r *Router) failover(s int, failed *endpoint) bool {
 			closeTransport(failed.t) // retire a previous redial's connection
 		}
 		r.eps[s].Store(&endpoint{t: t, dialed: true})
-		r.stats.PerShard[s].Redials.Add(1)
+		r.stats.Shard(s).Redials.Add(1)
 		r.consecErr[s].Store(0)
 		return true
 	}
@@ -558,17 +605,29 @@ func (r *Router) failover(s int, failed *endpoint) bool {
 
 // issueWave runs every wave item against its shard — inline when there is
 // exactly one (the fast path), on goroutines otherwise — and returns the
-// first sub-query error.
+// first sub-query error. During a split's handover window, update batches
+// bound for the splitting shard serialize on the window lock and their
+// acked operations are recorded in apply order, so the cutover can replay
+// exactly the tail the transfer snapshot missed (elastic.go).
 func (r *Router) issueWave(items []waveItem) error {
 	run := func(it *waveItem) {
 		r.stats.SubQueries.Add(1)
-		r.stats.PerShard[it.shard].SubQueries.Add(1)
+		r.stats.Shard(it.shard).SubQueries.Add(1)
 		if it.reissue {
 			r.stats.Reissues.Add(1)
 		}
-		it.resp, it.err = r.roundTripShard(it.shard, &it.req)
+		if ho := r.ho; ho != nil && it.shard == ho.from && len(it.req.Updates) > 0 {
+			ho.mu.Lock()
+			it.resp, it.err = r.roundTripShard(it.shard, &it.req)
+			if it.err == nil {
+				ho.record(it.req.Updates, it.resp.UpdateResults)
+			}
+			ho.mu.Unlock()
+		} else {
+			it.resp, it.err = r.roundTripShard(it.shard, &it.req)
+		}
 		if it.err != nil {
-			r.stats.PerShard[it.shard].Errors.Add(1)
+			r.stats.Shard(it.shard).Errors.Add(1)
 			if r.onError != nil {
 				r.onError(it.shard, it.err)
 			}
@@ -841,8 +900,12 @@ func (r *Router) finishConsistency(st *routeState, req *wire.Request, resp *wire
 
 // RoundTrip implements wire.Transport over the cluster: updates route to
 // their owning shards, catalogs fan to every shard, and queries scatter,
-// gather, and merge (docs/CLUSTER.md).
+// gather, and merge (docs/CLUSTER.md). The whole request runs under the
+// topology read fence, so an elastic cutover waits for it to drain and it
+// never observes a half-installed shard set.
 func (r *Router) RoundTrip(req *wire.Request) (*wire.Response, error) {
+	r.topo.RLock()
+	defer r.topo.RUnlock()
 	r.stats.Requests.Add(1)
 	if len(req.Updates) > 0 {
 		return r.routeUpdates(req)
@@ -862,6 +925,9 @@ func (r *Router) routeCatalog(req *wire.Request) (*wire.Response, error) {
 	r.loadEpochBase(st, req)
 
 	for s := range r.shards {
+		if st.meta[s].id == rtree.InvalidNode {
+			continue // slot retired by a merge; nothing to catalog
+		}
 		st.wave = append(st.wave, waveItem{shard: s, task: -1})
 		it := &st.wave[len(st.wave)-1]
 		it.req.Client = req.Client

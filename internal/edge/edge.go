@@ -757,6 +757,35 @@ func (e *Edge) sync(force bool) error {
 	return nil
 }
 
+// Repartition rebinds the edge's hotness cells to a new KD partition after
+// an elastic split or merge. Cell indices are router slots and slots are
+// never renumbered, so surviving cells keep their hotness history and fresh
+// slots start cold. Entries whose query now locates to a different cell were
+// admitted under a cut that no longer exists — a split moved part of their
+// cell's region to a new shard — so they are dropped and must re-earn
+// admission under the new topology. Retained entries stay safe through the
+// usual machinery: the topology change's crossing window (split) or FlushAll
+// (merge) arrives on the next catalog sync, which the dirty mark forces.
+func (e *Edge) Repartition(locate func(geom.Point) int, cells int) error {
+	if locate == nil || cells <= 0 {
+		return errors.New("edge: Repartition needs a locate function and a positive cell count")
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg.Locate = locate
+	for len(e.cells) < cells {
+		e.cells = append(e.cells, cellState{lru: list.New()})
+	}
+	for _, ent := range e.entriesList() {
+		if e.cellOf(ent.q) != ent.cell {
+			e.dropLocked(ent)
+			e.stats.Invalidations.Add(1)
+		}
+	}
+	e.dirty = true
+	return nil
+}
+
 // entriesList snapshots the entry set so drops during iteration are safe.
 func (e *Edge) entriesList() []*entry {
 	out := make([]*entry, 0, len(e.entries))

@@ -446,6 +446,70 @@ func TestRetentionSafetyChecksCurrentVrootChildren(t *testing.T) {
 	_ = resp
 }
 
+// TestRepartitionDropsMovedCellEntries pins the edge's behavior across an
+// elastic topology change: entries whose query re-locates to a different
+// cell under the new cut must drop (they were admitted under a boundary that
+// no longer exists), entries that keep their cell must survive and keep
+// hitting, and the moved query must re-earn admission in the fresh cell.
+func TestRepartitionDropsMovedCellEntries(t *testing.T) {
+	f := &fakeUpstream{epoch: 1}
+	e := newTestEdge(t, f, nil)
+
+	if err := e.Repartition(nil, 0); err == nil {
+		t.Fatal("nil locate accepted")
+	}
+
+	epL := roundTrip(t, e, 1, 0, leftQ())  // cell 0
+	epR := roundTrip(t, e, 2, 0, rightQ()) // cell 1
+	if e.Stats().Entries.Load() != 2 {
+		t.Fatalf("entries = %d, want 2", e.Stats().Entries.Load())
+	}
+
+	// A split of cell 0 at x=0.12: the sub-region holding the left query's
+	// center moves to fresh cell 2. The left entry was admitted under the old
+	// cut and must drop; the right entry keeps its cell and survives.
+	err := e.Repartition(func(p geom.Point) int {
+		switch {
+		case p.X >= 0.5:
+			return 1
+		case p.X >= 0.12:
+			return 2
+		default:
+			return 0
+		}
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Stats().Entries.Load(); got != 1 {
+		t.Fatalf("entries after repartition = %d, want 1", got)
+	}
+	if got := e.Stats().Invalidations.Load(); got != 1 {
+		t.Fatalf("invalidations = %d, want 1 (moved-cell entry)", got)
+	}
+
+	// The moved-cell query is forwarded again — its entry is gone — and the
+	// forward re-admits it under the fresh cell, where it hits.
+	before := f.queries
+	epL = roundTrip(t, e, 1, epL, leftQ())
+	if f.queries != before+1 {
+		t.Fatal("dropped moved-cell entry was still served")
+	}
+	before = f.queries
+	roundTrip(t, e, 1, epL, leftQ())
+	if f.queries != before {
+		t.Fatal("re-admitted entry in the fresh cell did not hit")
+	}
+
+	// The retained right entry keeps hitting: the forced sync after the
+	// repartition found no upstream change, so stamps stayed valid.
+	before = f.queries
+	roundTrip(t, e, 2, epR, rightQ())
+	if f.queries != before {
+		t.Fatal("retained entry lost its hit after repartition")
+	}
+}
+
 func TestCacheableExcludesStatefulRequests(t *testing.T) {
 	hand := []query.QueuedElem{{}}
 	cases := []struct {

@@ -66,6 +66,10 @@ type Config struct {
 	// Result.EdgeHits/EdgeMisses/EdgeForwards with this run's deltas (wire
 	// it to the edge tier's metrics.EdgeStats snapshot).
 	EdgeStats func() metrics.EdgeSnapshot
+	// ElasticStats, when set, is sampled before and after the run to fill
+	// Result.Splits/Merges/Handover with this run's topology-operation
+	// deltas (wire it to the router's metrics.ClusterStats counters).
+	ElasticStats func() (splits, merges, handoverNanos int64)
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -138,9 +142,14 @@ func Run(cfg Config) (*Result, error) {
 		dur   = cfg.Duration.Seconds()
 
 		edgeBase metrics.EdgeSnapshot
+
+		splitBase, mergeBase, handBase int64
 	)
 	if cfg.EdgeStats != nil {
 		edgeBase = cfg.EdgeStats()
+	}
+	if cfg.ElasticStats != nil {
+		splitBase, mergeBase, handBase = cfg.ElasticStats()
 	}
 	workers := make([]*worker, cfg.Workers)
 	for i := range workers {
@@ -247,6 +256,13 @@ func Run(cfg Config) (*Result, error) {
 		res.EdgeHits = now.Hits - edgeBase.Hits
 		res.EdgeMisses = now.Misses - edgeBase.Misses
 		res.EdgeForwards = now.Forwards - edgeBase.Forwards
+	}
+	if cfg.ElasticStats != nil {
+		splits, merges, hand := cfg.ElasticStats()
+		res.Elastic = true
+		res.Splits = splits - splitBase
+		res.Merges = merges - mergeBase
+		res.Handover = time.Duration(hand - handBase)
 	}
 	// Achieved rate is completions over the offered window, not over
 	// elapsed-including-drain: every operation was *scheduled* inside
@@ -537,6 +553,17 @@ func (w *worker) buildUpdates(op Op) []wire.UpdateOp {
 	for i := 0; i < n; i++ {
 		to := quantRect(geom.RectFromCenter(
 			jitter(op.Center, 0.02, w.urng), 0.002, 0.002))
+		if w.cfg.Spec.GrowUpdates {
+			// Growth workload: every mutation is a fresh insert, in its own
+			// wider id namespace (24-bit serial) so long runs never wrap into
+			// the steady-state pool's ids.
+			id := rtree.ObjectID(1<<31 | uint32(w.id&0x7f)<<24 | w.inext&0xffffff)
+			w.inext++
+			ops = append(ops, wire.UpdateOp{
+				Kind: wire.UpdateInsert, Obj: id, To: to, Size: 128,
+			})
+			continue
+		}
 		if len(w.owned) < ownedTarget || len(w.owned) == 0 {
 			// Worker-unique id namespace: high bit set, worker in the
 			// middle, serial low — never collides with dataset ids.

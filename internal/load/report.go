@@ -41,6 +41,11 @@ type Result struct {
 	EdgeMisses   int64 // cacheable queries the edge had to forward
 	EdgeForwards int64 // all requests the edge relayed upstream
 
+	Elastic  bool          // topology-op counters were sampled (cluster only)
+	Splits   int64         // online shard splits during the run
+	Merges   int64         // online shard merges during the run
+	Handover time.Duration // total time spent inside topology cutovers
+
 	BytesUp   int64
 	BytesDown int64
 
@@ -123,6 +128,11 @@ type ScenarioReport struct {
 	EdgeMisses   int64 `json:"edge_misses"`
 	EdgeForwards int64 `json:"edge_forwards"`
 
+	Elastic    bool  `json:"elastic"`
+	Splits     int64 `json:"splits"`
+	Merges     int64 `json:"merges"`
+	HandoverUS int64 `json:"handover_us"`
+
 	BytesUp   int64 `json:"bytes_up"`
 	BytesDown int64 `json:"bytes_down"`
 
@@ -175,6 +185,11 @@ func (r *Result) Report() ScenarioReport {
 		EdgeMisses:   r.EdgeMisses,
 		EdgeForwards: r.EdgeForwards,
 
+		Elastic:    r.Elastic,
+		Splits:     r.Splits,
+		Merges:     r.Merges,
+		HandoverUS: us(r.Handover),
+
 		BytesUp:   r.BytesUp,
 		BytesDown: r.BytesDown,
 
@@ -214,6 +229,7 @@ var requiredKeys = []string{
 	"updates", "update_rejects", "shard_errors",
 	"retries", "failovers", "redials",
 	"edge_tier", "edge_hits", "edge_misses", "edge_forwards",
+	"elastic", "splits", "merges", "handover_us",
 	"bytes_up", "bytes_down",
 	"mean_us", "p50_us", "p99_us", "p999_us",
 	"slo_pass", "violations",
@@ -258,6 +274,8 @@ func ValidateReport(data []byte) error {
 			{"redials", r.Redials},
 			{"edge_hits", r.EdgeHits}, {"edge_misses", r.EdgeMisses},
 			{"edge_forwards", r.EdgeForwards},
+			{"splits", r.Splits}, {"merges", r.Merges},
+			{"handover_us", r.HandoverUS},
 			{"bytes_up", r.BytesUp}, {"bytes_down", r.BytesDown},
 			{"mean_us", r.MeanUS}, {"p50_us", r.P50US},
 			{"p99_us", r.P99US}, {"p999_us", r.P999US},
@@ -294,6 +312,10 @@ func (r *Result) Fprint(w io.Writer) {
 	if r.Retries > 0 || r.Failovers > 0 || r.Redials > 0 {
 		fmt.Fprintf(w, "  failover: retries=%d promotions=%d redials=%d\n",
 			r.Retries, r.Failovers, r.Redials)
+	}
+	if r.Elastic && (r.Splits > 0 || r.Merges > 0) {
+		fmt.Fprintf(w, "  elastic: splits=%d merges=%d handover=%v\n",
+			r.Splits, r.Merges, r.Handover.Round(time.Microsecond))
 	}
 	if r.EdgeTier {
 		rate := 0.0

@@ -150,6 +150,13 @@ type Spec struct {
 	// UpdateBatch is how many mutations one OpUpdate request carries.
 	UpdateBatch int
 
+	// GrowUpdates makes update batches insert fresh objects for the whole
+	// run instead of settling into the move steady-state: the dataset keeps
+	// growing wherever the updates land. Combined with a static hotspot this
+	// concentrates growth into one KD cell — the shard-skew workload the
+	// elastic rebalancer exists to absorb.
+	GrowUpdates bool
+
 	// TileQuant, when positive, snaps hotspot query centers to a TileQuant x
 	// TileQuant grid — the map-tile querying pattern of production mobile
 	// apps, where clients in one area request canonical tiles rather than
@@ -335,6 +342,33 @@ func Matrix() []Spec {
 			PartialHitFrac: 0.80, // requested, but the scan defeats harvesting
 			Poisson:        true, Shape: ShapeThrash, UpdateBatch: 4,
 			SLO: defaultSLO,
+		},
+		// shard-skew runs last: it deliberately saturates a shard's writer,
+		// so its run ends with seconds of backlogged in-flight operations
+		// still draining (plus a dropped grown dataset for the collector) —
+		// wreckage no scenario scheduled after it should have to absorb.
+		{
+			Name:        "shard-skew",
+			Description: "growth concentrated in one KD cell: insert-heavy updates pile into a static hotspot until one shard's single-writer apply loop becomes the queue — the workload the elastic rebalancer absorbs by splitting the hot shard",
+			RangeFrac:   0.20, KNNFrac: 0.20, UpdateFrac: 0.60,
+			FullHitFrac: 0.10, PartialHitFrac: 0.30,
+			Poisson: true, Shape: ShapeChurn, Regions: 1, HotFrac: 0.90, HotRadius: 0.03,
+			WindowSide:  0.008,
+			UpdateBatch: 8, GrowUpdates: true,
+			// Past the hot writer's knee a static cluster can no longer hold
+			// the offered rate — its single apply loop backlogs and achieved
+			// throughput sags below 85% — while the rebalancer splits the hot
+			// shard onto extra writers and keeps pace. MinAchievedFrac is the
+			// envelope's differentiator; the latency bounds only fence off
+			// collapse, and the sharp gate is the A/B in scripts/bench.sh:
+			// elastic p99 must beat static-N in the BENCH snapshot.
+			SLO: SLO{
+				MinAchievedFrac: 0.85,
+				MaxErrorFrac:    0,
+				MaxShedFrac:     0.02,
+				MaxP99:          10 * time.Second,
+				MaxP999:         18 * time.Second,
+			},
 		},
 	}
 	for i := range specs {

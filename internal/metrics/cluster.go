@@ -8,9 +8,16 @@ import (
 
 // ClusterStats are the live counters of a cluster router (internal/cluster):
 // how client requests fan out into shard sub-queries, how often the kNN
-// re-issue protocol fires, and how much cross-shard join work the merge
-// layer performs. All fields are atomic; one ClusterStats is shared by every
-// request the router serves.
+// re-issue protocol fires, how much cross-shard join work the merge layer
+// performs, and — since the cluster went elastic — how the shard topology
+// itself moves (splits, merges, handover time) and how load sits on each
+// shard slot (object-count and QPS gauges). All fields are atomic; one
+// ClusterStats is shared by every request the router serves.
+//
+// The per-shard blocks live behind an atomic pointer so the router can grow
+// the slot count during an online split without synchronizing readers:
+// Shard(i) is always safe, and a block, once created, is never replaced —
+// counters survive the slot going dead and coming back.
 type ClusterStats struct {
 	// Requests counts client requests routed (queries, catalogs, updates).
 	Requests atomic.Int64
@@ -29,11 +36,21 @@ type ClusterStats struct {
 	// fell off the per-client table, or a shard demanded it).
 	Flushes atomic.Int64
 
-	// PerShard holds one counter block per shard, indexed by shard ordinal.
-	PerShard []ShardCounters
+	// Splits and Merges count completed elastic topology changes
+	// (docs/ELASTIC.md); HandoverNanos accumulates the time requests were
+	// fenced out during their cutovers, so mean handover pause is
+	// HandoverNanos / (Splits + Merges).
+	Splits        atomic.Int64
+	Merges        atomic.Int64
+	HandoverNanos atomic.Int64
+
+	// perShard holds one counter block per shard slot, swapped atomically
+	// when the topology grows.
+	perShard atomic.Pointer[[]*ShardCounters]
 }
 
-// ShardCounters are the per-shard slice of the router's counters.
+// ShardCounters are the per-shard slice of the router's counters, plus the
+// load gauges the elastic rebalancer triggers on.
 type ShardCounters struct {
 	// SubQueries counts sub-requests routed to this shard.
 	SubQueries atomic.Int64
@@ -45,11 +62,69 @@ type ShardCounters struct {
 	Failovers atomic.Int64
 	// Redials counts reconnects to this shard's primary endpoint.
 	Redials atomic.Int64
+
+	// Objects gauges how many objects the shard currently owns: seeded at
+	// build/spawn, maintained from acked inserts and deletes, and adjusted
+	// wholesale when a split or merge moves a region.
+	Objects atomic.Int64
+	// QPSMilli gauges the shard's recent sub-query rate in thousandths of a
+	// query per second, written by whoever watches the cluster (the elastic
+	// rebalancer each tick). Zero when nothing is watching.
+	QPSMilli atomic.Int64
+	// Dead marks a retired slot (its region was merged away). The slot's
+	// counters remain readable; a later split may revive the slot.
+	Dead atomic.Bool
 }
 
 // NewClusterStats returns counters for a router over n shards.
 func NewClusterStats(n int) *ClusterStats {
-	return &ClusterStats{PerShard: make([]ShardCounters, n)}
+	s := &ClusterStats{}
+	s.Grow(n)
+	return s
+}
+
+// Shards returns the current shard slot count.
+func (s *ClusterStats) Shards() int {
+	if p := s.perShard.Load(); p != nil {
+		return len(*p)
+	}
+	return 0
+}
+
+// Shard returns slot i's counter block, growing the table if the slot is
+// new. Blocks are never replaced, so a retained pointer stays valid across
+// topology changes.
+func (s *ClusterStats) Shard(i int) *ShardCounters {
+	p := s.perShard.Load()
+	if p == nil || i >= len(*p) {
+		s.Grow(i + 1)
+		p = s.perShard.Load()
+	}
+	return (*p)[i]
+}
+
+// Grow extends the per-shard table to at least n slots. Concurrent growers
+// race benignly: existing blocks are carried over by pointer, so whichever
+// swap wins preserves every block already handed out.
+func (s *ClusterStats) Grow(n int) {
+	for {
+		old := s.perShard.Load()
+		if old != nil && len(*old) >= n {
+			return
+		}
+		next := make([]*ShardCounters, n)
+		if old != nil {
+			copy(next, *old)
+		}
+		for i := range next {
+			if next[i] == nil {
+				next[i] = &ShardCounters{}
+			}
+		}
+		if s.perShard.CompareAndSwap(old, &next) {
+			return
+		}
+	}
 }
 
 // ClusterSnapshot is a point-in-time copy of ClusterStats for printing.
@@ -60,6 +135,9 @@ type ClusterSnapshot struct {
 	Reissues       int64
 	CrossPairTasks int64
 	Flushes        int64
+	Splits         int64
+	Merges         int64
+	HandoverNanos  int64
 	PerShard       []ShardSnapshot
 }
 
@@ -70,6 +148,9 @@ type ShardSnapshot struct {
 	Retries    int64
 	Failovers  int64
 	Redials    int64
+	Objects    int64
+	QPSMilli   int64
+	Dead       bool
 }
 
 // Snapshot copies the live counters.
@@ -81,15 +162,23 @@ func (s *ClusterStats) Snapshot() ClusterSnapshot {
 		Reissues:       s.Reissues.Load(),
 		CrossPairTasks: s.CrossPairTasks.Load(),
 		Flushes:        s.Flushes.Load(),
-		PerShard:       make([]ShardSnapshot, len(s.PerShard)),
+		Splits:         s.Splits.Load(),
+		Merges:         s.Merges.Load(),
+		HandoverNanos:  s.HandoverNanos.Load(),
 	}
-	for i := range s.PerShard {
-		snap.PerShard[i] = ShardSnapshot{
-			SubQueries: s.PerShard[i].SubQueries.Load(),
-			Errors:     s.PerShard[i].Errors.Load(),
-			Retries:    s.PerShard[i].Retries.Load(),
-			Failovers:  s.PerShard[i].Failovers.Load(),
-			Redials:    s.PerShard[i].Redials.Load(),
+	if p := s.perShard.Load(); p != nil {
+		snap.PerShard = make([]ShardSnapshot, len(*p))
+		for i, sh := range *p {
+			snap.PerShard[i] = ShardSnapshot{
+				SubQueries: sh.SubQueries.Load(),
+				Errors:     sh.Errors.Load(),
+				Retries:    sh.Retries.Load(),
+				Failovers:  sh.Failovers.Load(),
+				Redials:    sh.Redials.Load(),
+				Objects:    sh.Objects.Load(),
+				QPSMilli:   sh.QPSMilli.Load(),
+				Dead:       sh.Dead.Load(),
+			}
 		}
 	}
 	return snap
@@ -106,10 +195,22 @@ func (s ClusterSnapshot) FanOut() float64 {
 // String renders a one-line summary plus a per-shard breakdown.
 func (s ClusterSnapshot) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "cluster: %d reqs, %d subqueries (%.2f fan-out), %d single-shard, %d reissues, %d cross-pair scans, %d flushes; shards:",
+	fmt.Fprintf(&b, "cluster: %d reqs, %d subqueries (%.2f fan-out), %d single-shard, %d reissues, %d cross-pair scans, %d flushes",
 		s.Requests, s.SubQueries, s.FanOut(), s.SingleShard, s.Reissues, s.CrossPairTasks, s.Flushes)
+	if s.Splits > 0 || s.Merges > 0 {
+		fmt.Fprintf(&b, ", %d splits/%d merges (%.1fms handover)",
+			s.Splits, s.Merges, float64(s.HandoverNanos)/1e6)
+	}
+	b.WriteString("; shards:")
 	for i, sh := range s.PerShard {
+		if sh.Dead {
+			fmt.Fprintf(&b, " %d=dead", i)
+			continue
+		}
 		fmt.Fprintf(&b, " %d=%d", i, sh.SubQueries)
+		if sh.Objects > 0 || sh.QPSMilli > 0 {
+			fmt.Fprintf(&b, "{%dobj,%.1fqps}", sh.Objects, float64(sh.QPSMilli)/1e3)
+		}
 		if sh.Errors > 0 {
 			fmt.Fprintf(&b, "(%derr)", sh.Errors)
 		}
@@ -133,6 +234,17 @@ func (s ClusterSnapshot) Failovers() int64 {
 // Redials sums primary reconnects across shards.
 func (s ClusterSnapshot) Redials() int64 {
 	return s.sum(func(sh ShardSnapshot) int64 { return sh.Redials })
+}
+
+// LiveShards counts slots that are not dead.
+func (s ClusterSnapshot) LiveShards() int {
+	var n int64
+	for _, sh := range s.PerShard {
+		if !sh.Dead {
+			n++
+		}
+	}
+	return int(n)
 }
 
 func (s ClusterSnapshot) sum(f func(ShardSnapshot) int64) int64 {

@@ -12,9 +12,9 @@ func TestClusterStatsSnapshot(t *testing.T) {
 	s.SubQueries.Add(7)
 	s.SingleShard.Add(2)
 	s.Reissues.Add(1)
-	s.PerShard[0].SubQueries.Add(5)
-	s.PerShard[2].SubQueries.Add(2)
-	s.PerShard[2].Errors.Add(1)
+	s.Shard(0).SubQueries.Add(5)
+	s.Shard(2).SubQueries.Add(2)
+	s.Shard(2).Errors.Add(1)
 
 	snap := s.Snapshot()
 	if snap.Requests != 4 || snap.SubQueries != 7 || snap.SingleShard != 2 {
@@ -52,7 +52,12 @@ func TestClusterStatsConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
 				s.Requests.Add(1)
-				s.PerShard[g%4].SubQueries.Add(1)
+				s.Shard(g % 4).SubQueries.Add(1)
+				if i%100 == 0 {
+					// Elastic splits grow the table mid-flight; counts
+					// accumulated through retained *ShardCounters must survive.
+					s.Grow(4 + g)
+				}
 			}
 		}(g)
 	}

@@ -3,11 +3,13 @@ package repro
 import (
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/edge"
+	"repro/internal/elastic"
 	"repro/internal/metrics"
 	"repro/internal/rtree"
 	"repro/internal/server"
@@ -57,6 +59,11 @@ type ClusterServer struct {
 	cluster       *cluster.InProcess
 	stats         metrics.ServerStats
 	remoteUpdates atomic.Bool
+
+	// edgeMu guards edges: every edge tier built over this cluster, so
+	// topology changes can rebind their partition cells (edge.Repartition).
+	edgeMu sync.Mutex
+	edges  []*edge.Edge
 }
 
 // NewClusterServer partitions the objects into cfg.Shards spatial shards,
@@ -165,8 +172,92 @@ func (cs *ClusterServer) Kill(shard int) { cs.cluster.Kill(shard) }
 // and returns it to service; the router's next redial binds to it.
 func (cs *ClusterServer) Restart(shard int) error { return cs.cluster.Restart(shard) }
 
-// Shards returns the cluster size.
-func (cs *ClusterServer) Shards() int { return len(cs.cluster.Servers) }
+// Shards returns the shard slot count, dead slots included. Splits grow it;
+// merges retire slots without renumbering, so it never shrinks. LiveShards
+// lists the slots that currently own a region.
+func (cs *ClusterServer) Shards() int { return cs.cluster.Router.Shards() }
+
+// LiveShards returns the ordinals of the slots currently owning a region.
+func (cs *ClusterServer) LiveShards() []int { return cs.cluster.LiveShards() }
+
+// SiblingOf returns the slot sharing s's KD parent when both are leaves —
+// the only pair MergeShards accepts.
+func (cs *ClusterServer) SiblingOf(s int) (int, bool) { return cs.cluster.SiblingOf(s) }
+
+// SplitShard splits shard s online: the split plane re-runs KD partitioning
+// over s's live objects, the upper half bulk-transfers to a freshly spawned
+// shard as a packed image plus update tail, and the router cuts over behind
+// an epoch fence — clients keep their caches modulo the crossing
+// invalidation window (docs/ELASTIC.md). Any edge tiers built by Edge are
+// repartitioned onto the new cut.
+func (cs *ClusterServer) SplitShard(s int) error {
+	if err := cs.cluster.SplitShard(s); err != nil {
+		return fmt.Errorf("repro: %w", err)
+	}
+	cs.repartitionEdges()
+	return nil
+}
+
+// MergeShards folds shard t back into its KD sibling s and retires t's
+// slot. Merging re-keys every object in t, so it flushes all client caches
+// (FlushAll on their next catalog); the rebalancer only merges clearly cold
+// pairs for this reason.
+func (cs *ClusterServer) MergeShards(s, t int) error {
+	if err := cs.cluster.MergeShards(s, t); err != nil {
+		return fmt.Errorf("repro: %w", err)
+	}
+	cs.repartitionEdges()
+	return nil
+}
+
+// repartitionEdges rebinds every edge tier to the current partition after a
+// topology change: hotness cells follow the new cut and entries admitted
+// under a boundary that moved are dropped.
+func (cs *ClusterServer) repartitionEdges() {
+	part := cs.cluster.Router.Partition()
+	cs.edgeMu.Lock()
+	edges := append([]*edge.Edge(nil), cs.edges...)
+	cs.edgeMu.Unlock()
+	for _, e := range edges {
+		_ = e.Repartition(part.Locate, part.Shards())
+	}
+}
+
+// elasticView adapts the cluster facade to elastic.Cluster. It is a
+// separate view because ClusterServer.Stats already names the serving-layer
+// snapshot; the rebalancer needs the live router counters.
+type elasticView struct{ cs *ClusterServer }
+
+func (v elasticView) LiveShards() []int            { return v.cs.LiveShards() }
+func (v elasticView) SiblingOf(s int) (int, bool)  { return v.cs.SiblingOf(s) }
+func (v elasticView) SplitShard(s int) error       { return v.cs.SplitShard(s) }
+func (v elasticView) MergeShards(s, t int) error   { return v.cs.MergeShards(s, t) }
+func (v elasticView) Stats() *metrics.ClusterStats { return v.cs.cluster.Stats() }
+
+// Elastic returns the topology surface the load-driven rebalancer drives
+// (elastic.New): live slots, sibling pairs, online split/merge, and the
+// router counters the policy reads. Operations through this view also
+// repartition any edge tiers.
+func (cs *ClusterServer) Elastic() elastic.Cluster { return elasticView{cs} }
+
+// StartRebalancer runs a load-driven rebalancer over this cluster in a
+// background goroutine: shards whose object count or sub-query rate crosses
+// the split thresholds are split, cold sibling pairs are folded back
+// (docs/ELASTIC.md). The returned stop function halts it; the Rebalancer is
+// returned for its Splits/Merges counters.
+func (cs *ClusterServer) StartRebalancer(cfg elastic.Config) (*elastic.Rebalancer, func(), error) {
+	rb, err := elastic.New(cs.Elastic(), cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("repro: %w", err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rb.Run(stop)
+	}()
+	return rb, func() { close(stop); <-done }, nil
+}
 
 // ShardObjects returns how many objects each shard owned at build time.
 func (cs *ClusterServer) ShardObjects() []int {
@@ -226,6 +317,9 @@ func (cs *ClusterServer) Edge(opts EdgeOptions) (*edge.Edge, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
+	cs.edgeMu.Lock()
+	cs.edges = append(cs.edges, e)
+	cs.edgeMu.Unlock()
 	return e, nil
 }
 
